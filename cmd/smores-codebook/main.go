@@ -1,0 +1,85 @@
+// Command smores-codebook inspects the coding side of the reproduction:
+// the electrical model (Figures 1–2), the MTA table (Table I), the
+// restricted code spaces (Table III), the per-encoding energies
+// (Table IV), the code survey (Figure 6), and raw codebook dumps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smores/internal/core"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+	"smores/internal/report"
+)
+
+func main() {
+	var (
+		fig1   = flag.Bool("fig1", false, "print PAM4 symbol energies (Figure 1)")
+		fig2   = flag.Bool("fig2", false, "print the driver network table (Figure 2)")
+		mtaTab = flag.Bool("mta", false, "print the MTA 7b→4sym table (Table I)")
+		config = flag.Bool("config", false, "print the evaluated system configuration (Table II)")
+		space  = flag.Bool("space", false, "print restricted code-space sizes (Table III)")
+		table4 = flag.Bool("table4", false, "print per-encoding energies (Table IV)")
+		fig6   = flag.Bool("fig6", false, "print the sparse-code survey (Figure 6)")
+		dump   = flag.Int("dump", 0, "dump the 4bNs-3 codebook for the given N (3..8)")
+		dbi    = flag.Bool("dbi", true, "use DBI for -dump expected energies")
+		all    = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+	if !(*fig1 || *fig2 || *mtaTab || *config || *space || *table4 || *fig6 || *all || *dump != 0) {
+		*all = true
+	}
+
+	m := pam4.DefaultEnergyModel()
+	if *all || *fig1 {
+		fmt.Println(report.Fig1SymbolEnergy(m))
+	}
+	if *all || *fig2 {
+		fmt.Println(report.Fig2DriverTable(m.Driver()))
+	}
+	if *all || *mtaTab {
+		fmt.Println(report.Table1MTA(mta.New(m)))
+	}
+	if *all || *config {
+		fmt.Println(report.Table2Config())
+	}
+	if *all || *space {
+		out, err := report.Table3CodeSpace()
+		fail(err)
+		fmt.Println(out)
+	}
+	if *all || *table4 {
+		out, err := report.Table4Energy(m)
+		fail(err)
+		fmt.Println(out)
+	}
+	if *all || *fig6 {
+		out, err := report.Fig6Survey(m)
+		fail(err)
+		fmt.Println(out)
+	}
+	if *dump != 0 {
+		fam, err := core.NewFamily(m, core.FamilyConfig{DBI: *dbi, Levels: 3, PaperFaithful: true})
+		fail(err)
+		sc := fam.ByLength(*dump)
+		if sc == nil {
+			fail(fmt.Errorf("no 4b%ds-3 codec (valid lengths: 3..8)", *dump))
+		}
+		book := sc.Book()
+		fmt.Printf("%s codebook (strategy %s, expected %.1f fJ/bit incl. DBI wire)\n",
+			sc.Name(), book.Spec().Strategy, sc.ExpectedPerBit())
+		for v, seq := range book.Codes() {
+			fmt.Printf("  %2d (%04b) → %-8s %7.1f fJ\n", v, v, seq, m.SeqEnergy(seq))
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smores-codebook:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command smores-eval regenerates the paper's evaluation: the idle-gap
+// profile (Figure 5), the per-application energy comparisons (Figures
+// 8a/8b), the scheme-comparison savings (Table V), the performance-impact
+// analysis, and the total-DRAM-power contextualization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smores/internal/pam4"
+	"smores/internal/report"
+	"smores/internal/sweep"
+)
+
+func main() {
+	var (
+		fig5     = flag.Bool("fig5", false, "print the idle-gap distributions (Figure 5)")
+		fig8a    = flag.Bool("fig8a", false, "print energy vs MTA+postamble per app (Figure 8a)")
+		fig8b    = flag.Bool("fig8b", false, "print energy vs optimized MTA per app (Figure 8b)")
+		table5   = flag.Bool("table5", false, "print the scheme comparison (Table V)")
+		perf     = flag.Bool("perf", false, "print the performance impact")
+		power    = flag.Bool("power", false, "print the total-DRAM-power context")
+		all      = flag.Bool("all", false, "print everything")
+		sweeps   = flag.Bool("sweep", false, "run the window/latency sensitivity sweeps instead")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSV/JSON artifacts to this directory")
+		accesses = flag.Int64("accesses", report.DefaultAccesses, "per-app workload length")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+	if *sweeps {
+		cfg := sweep.Config{Accesses: *accesses / 4, Seed: *seed}
+		if cfg.Accesses < 500 {
+			cfg.Accesses = 500
+		}
+		pts, err := sweep.ConservativeWindow(cfg, []int{2, 3, 4, 6, 8, 12, 16})
+		fail(err)
+		fmt.Println(sweep.Render("Conservative detection-window sweep (paper fixes 8 clocks)", "clocks", pts))
+		pts, err = sweep.ReadLatency(cfg, []int64{20, 25, 30, 35, 40})
+		fail(err)
+		fmt.Println(sweep.Render("Read-latency sensitivity (exhaustive/static)", "RL clocks", pts))
+		return
+	}
+	if !(*fig5 || *fig8a || *fig8b || *table5 || *perf || *power) {
+		*all = true
+	}
+
+	specs := report.PolicySpecs(*accesses, *seed, false)
+	labels := []string{"baseline", "optimized", "variable", "static", "conservative"}
+	frs := make([]report.FleetResult, len(specs))
+	for i, s := range specs {
+		fmt.Fprintf(os.Stderr, "running fleet under %s...\n", labels[i])
+		fr, err := report.RunFleet(s)
+		fail(err)
+		frs[i] = fr
+	}
+	base, opt, variable, static, cons := frs[0], frs[1], frs[2], frs[3], frs[4]
+
+	if *all || *fig5 {
+		fmt.Println(report.Fig5Gaps(base))
+	}
+	if *all || *fig8a {
+		fmt.Println(report.Fig8Energy(base, []report.FleetResult{variable, static},
+			"Figure 8a — per-bit energy normalized to MTA+postamble"))
+	}
+	if *all || *fig8a {
+		fmt.Println(report.SuiteSummary(base, []report.FleetResult{variable, static, cons}))
+	}
+	if *all || *fig8b {
+		fmt.Println(report.Fig8Energy(opt, []report.FleetResult{variable, static},
+			"Figure 8b — per-bit energy normalized to optimized MTA (no postamble energy)"))
+	}
+	if *all || *table5 {
+		fmt.Println(report.Table5(base, variable, static, cons))
+	}
+	if *all || *perf {
+		fmt.Println(report.PerfTable(base, []report.FleetResult{variable, static, cons}))
+	}
+	if *all || *power {
+		fmt.Println(report.TotalPowerContext(base, variable))
+	}
+	if *csvDir != "" {
+		fail(os.MkdirAll(*csvDir, 0o755))
+		for i, fr := range frs {
+			f, err := os.Create(filepath.Join(*csvDir, "fleet_"+labels[i]+".csv"))
+			fail(err)
+			fail(report.ExportFleetCSV(f, fr))
+			fail(f.Close())
+		}
+		f, err := os.Create(filepath.Join(*csvDir, "gaps_baseline.csv"))
+		fail(err)
+		fail(report.ExportGapsCSV(f, base))
+		fail(f.Close())
+		f, err = os.Create(filepath.Join(*csvDir, "table4.json"))
+		fail(err)
+		fail(report.ExportTable4JSON(f, pam4.DefaultEnergyModel()))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote CSV/JSON artifacts to %s\n", *csvDir)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smores-eval:", err)
+		os.Exit(1)
+	}
+}

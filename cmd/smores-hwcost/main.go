@@ -1,0 +1,31 @@
+// Command smores-hwcost prints the encoder hardware-cost estimates that
+// reproduce the paper's Figure 7 (NAND2-equivalent area and delay for the
+// MTA encoder and the sparse encoders with and without DBI), including
+// the DBI-removal ablation the paper quotes (42–86% area savings).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smores/internal/pam4"
+	"smores/internal/report"
+)
+
+func main() {
+	ablation := flag.Bool("ablation", true, "also print the DBI-removal savings")
+	flag.Parse()
+
+	m := pam4.DefaultEnergyModel()
+	out, err := report.Fig7Hardware(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smores-hwcost:", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+
+	if *ablation {
+		fmt.Println(report.DBIAblation(m))
+	}
+}

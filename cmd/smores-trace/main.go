@@ -1,0 +1,141 @@
+// Command smores-trace records workload access traces to the compact
+// binary format, inspects them, and replays them through the simulator so
+// different encoding policies can be compared on bit-identical traffic.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smores/internal/gpu"
+	"smores/internal/memctrl"
+	"smores/internal/trace"
+	"smores/internal/workload"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record the named workload to -out")
+		out      = flag.String("out", "trace.smtr", "output trace path")
+		info     = flag.String("info", "", "summarize a trace file")
+		replay   = flag.String("replay", "", "replay a trace through the simulator")
+		accesses = flag.Int64("n", 50000, "accesses to record")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		fail(doRecord(*record, *out, *accesses, *seed))
+	case *info != "":
+		fail(doInfo(*info))
+	case *replay != "":
+		fail(doReplay(*replay))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(app, path string, n int64, seed uint64) error {
+	p, ok := workload.ByName(app)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", app)
+	}
+	gen, err := workload.NewGenerator(p, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for i := int64(0); i < n; i++ {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Append(a); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses of %s to %s\n", w.Count(), app, path)
+	return nil
+}
+
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var n, writes, think int64
+	var maxSector uint64
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		if a.Write {
+			writes++
+		}
+		think += a.Think
+		if a.Sector > maxSector {
+			maxSector = a.Sector
+		}
+	}
+	if n == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	fmt.Printf("%s: %d accesses, %.1f%% writes, mean think %.2f clocks, footprint ≤ %d MB\n",
+		path, n, float64(writes)/float64(n)*100, float64(think)/float64(n), (maxSector+1)*32>>20)
+	return nil
+}
+
+func doReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep := trace.NewReplayer(f)
+	ctrl, err := memctrl.New(memctrl.Config{Policy: memctrl.BaselineMTA})
+	if err != nil {
+		return err
+	}
+	drv, err := gpu.NewDriver(gpu.DriverConfig{MSHRs: 48}, ctrl, rep)
+	if err != nil {
+		return err
+	}
+	res, err := drv.Run()
+	if err != nil {
+		return err
+	}
+	if rep.Err() != nil {
+		return rep.Err()
+	}
+	fmt.Printf("replayed %d accesses in %d clocks: %.1f fJ/bit, gaps %v\n",
+		res.Accesses, res.Clocks, ctrl.BusStats().PerBit(), ctrl.ReadGapHistogram())
+	return nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smores-trace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Chiplet link: the paper's conclusion notes that SMOREs-style dynamic
+// coding "can also form the basis of energy-efficient signaling between
+// different chips/chiplets in emerging multi-chip-module (MCM) chips".
+// This example re-instantiates the whole coding stack on a die-to-die
+// link with a different electrical configuration (lower supply, stiffer
+// termination) and shows that the codes and their relative savings carry
+// over — only the energy model changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smores/internal/core"
+	"smores/internal/dbi"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+func main() {
+	// A plausible MCM die-to-die PAM4 link: 0.9 V swing domain, matched
+	// 100 Ω legs, 50 Ω termination, and a shorter effective energy
+	// window (on-package traces are far less lossy, so we calibrate the
+	// mean symbol energy to a third of the GDDR6X board-level value).
+	link := pam4.DriverConfig{VDDQ: 0.9, LegOhms: 100, Legs: 3, TermOhms: 50}
+	model, err := pam4.NewEnergyModel(link, 350) // mean symbol fJ
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("MCM die-to-die PAM4 link (0.9 V, 100/100 Ω legs, 50 Ω term):")
+	for _, p := range link.OperatingPoints() {
+		fmt.Printf("  %s: %.3f V, %5.2f mA, %6.1f fJ/symbol\n",
+			p.Level, p.Volts, p.SupplyAmps*1e3, model.SymbolEnergy(p.Level))
+	}
+	fmt.Printf("  level spacing %.0f mV\n\n", link.LevelSpacing()*1e3)
+
+	// The same code constructions apply unchanged on the new model.
+	mtaCodec := mta.New(model)
+	fam, err := core.NewFamily(model, core.DefaultFamilyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := model.PAM4PerBit()
+	rawDBI := dbi.NewPAM4Codec(true, model).ExpectedPerBit()
+
+	fmt.Println("per-bit energies on the chiplet link (fJ/bit):")
+	fmt.Printf("  %-14s %8.1f\n", "raw PAM4", raw)
+	fmt.Printf("  %-14s %8.1f\n", "PAM4/DBI", rawDBI)
+	fmt.Printf("  %-14s %8.1f  (%.1f%% over raw — transition avoidance)\n",
+		"MTA", mtaCodec.ExpectedPerBit(), (mtaCodec.ExpectedPerBit()/raw-1)*100)
+	for _, n := range []int{3, 4, 6, 8} {
+		sc := fam.ByLength(n)
+		fmt.Printf("  %-14s %8.1f  (−%.0f%% vs MTA)\n",
+			sc.Name(), sc.ExpectedPerBit(), (1-sc.ExpectedPerBit()/mtaCodec.ExpectedPerBit())*100)
+	}
+
+	fmt.Println("\nThe relative structure — MTA's avoidance overhead, the sparse")
+	fmt.Println("codes' 25–50% savings, DBI's shrinking contribution — is a")
+	fmt.Println("property of the code alphabet and the termination topology, not")
+	fmt.Println("of GDDR6X: point the library at any PAM4 link's driver network")
+	fmt.Println("and the whole coding stack follows.")
+}

@@ -1,0 +1,75 @@
+// Code survey: regenerate the paper's Figure 6 curve — expected fJ/bit of
+// every sparse code in the design space (2- and 3-level, lengths 3..8,
+// with and without the restricted DBI) against the PAM4/MTA baselines —
+// and render it as an ASCII chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"smores"
+	"smores/internal/core"
+	"smores/internal/mta"
+)
+
+func main() {
+	m := smores.DefaultEnergyModel()
+
+	baselinePAM4 := m.PAM4PerBit()
+	baselineMTA := mta.New(m).ExpectedPerBit()
+
+	type series struct {
+		name   string
+		levels int
+		dbi    bool
+		points map[int]float64
+	}
+	all := []series{
+		{name: "2-level", levels: 2},
+		{name: "2-level/DBI", levels: 2, dbi: true},
+		{name: "3-level", levels: 3},
+		{name: "3-level/DBI", levels: 3, dbi: true},
+	}
+	for i := range all {
+		fam, err := core.NewFamily(m, core.FamilyConfig{
+			DBI: all[i].dbi, Levels: all[i].levels, PaperFaithful: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		all[i].points = map[int]float64{}
+		for _, n := range fam.Lengths() {
+			all[i].points[n] = fam.ByLength(n).ExpectedPerBit()
+		}
+	}
+
+	fmt.Printf("baselines: raw PAM4 %.1f fJ/bit, MTA %.1f fJ/bit\n\n", baselinePAM4, baselineMTA)
+	fmt.Printf("%-8s", "symbols")
+	for _, s := range all {
+		fmt.Printf(" %12s", s.name)
+	}
+	fmt.Println()
+	for n := 3; n <= 8; n++ {
+		fmt.Printf("%-8d", n)
+		for _, s := range all {
+			if v, ok := s.points[n]; ok {
+				fmt.Printf(" %12.1f", v)
+			} else {
+				fmt.Printf(" %12s", "--")
+			}
+		}
+		fmt.Println()
+	}
+
+	// ASCII rendering of the 3-level/DBI curve against the baselines.
+	fmt.Println("\n3-level/DBI fJ/bit (each ▒ ≈ 10 fJ/bit, │ marks raw PAM4):")
+	for n := 3; n <= 8; n++ {
+		v := all[3].points[n]
+		bar := strings.Repeat("▒", int(v/10))
+		fmt.Printf("4b%ds %6.1f %s\n", n, v, bar)
+	}
+	fmt.Printf("PAM4 %6.1f %s│\n", baselinePAM4, strings.Repeat(" ", int(baselinePAM4/10)))
+	fmt.Printf("MTA  %6.1f %s│\n", baselineMTA, strings.Repeat(" ", int(baselineMTA/10)))
+}

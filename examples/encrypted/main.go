@@ -1,0 +1,81 @@
+// Why SMOREs instead of data-similarity coding: whole-memory encryption
+// (now standard on CPUs and GPUs) makes DRAM traffic look uniformly
+// random, which destroys Base+XOR-style residual sparsity — but SMOREs'
+// savings come from the code alphabet, not the data, so they survive.
+//
+// This example pushes the same logical data through the bus twice — once
+// in the clear, once "encrypted" (a toy keystream XOR) — and reports what
+// each technique can still save.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smores"
+	"smores/internal/dbi"
+	"smores/internal/rng"
+)
+
+func main() {
+	// Smooth data: a 32-bit ramp, the best case for similarity coding.
+	const n = 4096
+	clear := make([]byte, n)
+	for i := range clear {
+		clear[i] = byte(i / 16)
+	}
+	// "Encrypt" with a keystream (any real cipher has the same effect on
+	// the statistics: the ciphertext is indistinguishable from uniform).
+	key := rng.New(0xC0FFEE)
+	encrypted := make([]byte, n)
+	stream := make([]byte, n)
+	key.Fill(stream)
+	for i := range encrypted {
+		encrypted[i] = clear[i] ^ stream[i]
+	}
+
+	fmt.Println("residual sparsity available to similarity coding (zero-bit fraction):")
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{{"cleartext", clear}, {"encrypted", encrypted}} {
+		residual := dbi.BaseXOR(c.data, 4)
+		fmt.Printf("  %-10s raw %.2f → Base+XOR residual %.2f\n",
+			c.name, dbi.ZeroFraction(c.data), dbi.ZeroFraction(residual))
+	}
+	fmt.Println("  (0.50 is what a zero-exploiting code sees in random data: nothing)")
+
+	fmt.Println("\nSMOREs energy on the same traffic (fJ/bit, wire only):")
+	enc := smores.NewBurstCodec()
+	dec := smores.NewBurstCodec()
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{{"cleartext", clear}, {"encrypted", encrypted}} {
+		mta := run(enc, dec, c.data, 0)
+		sparse := run(enc, dec, c.data, 3)
+		fmt.Printf("  %-10s MTA %6.1f → SMOREs 4b3s %6.1f (%.0f%% saved)\n",
+			c.name, mta, sparse, (1-sparse/mta)*100)
+	}
+	fmt.Println("\nSMOREs' saving is alphabet-driven and survives encryption;")
+	fmt.Println("similarity coding's input signal does not.")
+}
+
+func run(enc, dec *smores.BurstCodec, data []byte, codeLength int) float64 {
+	enc.Idle()
+	dec.Idle()
+	var sum float64
+	bursts := 0
+	for off := 0; off+smores.BurstBytes <= len(data); off += smores.BurstBytes {
+		b, err := enc.Encode(data[off:off+smores.BurstBytes], codeLength)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dec.Decode(b); err != nil {
+			log.Fatal(err)
+		}
+		sum += enc.PerBit(b)
+		bursts++
+	}
+	return sum / float64(bursts)
+}

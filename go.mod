@@ -1,0 +1,3 @@
+module smores
+
+go 1.22

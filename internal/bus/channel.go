@@ -1,0 +1,342 @@
+// Package bus models one GDDR6X data channel: sixteen data pins plus two
+// DBI pins, organized as two byte groups of (8 data + 1 DBI) wires. The
+// channel sequences whole transfers — MTA bursts, SMOREs sparse bursts,
+// postambles and idle periods — while tracking per-wire trailing levels,
+// integrating energy, and (in exact-data mode) validating that no encoded
+// wire ever takes a 3ΔV step.
+package bus
+
+import (
+	"fmt"
+
+	"smores/internal/core"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// Channel geometry: a 32-byte sector moves over 16 data pins as 8 PAM4
+// symbols per pin, i.e. two byte groups each carrying 16 bytes.
+const (
+	// Groups is the number of byte groups per channel.
+	Groups = 2
+	// BurstBytes is the transfer size of one burst (a 32-byte sector).
+	BurstBytes = 32
+	// GroupBurstBytes is each group's share of a burst.
+	GroupBurstBytes = BurstBytes / Groups
+	// UIsPerClock is the number of unit intervals per command clock
+	// (data clock at 2× the command clock, double data rate).
+	UIsPerClock = 4
+	// BurstUIs is the dense burst length: 8 symbols per pin.
+	BurstUIs = core.BurstSlotClocks * UIsPerClock
+)
+
+// Paper-derived codec logic energies (encoder + decoder), fJ per data bit.
+// The MTA figure is the paper's §V-B "additional 10 fJ/bit for the MTA
+// encoder/decoder logic"; the sparse figure is twice the quoted 3.5 fJ/bit
+// per 4b3s-DBI encoder, which also reconciles our wire-only energies with
+// the paper's Table IV within 0.3%.
+const (
+	DefaultMTALogicPerBit    = 10.0
+	DefaultSparseLogicPerBit = 7.0
+)
+
+// Config assembles a channel.
+type Config struct {
+	// Model is the per-symbol energy model. Nil selects the default.
+	Model *pam4.EnergyModel
+	// MTACodec encodes dense bursts. Nil builds the standard codec.
+	MTACodec *mta.Codec
+	// Family supplies sparse codecs by length. Nil builds the paper's
+	// default family (3-level, DBI, paper-faithful).
+	Family *core.Family
+	// ExactData transmits and validates real symbol streams. When false
+	// the channel runs in expected-energy mode: per-transfer energy uses
+	// closed-form expectations over uniform data (the simulator fast
+	// path), and transition validation is unavailable.
+	ExactData bool
+	// MTALogicPerBit / SparseLogicPerBit account encoder+decoder energy;
+	// negative values select the defaults, zero disables logic energy.
+	MTALogicPerBit    float64
+	SparseLogicPerBit float64
+	// Record keeps the ordered event sequence (bursts with payloads,
+	// postambles, idles) retrievable via Events — for integration tests
+	// and debugging. Payloads are captured in exact-data mode.
+	Record bool
+	// LevelShiftedIdle models the paper's hypothetical optimized MTA
+	// (Fig. 8b): instead of driving a one-clock L1 postamble, an MTA
+	// burst transitions to idle through a single level-shifted symbol on
+	// the wires that ended at L3 — far cheaper than the postamble.
+	LevelShiftedIdle bool
+}
+
+// Stats accumulates channel activity. All energies are femtojoules.
+type Stats struct {
+	DataBits        float64
+	WireEnergy      float64
+	PostambleEnergy float64
+	LogicEnergy     float64
+	MTABursts       int64
+	SparseBursts    int64
+	Postambles      int64
+	BusyUIs         int64
+	IdleUIs         int64
+	Violations      int64
+}
+
+// TotalEnergy returns wire + postamble + logic energy in fJ.
+func (s Stats) TotalEnergy() float64 { return s.WireEnergy + s.PostambleEnergy + s.LogicEnergy }
+
+// PerBit returns total fJ per transferred data bit (0 if no data moved).
+func (s Stats) PerBit() float64 {
+	if s.DataBits == 0 {
+		return 0
+	}
+	return s.TotalEnergy() / s.DataBits
+}
+
+// Utilization returns the busy fraction of wire time.
+func (s Stats) Utilization() float64 {
+	total := s.BusyUIs + s.IdleUIs
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BusyUIs) / float64(total)
+}
+
+// Channel is a single GDDR6X data channel. Not safe for concurrent use.
+type Channel struct {
+	model       *pam4.EnergyModel
+	mtaCodec    *mta.Codec
+	family      *core.Family
+	exact       bool
+	mtaLogic    float64
+	sparseLogic float64
+	shiftIdle   bool
+
+	states  [Groups]mta.GroupState
+	lastMTA bool // whether the most recent burst used MTA encoding
+	// mtaChain counts consecutive MTA beats since the last seam reset
+	// (idle, postamble, or sparse burst), driving the expected-energy
+	// model's inversion warm-up.
+	mtaChain  int
+	recording bool
+	events    []Event
+	stats     Stats
+}
+
+// New builds a channel, filling defaults for nil config fields.
+func New(cfg Config) *Channel {
+	if cfg.Model == nil {
+		cfg.Model = pam4.DefaultEnergyModel()
+	}
+	if cfg.MTACodec == nil {
+		cfg.MTACodec = mta.New(cfg.Model)
+	}
+	if cfg.Family == nil {
+		cfg.Family = core.DefaultFamily()
+	}
+	if cfg.MTALogicPerBit < 0 {
+		cfg.MTALogicPerBit = DefaultMTALogicPerBit
+	}
+	if cfg.SparseLogicPerBit < 0 {
+		cfg.SparseLogicPerBit = DefaultSparseLogicPerBit
+	}
+	ch := &Channel{
+		model:       cfg.Model,
+		mtaCodec:    cfg.MTACodec,
+		family:      cfg.Family,
+		exact:       cfg.ExactData,
+		mtaLogic:    cfg.MTALogicPerBit,
+		sparseLogic: cfg.SparseLogicPerBit,
+		shiftIdle:   cfg.LevelShiftedIdle,
+		recording:   cfg.Record,
+	}
+	for g := range ch.states {
+		ch.states[g] = mta.IdleGroupState()
+	}
+	return ch
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// Family returns the channel's sparse codec family.
+func (ch *Channel) Family() *core.Family { return ch.family }
+
+// MTACodec returns the channel's dense codec.
+func (ch *Channel) MTACodec() *mta.Codec { return ch.mtaCodec }
+
+// SendBurst transfers one 32-byte sector. codeLength selects the
+// encoding: 0 for dense MTA, otherwise a sparse output length available
+// in the channel's family. data supplies the payload in exact mode and
+// may be nil in expected mode.
+func (ch *Channel) SendBurst(data []byte, codeLength int) error {
+	if ch.recording {
+		ch.record(Event{Kind: EventBurst, CodeLength: codeLength, Data: append([]byte(nil), data...)})
+	}
+	if codeLength == 0 {
+		return ch.sendMTA(data)
+	}
+	return ch.sendSparse(data, codeLength)
+}
+
+func (ch *Channel) sendMTA(data []byte) error {
+	ch.stats.MTABursts++
+	ch.stats.DataBits += BurstBytes * 8
+	ch.stats.BusyUIs += BurstUIs
+	ch.stats.LogicEnergy += BurstBytes * 8 * ch.mtaLogic
+	ch.lastMTA = true
+	if !ch.exact {
+		// 2 groups × 2 beats, with the inversion chain warming up from
+		// the last seam reset.
+		for beat := 0; beat < 2; beat++ {
+			ch.stats.WireEnergy += Groups * ch.mtaCodec.ExpectedBeatEnergyAt(ch.mtaChain)
+			ch.mtaChain++
+		}
+		return nil
+	}
+	if len(data) != BurstBytes {
+		return fmt.Errorf("bus: MTA burst needs %d bytes, got %d", BurstBytes, len(data))
+	}
+	for g := 0; g < Groups; g++ {
+		for beat := 0; beat < 2; beat++ {
+			var bytes8 [mta.GroupDataWires]byte
+			copy(bytes8[:], data[g*GroupBurstBytes+beat*mta.GroupDataWires:])
+			prev := ch.states[g]
+			b := ch.mtaCodec.EncodeGroupBeat(bytes8, &ch.states[g])
+			for _, col := range b.Columns() {
+				ch.accountColumn(g, &prev, col)
+			}
+		}
+	}
+	return nil
+}
+
+func (ch *Channel) sendSparse(data []byte, codeLength int) error {
+	sc := ch.family.ByLength(codeLength)
+	if sc == nil {
+		return fmt.Errorf("bus: no sparse codec of length %d in family", codeLength)
+	}
+	ch.stats.SparseBursts++
+	ch.stats.DataBits += BurstBytes * 8
+	// Both groups transmit in parallel, so wall-clock occupancy is one
+	// group's burst length.
+	ch.stats.BusyUIs += int64(sc.BurstUIs(GroupBurstBytes))
+	ch.stats.LogicEnergy += BurstBytes * 8 * ch.sparseLogic
+	ch.lastMTA = false
+	ch.mtaChain = 0 // sparse bursts end at ≤L2: the inversion chain resets
+	if !ch.exact {
+		ch.stats.WireEnergy += Groups * sc.ExpectedBurstEnergy(GroupBurstBytes)
+		return nil
+	}
+	if len(data) != BurstBytes {
+		return fmt.Errorf("bus: sparse burst needs %d bytes, got %d", BurstBytes, len(data))
+	}
+	for g := 0; g < Groups; g++ {
+		prev := ch.states[g]
+		cols, err := sc.EncodeGroupBurst(data[g*GroupBurstBytes:(g+1)*GroupBurstBytes], &ch.states[g])
+		if err != nil {
+			return err
+		}
+		for _, col := range cols {
+			ch.accountColumn(g, &prev, col)
+		}
+	}
+	return nil
+}
+
+// Postamble drives the one-command-clock L1 postamble on all wires. The
+// device issues it after an MTA burst that is followed by bus idle; the
+// channel records the calibrated postamble drive energy.
+func (ch *Channel) Postamble() {
+	ch.record(Event{Kind: EventPostamble})
+	ch.stats.Postambles++
+	ch.mtaChain = 0
+	ch.lastMTA = false
+	ch.stats.BusyUIs += PostambleUIs()
+	ch.stats.PostambleEnergy += float64(Groups*mta.GroupWires) * float64(PostambleUIs()) *
+		ch.model.PostambleWireUIEnergy()
+	for g := 0; g < Groups; g++ {
+		if ch.exact {
+			prev := ch.states[g]
+			col := mta.PostambleColumn()
+			for ui := 0; ui < int(PostambleUIs()); ui++ {
+				ch.checkColumn(g, &prev, col)
+			}
+		}
+		for w := range ch.states[g] {
+			ch.states[g][w] = mta.PostambleLevel
+		}
+	}
+}
+
+// PostambleUIs returns the postamble duration in unit intervals.
+func PostambleUIs() int64 { return mta.PostambleUIs }
+
+// Idle advances the bus through idle unit intervals (the bus parks at the
+// free L0 level). With LevelShiftedIdle, wires that ended at L3 step
+// through one level-shifted L1 symbol first.
+func (ch *Channel) Idle(uis int64) {
+	if uis <= 0 {
+		return
+	}
+	ch.record(Event{Kind: EventIdle, IdleUIs: uis})
+	// Expected-mode level-shifted idle energy: one L1 symbol per wire
+	// expected to have ended at L3.
+	if ch.shiftIdle && ch.lastMTA && !ch.exact && ch.mtaChain > 0 {
+		pEnd := ch.mtaCodec.EndL3ProbAt(ch.mtaChain - 1)
+		wires := Groups * (mta.GroupDataWires*pEnd + 0.25) // DBI wire's last symbol is uniform
+		ch.stats.WireEnergy += wires * ch.model.SymbolEnergy(pam4.L1)
+	}
+	ch.stats.IdleUIs += uis
+	ch.mtaChain = 0
+	for g := 0; g < Groups; g++ {
+		if ch.exact {
+			prev := ch.states[g]
+			if ch.shiftIdle {
+				// Step L3 wires through a shifted L1 on the way down.
+				var step mta.Column
+				needed := false
+				for w := range step {
+					step[w] = pam4.L0
+					if prev[w] == pam4.L3 {
+						step[w] = pam4.L1
+						needed = true
+					}
+				}
+				if needed {
+					ch.accountColumn(g, &prev, step)
+				}
+			}
+			ch.checkColumn(g, &prev, mta.IdleColumn())
+		}
+		ch.states[g] = mta.IdleGroupState()
+	}
+	ch.lastMTA = false
+}
+
+// NeedsPostamble reports whether ending the current activity into idle
+// requires a postamble: only dense MTA bursts do (a sequence may end at
+// L3, and L3→L0 would be a 3ΔV swing); sparse bursts end at ≤L2.
+func (ch *Channel) NeedsPostamble() bool { return ch.lastMTA }
+
+// accountColumn integrates one transmitted column's energy and validates
+// its transitions. prev tracks the previous column (seeded with the
+// pre-burst trailing state).
+func (ch *Channel) accountColumn(g int, prev *mta.GroupState, col mta.Column) {
+	for _, l := range col {
+		ch.stats.WireEnergy += ch.model.SymbolEnergy(l)
+	}
+	ch.checkColumn(g, prev, col)
+}
+
+// checkColumn validates max-transition safety on the encoded wires (the
+// DBI wire is exempt, as in GDDR6X) and advances prev.
+func (ch *Channel) checkColumn(_ int, prev *mta.GroupState, col mta.Column) {
+	for w := 0; w < mta.GroupDataWires; w++ {
+		if pam4.Delta(prev[w], col[w]) > pam4.MaxTransition {
+			ch.stats.Violations++
+		}
+	}
+	*prev = mta.GroupState(col)
+}

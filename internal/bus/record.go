@@ -1,0 +1,38 @@
+package bus
+
+// Optional event recording: when enabled, the channel keeps the ordered
+// sequence of bursts (with payloads), postambles, and idles it carried.
+// Integration tests replay the record through an independent codec stack
+// to prove the two models agree bit-for-bit and joule-for-joule.
+
+// EventKind tags a recorded bus event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventBurst EventKind = iota
+	EventPostamble
+	EventIdle
+)
+
+// Event is one recorded bus action.
+type Event struct {
+	Kind EventKind
+	// CodeLength is the burst encoding (0 = MTA); bursts only.
+	CodeLength int
+	// Data is the burst payload (exact mode only); bursts only.
+	Data []byte
+	// IdleUIs is the idle duration; idles only.
+	IdleUIs int64
+}
+
+// enableRecording turns on event capture (set via Config.Record).
+func (ch *Channel) record(e Event) {
+	if !ch.recording {
+		return
+	}
+	ch.events = append(ch.events, e)
+}
+
+// Events returns the recorded sequence (nil unless Config.Record).
+func (ch *Channel) Events() []Event { return ch.events }

@@ -1,0 +1,88 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLevelShiftedIdleAvoidsViolations: the optimized-MTA channel may go
+// straight to idle after an MTA burst without a postamble — the shifted
+// step protects the seam.
+func TestLevelShiftedIdleAvoidsViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ch := New(Config{ExactData: true, LevelShiftedIdle: true})
+	for i := 0; i < 300; i++ {
+		if err := ch.SendBurst(randomSector(rng), 0); err != nil {
+			t.Fatal(err)
+		}
+		ch.Idle(int64(rng.Intn(12) + 1)) // no postamble
+	}
+	st := ch.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("%d violations with level-shifted idle", st.Violations)
+	}
+	if st.Postambles != 0 || st.PostambleEnergy != 0 {
+		t.Error("no postambles should have been driven")
+	}
+}
+
+// TestLevelShiftedIdleCheaperThanPostamble: the hypothetical optimized
+// MTA transition must cost far less than the driven postamble.
+func TestLevelShiftedIdleCheaperThanPostamble(t *testing.T) {
+	run := func(shift bool) float64 {
+		ch := New(Config{LevelShiftedIdle: shift})
+		for i := 0; i < 200; i++ {
+			if err := ch.SendBurst(nil, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !shift {
+				ch.Postamble()
+			}
+			ch.Idle(4)
+		}
+		return ch.Stats().PerBit()
+	}
+	withPost := run(false)
+	shifted := run(true)
+	if shifted >= withPost {
+		t.Fatalf("shifted idle (%.1f) not cheaper than postamble (%.1f)", shifted, withPost)
+	}
+	// The paper's Fig. 6 framing: the postamble adds ≈325 fJ/bit; the
+	// shifted transition should recover nearly all of it.
+	if withPost-shifted < 250 {
+		t.Errorf("shifted idle only saved %.1f fJ/bit of the ≈325 postamble adder", withPost-shifted)
+	}
+}
+
+// TestShiftedIdleExpectedMatchesExact validates the expected-mode formula
+// for the shifted-step energy against real streams.
+func TestShiftedIdleExpectedMatchesExact(t *testing.T) {
+	run := func(exact bool, seed int64) Stats {
+		rng := rand.New(rand.NewSource(seed))
+		ch := New(Config{ExactData: exact, LevelShiftedIdle: true})
+		for i := 0; i < 4000; i++ {
+			var data []byte
+			if exact {
+				data = randomSector(rng)
+			} else {
+				_ = randomSector(rng)
+			}
+			if err := ch.SendBurst(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				ch.Idle(6)
+			}
+		}
+		return ch.Stats()
+	}
+	exact := run(true, 7)
+	expect := run(false, 7)
+	if exact.Violations != 0 {
+		t.Fatalf("%d violations", exact.Violations)
+	}
+	diff := (exact.PerBit() - expect.PerBit()) / expect.PerBit()
+	if diff > 0.01 || diff < -0.01 {
+		t.Errorf("exact %.1f vs expected %.1f fJ/bit", exact.PerBit(), expect.PerBit())
+	}
+}

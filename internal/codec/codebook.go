@@ -1,0 +1,231 @@
+package codec
+
+import (
+	"fmt"
+
+	"smores/internal/pam4"
+)
+
+// Strategy selects which sequences from the constrained space become codes.
+type Strategy uint8
+
+const (
+	// LowestEnergy picks the 2^InputBits cheapest sequences (the paper's
+	// default construction).
+	LowestEnergy Strategy = iota
+	// OneNonZero picks sequences with exactly one non-L0 symbol, drawn
+	// from {L1, L2} (position × level one-hot). This matches the paper's
+	// published 4b8s-3 energy and yields a trivial decoder.
+	OneNonZero
+	// LowSwitching picks the same lowest-energy set but breaks energy
+	// ties by preferring sequences with fewer internal level changes —
+	// identical expected energy, lower switching activity and crosstalk
+	// (an extension beyond the paper).
+	LowSwitching
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case LowestEnergy:
+		return "lowest-energy"
+	case OneNonZero:
+		return "one-nonzero"
+	case LowSwitching:
+		return "low-switching"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Spec identifies a sparse code in the paper's nomenclature, e.g.
+// {4, 3, 3, LowestEnergy} is "4b3s-3".
+type Spec struct {
+	// InputBits is the number of data bits encoded per code word.
+	InputBits int
+	// OutputSymbols is the code length on the wire in UIs.
+	OutputSymbols int
+	// Levels is the number of voltage levels the code may use (2 or 3).
+	Levels int
+	// Strategy selects the code-choice policy.
+	Strategy Strategy
+}
+
+// Name renders the paper's short name for the spec, e.g. "4b3s-3".
+func (s Spec) Name() string {
+	return fmt.Sprintf("%db%ds-%d", s.InputBits, s.OutputSymbols, s.Levels)
+}
+
+// Values returns the number of code words the spec must provide.
+func (s Spec) Values() int { return 1 << uint(s.InputBits) }
+
+// Validate checks that a codebook for the spec can exist.
+func (s Spec) Validate() error {
+	switch {
+	case s.InputBits < 1 || s.InputBits > 8:
+		return fmt.Errorf("codec: input bits must be in [1,8], got %d", s.InputBits)
+	case s.OutputSymbols < 1 || s.OutputSymbols > pam4.MaxSeqLen:
+		return fmt.Errorf("codec: output symbols must be in [1,%d], got %d", pam4.MaxSeqLen, s.OutputSymbols)
+	case s.Levels < 2 || s.Levels > int(pam4.NumLevels):
+		return fmt.Errorf("codec: level count must be in [2,4], got %d", s.Levels)
+	}
+	return nil
+}
+
+// Codebook is an immutable bidirectional mapping between data values and
+// constrained symbol sequences.
+type Codebook struct {
+	spec   Spec
+	codes  []pam4.Seq
+	decode map[uint32]uint8
+	// avgEnergy is the expected fJ of one code word on uniform data.
+	avgEnergy float64
+	// posDist[p][l] is P(symbol at UI p equals level l) on uniform data.
+	posDist [][pam4.NumLevels]float64
+}
+
+// Generate builds the codebook for a spec under an energy model.
+//
+// All generated codes satisfy the SMOREs restrictions: symbols are limited
+// to the spec's cheapest levels (which structurally prevents 3ΔV
+// transitions for 2- and 3-level codes), and no code begins with L2 L2, so
+// the seam level-shifting rule terminates after at most two symbols.
+func Generate(spec Spec, m *pam4.EnergyModel) (*Codebook, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	need := spec.Values()
+
+	var codes []pam4.Seq
+	switch spec.Strategy {
+	case OneNonZero:
+		if 2*spec.OutputSymbols < need {
+			return nil, fmt.Errorf("codec: %s one-nonzero offers %d codes, need %d",
+				spec.Name(), 2*spec.OutputSymbols, need)
+		}
+		if spec.Levels < 3 {
+			return nil, fmt.Errorf("codec: one-nonzero needs 3 levels, spec has %d", spec.Levels)
+		}
+		codes = oneNonZeroCodes(spec)
+	case LowestEnergy, LowSwitching:
+		maxLevel := pam4.Level(spec.Levels - 1)
+		cands, err := Enumerate(EnumConstraint{
+			Symbols:       spec.OutputSymbols,
+			MaxLevel:      maxLevel,
+			MaxStartLevel: minLevel(maxLevel, pam4.L2),
+			MaxStep:       pam4.MaxTransition,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The level-shifting rule requires that no code start L2 L2.
+		kept := cands[:0]
+		for _, s := range cands {
+			if s.HasPrefix(pam4.L2, pam4.L2) {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		if len(kept) < need {
+			return nil, fmt.Errorf("codec: %s space has %d sequences, need %d",
+				spec.Name(), len(kept), need)
+		}
+		if spec.Strategy == LowSwitching {
+			SortByEnergyAndSwitching(kept, m)
+		} else {
+			SortByEnergy(kept, m)
+		}
+		codes = kept[:need]
+	default:
+		return nil, fmt.Errorf("codec: unknown strategy %v", spec.Strategy)
+	}
+
+	cb := &Codebook{
+		spec:   spec,
+		codes:  codes,
+		decode: make(map[uint32]uint8, need),
+	}
+	for v, s := range codes {
+		if _, dup := cb.decode[s.Packed()]; dup {
+			return nil, fmt.Errorf("codec: %s duplicate code %v", spec.Name(), s)
+		}
+		cb.decode[s.Packed()] = uint8(v)
+		cb.avgEnergy += m.SeqEnergy(s)
+	}
+	cb.avgEnergy /= float64(need)
+
+	cb.posDist = make([][pam4.NumLevels]float64, spec.OutputSymbols)
+	for _, s := range codes {
+		for p := 0; p < s.Len(); p++ {
+			cb.posDist[p][s.At(p)] += 1 / float64(need)
+		}
+	}
+	return cb, nil
+}
+
+func oneNonZeroCodes(spec Spec) []pam4.Seq {
+	codes := make([]pam4.Seq, 0, spec.Values())
+	zero := make([]pam4.Level, spec.OutputSymbols)
+	// Level-major so the cheapest (all-L1) codes come first; any fixed
+	// order works, this one keeps the table stable.
+	for _, l := range []pam4.Level{pam4.L1, pam4.L2} {
+		for pos := 0; pos < spec.OutputSymbols && len(codes) < spec.Values(); pos++ {
+			levels := append([]pam4.Level(nil), zero...)
+			levels[pos] = l
+			codes = append(codes, pam4.MakeSeq(levels...))
+		}
+	}
+	return codes
+}
+
+func minLevel(a, b pam4.Level) pam4.Level {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Spec returns the codebook's specification.
+func (cb *Codebook) Spec() Spec { return cb.spec }
+
+// Encode maps a data value to its code word. Values outside the input
+// range panic: encoders are driven by masked nibble extraction.
+func (cb *Codebook) Encode(v uint8) pam4.Seq {
+	if int(v) >= len(cb.codes) {
+		panic(fmt.Sprintf("codec: value %d out of range for %s", v, cb.spec.Name()))
+	}
+	return cb.codes[v]
+}
+
+// Decode maps a received sequence back to its data value. The second
+// result is false for sequences outside the codebook.
+func (cb *Codebook) Decode(s pam4.Seq) (uint8, bool) {
+	if s.Len() != cb.spec.OutputSymbols {
+		return 0, false
+	}
+	v, ok := cb.decode[s.Packed()]
+	return v, ok
+}
+
+// Codes returns a copy of the code table indexed by data value.
+func (cb *Codebook) Codes() []pam4.Seq {
+	return append([]pam4.Seq(nil), cb.codes...)
+}
+
+// ExpectedCodeEnergy returns the mean fJ of one code word on uniform data.
+func (cb *Codebook) ExpectedCodeEnergy() float64 { return cb.avgEnergy }
+
+// ExpectedPerBit returns the mean fJ per data bit on uniform data,
+// excluding DBI metadata and logic overhead.
+func (cb *Codebook) ExpectedPerBit() float64 {
+	return cb.avgEnergy / float64(cb.spec.InputBits)
+}
+
+// PositionLevelDistribution returns P(level) for the symbol at UI position
+// p under uniform data — the building block for exact DBI expectations.
+func (cb *Codebook) PositionLevelDistribution(p int) [pam4.NumLevels]float64 {
+	if p < 0 || p >= len(cb.posDist) {
+		panic(fmt.Sprintf("codec: UI position %d out of range [0,%d)", p, len(cb.posDist)))
+	}
+	return cb.posDist[p]
+}

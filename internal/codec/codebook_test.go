@@ -1,0 +1,300 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smores/internal/pam4"
+)
+
+func approx(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if math.Abs(got-want)/math.Abs(want)*100 > tolPct {
+		t.Errorf("%s = %g, want %g (±%g%%)", name, got, want, tolPct)
+	}
+}
+
+func mustGen(t *testing.T, spec Spec) *Codebook {
+	t.Helper()
+	cb, err := Generate(spec, pam4.DefaultEnergyModel())
+	if err != nil {
+		t.Fatalf("generate %s: %v", spec.Name(), err)
+	}
+	return cb
+}
+
+func TestSpecName(t *testing.T) {
+	s := Spec{InputBits: 4, OutputSymbols: 3, Levels: 3}
+	if s.Name() != "4b3s-3" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Values() != 16 {
+		t.Errorf("Values = %d", s.Values())
+	}
+}
+
+// TestSparseCodePerBitEnergies pins the wire-only energy of the paper's
+// Table IV sparse codes. The paper's published figures include ≈7 fJ/bit of
+// encoder/decoder logic energy, accounted separately in internal/energy.
+func TestSparseCodePerBitEnergies(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want float64 // wire-only fJ/bit
+	}{
+		{Spec{4, 3, 3, LowestEnergy}, 441.6},
+		{Spec{4, 4, 3, LowestEnergy}, 375.5},
+		{Spec{4, 6, 3, LowestEnergy}, 324.5},
+		{Spec{4, 8, 3, LowestEnergy}, 288.4},
+		{Spec{4, 8, 3, OneNonZero}, 312.5}, // the paper's published 4b8s-3 point
+	}
+	for _, c := range cases {
+		cb := mustGen(t, c.spec)
+		approx(t, c.spec.Name()+"/"+c.spec.Strategy.String(), cb.ExpectedPerBit(), c.want, 0.1)
+	}
+}
+
+func TestCodebookRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{4, 3, 3, LowestEnergy},
+		{4, 4, 3, LowestEnergy},
+		{4, 5, 3, LowestEnergy},
+		{4, 6, 3, LowestEnergy},
+		{4, 7, 3, LowestEnergy},
+		{4, 8, 3, LowestEnergy},
+		{4, 4, 2, LowestEnergy},
+		{4, 6, 2, LowestEnergy},
+		{4, 8, 2, LowestEnergy},
+		{4, 8, 3, OneNonZero},
+		{2, 2, 3, LowestEnergy}, // the paper's 2-bit→2-symbol intro example
+	}
+	for _, spec := range specs {
+		cb := mustGen(t, spec)
+		seen := make(map[uint32]bool)
+		for v := 0; v < spec.Values(); v++ {
+			code := cb.Encode(uint8(v))
+			if code.Len() != spec.OutputSymbols {
+				t.Fatalf("%s: code %v has %d symbols", spec.Name(), code, code.Len())
+			}
+			if seen[code.Packed()] {
+				t.Fatalf("%s: duplicate code %v", spec.Name(), code)
+			}
+			seen[code.Packed()] = true
+			got, ok := cb.Decode(code)
+			if !ok || got != uint8(v) {
+				t.Fatalf("%s: decode(%v) = %d,%v; want %d", spec.Name(), code, got, ok, v)
+			}
+		}
+	}
+}
+
+func TestTwoBitTwoSymbolExampleMatchesPaper(t *testing.T) {
+	// The paper's §IV-B example: the four lowest-energy 2-symbol sequences
+	// are L0L0, L0L1, L1L0, L2L0 (L2L0 beats L1L1 because ΔI(L1→L2) is
+	// smaller than ΔI(L0→L1)).
+	cb := mustGen(t, Spec{2, 2, 3, LowestEnergy})
+	want := map[string]bool{"00": true, "01": true, "10": true, "20": true}
+	for _, c := range cb.Codes() {
+		if !want[c.String()] {
+			t.Errorf("unexpected code %v in 2b2s set", c)
+		}
+		delete(want, c.String())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing codes: %v", want)
+	}
+	approx(t, "2b2s per-bit", cb.ExpectedPerBit(), 432.5, 0.1)
+}
+
+// TestLowestEnergyOptimality: no sequence outside the codebook (satisfying
+// the same constraints) is strictly cheaper than a sequence inside it.
+func TestLowestEnergyOptimality(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	for _, n := range []int{3, 4, 5, 6} {
+		spec := Spec{4, n, 3, LowestEnergy}
+		cb := mustGen(t, spec)
+		inBook := make(map[uint32]bool)
+		var maxIn float64
+		for _, c := range cb.Codes() {
+			inBook[c.Packed()] = true
+			if e := m.SeqEnergy(c); e > maxIn {
+				maxIn = e
+			}
+		}
+		all, err := Enumerate(EnumConstraint{Symbols: n, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range all {
+			if inBook[s.Packed()] || s.HasPrefix(pam4.L2, pam4.L2) {
+				continue
+			}
+			if m.SeqEnergy(s) < maxIn {
+				t.Errorf("%s: excluded %v (%.1f fJ) cheaper than included max %.1f fJ",
+					spec.Name(), s, m.SeqEnergy(s), maxIn)
+			}
+		}
+	}
+}
+
+// TestNoCodeStartsL2L2 verifies the level-shifting precondition the paper
+// relies on ("none of the codes considered start with L2L2").
+func TestNoCodeStartsL2L2(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 7, 8} {
+		for _, lv := range []int{2, 3} {
+			spec := Spec{4, n, lv, LowestEnergy}
+			if lv == 2 && n < 4 {
+				continue // no such code exists
+			}
+			cb := mustGen(t, spec)
+			for _, c := range cb.Codes() {
+				if c.HasPrefix(pam4.L2, pam4.L2) {
+					t.Errorf("%s: code %v starts L2L2", spec.Name(), c)
+				}
+			}
+		}
+	}
+}
+
+// TestFourLevelSparseUsesNoL3 reproduces the paper's observation that
+// allowing all four levels (with the 3ΔV ban) yields no codes containing
+// L3 — so there are no 4-level sparse codes to consider.
+func TestFourLevelSparseUsesNoL3(t *testing.T) {
+	for _, n := range []int{3, 4, 6, 8} {
+		cb := mustGen(t, Spec{4, n, 4, LowestEnergy})
+		for _, c := range cb.Codes() {
+			if c.MaxLevel() == pam4.L3 {
+				t.Errorf("4-level length-%d codebook contains L3 code %v", n, c)
+			}
+		}
+		// It must coincide with the 3-level codebook.
+		cb3 := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		for v := 0; v < 16; v++ {
+			if cb.Encode(uint8(v)) != cb3.Encode(uint8(v)) {
+				t.Errorf("4-level and 3-level codebooks differ at value %d", v)
+			}
+		}
+	}
+}
+
+func TestThreeLevelBeatsTwoLevelAtSameLength(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		cb2 := mustGen(t, Spec{4, n, 2, LowestEnergy})
+		cb3 := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		if cb3.ExpectedPerBit() > cb2.ExpectedPerBit()+1e-9 {
+			t.Errorf("length %d: 3-level (%.1f) worse than 2-level (%.1f)",
+				n, cb3.ExpectedPerBit(), cb2.ExpectedPerBit())
+		}
+	}
+	// The paper's Fig. 6 observation: the 2-vs-3-level gap shrinks with
+	// longer codes at the plotted lengths (4, 6, 8 — with the published
+	// one-nonzero code at length 8).
+	gap4 := mustGen(t, Spec{4, 4, 2, LowestEnergy}).ExpectedPerBit() -
+		mustGen(t, Spec{4, 4, 3, LowestEnergy}).ExpectedPerBit()
+	gap6 := mustGen(t, Spec{4, 6, 2, LowestEnergy}).ExpectedPerBit() -
+		mustGen(t, Spec{4, 6, 3, LowestEnergy}).ExpectedPerBit()
+	gap8 := mustGen(t, Spec{4, 8, 2, LowestEnergy}).ExpectedPerBit() -
+		mustGen(t, Spec{4, 8, 3, OneNonZero}).ExpectedPerBit()
+	if !(gap4 > gap6 && gap6 > gap8) {
+		t.Errorf("2-vs-3-level gap not shrinking: %.1f, %.1f, %.1f", gap4, gap6, gap8)
+	}
+}
+
+func TestLongerCodesAreCheaper(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{3, 4, 5, 6, 7, 8} {
+		cb := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		if cb.ExpectedPerBit() >= prev {
+			t.Errorf("length %d (%.1f fJ/bit) not cheaper than length %d",
+				n, cb.ExpectedPerBit(), n-1)
+		}
+		prev = cb.ExpectedPerBit()
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	bad := []Spec{
+		{4, 2, 2, LowestEnergy},  // 2^2 = 4 < 16
+		{4, 2, 3, LowestEnergy},  // 9 − L2L2 start < 16
+		{4, 3, 2, LowestEnergy},  // 8 < 16
+		{4, 3, 3, OneNonZero},    // 2·3 = 6 < 16
+		{4, 8, 2, OneNonZero},    // one-nonzero needs 3 levels
+		{0, 3, 3, LowestEnergy},  // invalid input bits
+		{9, 3, 3, LowestEnergy},  // invalid input bits
+		{4, 0, 3, LowestEnergy},  // invalid length
+		{4, 3, 1, LowestEnergy},  // invalid level count
+		{4, 3, 5, LowestEnergy},  // invalid level count
+		{4, 3, 3, Strategy(200)}, // unknown strategy
+	}
+	for _, spec := range bad {
+		if _, err := Generate(spec, m); err == nil {
+			t.Errorf("spec %+v should fail", spec)
+		}
+	}
+}
+
+func TestPositionLevelDistribution(t *testing.T) {
+	cb := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	for p := 0; p < 3; p++ {
+		d := cb.PositionLevelDistribution(p)
+		var sum float64
+		for _, pr := range d {
+			if pr < 0 {
+				t.Errorf("negative probability at position %d: %v", p, d)
+			}
+			sum += pr
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("position %d distribution sums to %g", p, sum)
+		}
+		if d[pam4.L3] != 0 {
+			t.Errorf("3-level code has L3 probability %g at position %d", d[pam4.L3], p)
+		}
+	}
+	mustPanicCB(t, func() { cb.PositionLevelDistribution(3) })
+	mustPanicCB(t, func() { cb.PositionLevelDistribution(-1) })
+	mustPanicCB(t, func() { cb.Encode(16) })
+}
+
+func TestDecodeRejectsForeignSequences(t *testing.T) {
+	cb := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	if _, ok := cb.Decode(pam4.MakeSeq(pam4.L2, pam4.L2, pam4.L2)); ok {
+		t.Error("decode accepted a sequence outside the codebook")
+	}
+	if _, ok := cb.Decode(pam4.MakeSeq(pam4.L0, pam4.L0)); ok {
+		t.Error("decode accepted a wrong-length sequence")
+	}
+}
+
+func TestCodesReturnsCopy(t *testing.T) {
+	cb := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	codes := cb.Codes()
+	orig := cb.Encode(0)
+	codes[0] = pam4.MakeSeq(pam4.L2, pam4.L2, pam4.L2)
+	if cb.Encode(0) != orig {
+		t.Error("Codes must return a copy")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	cb := mustGen(t, Spec{4, 4, 3, LowestEnergy})
+	f := func(v uint8) bool {
+		v &= 0x0f
+		got, ok := cb.Decode(cb.Encode(v))
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanicCB(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,65 @@
+package codec
+
+import "smores/internal/pam4"
+
+// Sparse codes use only 16 of a much larger sequence space, which gives
+// them inherent error-detection capability: most corrupted sequences fall
+// outside the codebook. This file quantifies it — an extension study on
+// top of the paper (GDDR6X separately protects data with EDC pins; a
+// sparse code's redundancy could shoulder part of that job for free).
+
+// DetectionStats reports single-symbol error behavior of a codebook.
+type DetectionStats struct {
+	// Events is the number of corruption events considered: every
+	// codeword × every symbol position × every wrong level in the code's
+	// alphabet.
+	Events int
+	// Detected counts events producing a sequence outside the codebook
+	// (the decoder flags them).
+	Detected int
+	// Miscoded counts events producing a *different valid* codeword —
+	// silent data corruption.
+	Miscoded int
+}
+
+// DetectionRate returns the detected fraction (1.0 = every single-symbol
+// error is caught).
+func (d DetectionStats) DetectionRate() float64 {
+	if d.Events == 0 {
+		return 0
+	}
+	return float64(d.Detected) / float64(d.Events)
+}
+
+// SingleSymbolErrors enumerates every single-symbol substitution within
+// the code's level alphabet and classifies the result.
+func (cb *Codebook) SingleSymbolErrors() DetectionStats {
+	var st DetectionStats
+	spec := cb.Spec()
+	maxLevel := pam4.Level(spec.Levels - 1)
+	for _, code := range cb.codes {
+		for pos := 0; pos < code.Len(); pos++ {
+			orig := code.At(pos)
+			for l := pam4.L0; l <= maxLevel; l++ {
+				if l == orig {
+					continue
+				}
+				corrupted := substituteSymbol(code, pos, l)
+				st.Events++
+				if _, ok := cb.Decode(corrupted); ok {
+					st.Miscoded++
+				} else {
+					st.Detected++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// substituteSymbol returns the sequence with position pos replaced.
+func substituteSymbol(s pam4.Seq, pos int, l pam4.Level) pam4.Seq {
+	levels := s.Levels()
+	levels[pos] = l
+	return pam4.MakeSeq(levels...)
+}

@@ -1,0 +1,67 @@
+package codec
+
+import (
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+func TestSingleSymbolErrorAccounting(t *testing.T) {
+	cb := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	st := cb.SingleSymbolErrors()
+	// 16 codes × 3 positions × 2 wrong levels.
+	if st.Events != 16*3*2 {
+		t.Fatalf("events = %d, want 96", st.Events)
+	}
+	if st.Detected+st.Miscoded != st.Events {
+		t.Fatal("classification does not partition events")
+	}
+	if st.DetectionRate() <= 0 || st.DetectionRate() > 1 {
+		t.Fatalf("detection rate %g out of range", st.DetectionRate())
+	}
+}
+
+// TestDetectionImprovesWithSparsity: the denser the code packs its space,
+// the fewer errors it can catch; a full-space code catches none.
+func TestDetectionImprovesWithSparsity(t *testing.T) {
+	// 4b4s-2 uses all 16 of its 16-sequence space: zero detection.
+	full := mustGen(t, Spec{4, 4, 2, LowestEnergy})
+	if rate := full.SingleSymbolErrors().DetectionRate(); rate != 0 {
+		t.Errorf("full-space 2-level code detection rate = %.2f, want 0", rate)
+	}
+	prev := -1.0
+	for _, n := range []int{3, 4, 6, 8} {
+		cb := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		rate := cb.SingleSymbolErrors().DetectionRate()
+		t.Logf("4b%ds-3: single-symbol error detection %.0f%%", n, rate*100)
+		if rate < prev {
+			t.Errorf("detection rate fell from %.2f to %.2f at length %d", prev, rate, n)
+		}
+		prev = rate
+	}
+	// The paper's preferred 4b3s-3 packs 16 of 27 sequences, so roughly a
+	// third of single-symbol errors still land outside the codebook.
+	cb3 := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	if rate := cb3.SingleSymbolErrors().DetectionRate(); rate < 0.2 || rate > 0.5 {
+		t.Errorf("4b3s-3 detection rate %.2f outside the expected third-ish band", rate)
+	}
+	// The one-nonzero 4b8s code detects everything except
+	// level-substitutions that land on another codeword at the same
+	// position (L1↔L2 swaps): rate = 1 − 16/(16·8·2).
+	oneHot := mustGen(t, Spec{4, 8, 3, OneNonZero})
+	st := oneHot.SingleSymbolErrors()
+	if st.Miscoded != 16 {
+		t.Errorf("one-nonzero miscode count = %d, want 16 (L1↔L2 at the hot position)", st.Miscoded)
+	}
+}
+
+func TestSubstituteSymbol(t *testing.T) {
+	s := pam4.MakeSeq(pam4.L0, pam4.L1, pam4.L2)
+	got := substituteSymbol(s, 1, pam4.L0)
+	if got.String() != "002" {
+		t.Errorf("substitute = %v", got)
+	}
+	if s.String() != "012" {
+		t.Error("substitute mutated the original")
+	}
+}

@@ -1,0 +1,178 @@
+// Package codec provides the generic machinery shared by the MTA baseline
+// and the SMOREs sparse codes: constrained enumeration of PAM4 symbol
+// sequences, energy-ordered code selection, and bidirectional
+// value↔sequence lookup tables.
+package codec
+
+import (
+	"fmt"
+	"sort"
+
+	"smores/internal/pam4"
+)
+
+// EnumConstraint restricts the symbol-sequence space being enumerated.
+type EnumConstraint struct {
+	// Symbols is the sequence length (output code length in UIs).
+	Symbols int
+	// MaxLevel is the highest level a symbol may use. L1 gives a 2-level
+	// code, L2 a 3-level code, L3 the full PAM4 alphabet.
+	MaxLevel pam4.Level
+	// MaxStartLevel is the highest level allowed for the first symbol
+	// (MTA restricts sequence starts to L2; sparse codes inherit the bound
+	// from MaxLevel).
+	MaxStartLevel pam4.Level
+	// MaxStep is the largest adjacent-symbol level difference allowed
+	// (2 bans the 3ΔV maximum transition).
+	MaxStep int
+}
+
+// Validate reports whether the constraint is internally consistent.
+func (c EnumConstraint) Validate() error {
+	switch {
+	case c.Symbols <= 0 || c.Symbols > pam4.MaxSeqLen:
+		return fmt.Errorf("codec: symbols must be in [1,%d], got %d", pam4.MaxSeqLen, c.Symbols)
+	case !c.MaxLevel.Valid():
+		return fmt.Errorf("codec: invalid max level %d", c.MaxLevel)
+	case !c.MaxStartLevel.Valid():
+		return fmt.Errorf("codec: invalid max start level %d", c.MaxStartLevel)
+	case c.MaxStartLevel > c.MaxLevel:
+		return fmt.Errorf("codec: max start level %v exceeds max level %v", c.MaxStartLevel, c.MaxLevel)
+	case c.MaxStep < 1:
+		return fmt.Errorf("codec: max step must be at least 1, got %d", c.MaxStep)
+	}
+	return nil
+}
+
+// Enumerate returns every sequence satisfying the constraint, in
+// lexicographic wire order (first symbol most significant). The result for
+// the MTA constraint {4, L3, L2, 2} is the paper's 139-sequence space.
+func Enumerate(c EnumConstraint) ([]pam4.Seq, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var out []pam4.Seq
+	levels := make([]pam4.Level, 0, c.Symbols)
+	var rec func()
+	rec = func() {
+		if len(levels) == c.Symbols {
+			out = append(out, pam4.MakeSeq(levels...))
+			return
+		}
+		hi := c.MaxLevel
+		if len(levels) == 0 {
+			hi = c.MaxStartLevel
+		}
+		for l := pam4.L0; l <= hi; l++ {
+			if len(levels) > 0 && pam4.Delta(levels[len(levels)-1], l) > c.MaxStep {
+				continue
+			}
+			levels = append(levels, l)
+			rec()
+			levels = levels[:len(levels)-1]
+		}
+	}
+	rec()
+	return out, nil
+}
+
+// Count returns the size of the constrained space without materializing it,
+// via dynamic programming over the terminal level.
+func Count(c EnumConstraint) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	// ways[l] = number of valid suffixes of the remaining length that start
+	// at level l.
+	ways := make([]int, int(c.MaxLevel)+1)
+	for i := range ways {
+		ways[i] = 1
+	}
+	for step := 1; step < c.Symbols; step++ {
+		next := make([]int, len(ways))
+		for from := range next {
+			for to := range ways {
+				if pam4.Delta(pam4.Level(from), pam4.Level(to)) <= c.MaxStep {
+					next[from] += ways[to]
+				}
+			}
+		}
+		ways = next
+	}
+	total := 0
+	for l := pam4.L0; l <= c.MaxStartLevel; l++ {
+		total += ways[l]
+	}
+	return total, nil
+}
+
+// SortByEnergy orders sequences by ascending energy under the model.
+// Ties break by preferring cheaper *trailing* symbols (reversed-lex
+// order): a sequence that parks the wire low eases the transition into the
+// following burst or idle. This reproduces the paper's §IV-B choice of
+// L2L0 (not L0L2) in the 2-bit example.
+func SortByEnergy(seqs []pam4.Seq, m *pam4.EnergyModel) {
+	sort.Slice(seqs, func(i, j int) bool {
+		ei, ej := m.SeqEnergy(seqs[i]), m.SeqEnergy(seqs[j])
+		if ei != ej {
+			return ei < ej
+		}
+		return revLexLess(seqs[i], seqs[j])
+	})
+}
+
+// SortByEnergyAndSwitching orders by ascending energy, breaking ties by
+// the number of internal level changes (calmer sequences first), then by
+// reversed-lex order. The selected code set has identical expected energy
+// to SortByEnergy's but lower switching activity.
+func SortByEnergyAndSwitching(seqs []pam4.Seq, m *pam4.EnergyModel) {
+	sort.Slice(seqs, func(i, j int) bool {
+		ei, ej := m.SeqEnergy(seqs[i]), m.SeqEnergy(seqs[j])
+		if ei != ej {
+			return ei < ej
+		}
+		ti, tj := transitions(seqs[i]), transitions(seqs[j])
+		if ti != tj {
+			return ti < tj
+		}
+		return revLexLess(seqs[i], seqs[j])
+	})
+}
+
+// transitions counts internal level changes in a sequence.
+func transitions(s pam4.Seq) int {
+	n := 0
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i) != s.At(i-1) {
+			n++
+		}
+	}
+	return n
+}
+
+// revLexLess compares sequences lexicographically from the final symbol
+// backwards, so ties rank sequences with cheaper tails first.
+func revLexLess(a, b pam4.Seq) bool {
+	i, j := a.Len()-1, b.Len()-1
+	for i >= 0 && j >= 0 {
+		if a.At(i) != b.At(j) {
+			return a.At(i) < b.At(j)
+		}
+		i--
+		j--
+	}
+	return a.Len() < b.Len()
+}
+
+func lexLess(a, b pam4.Seq) bool {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i) != b.At(i) {
+			return a.At(i) < b.At(i)
+		}
+	}
+	return a.Len() < b.Len()
+}

@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+// mtaConstraint is the paper's MTA sequence space: 4 symbols, full PAM4
+// alphabet, starts at L0..L2, no 3ΔV transitions.
+func mtaConstraint() EnumConstraint {
+	return EnumConstraint{Symbols: 4, MaxLevel: pam4.L3, MaxStartLevel: pam4.L2, MaxStep: 2}
+}
+
+func TestEnumerateMTASpaceIs139(t *testing.T) {
+	seqs, err := Enumerate(mtaConstraint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 139 {
+		t.Fatalf("MTA space = %d sequences, paper says 139", len(seqs))
+	}
+	for _, s := range seqs {
+		if s.First() == pam4.L3 {
+			t.Errorf("sequence %v starts with L3", s)
+		}
+		if s.MaxInternalDelta() > 2 {
+			t.Errorf("sequence %v contains a 3ΔV transition", s)
+		}
+	}
+}
+
+func TestCountMatchesEnumerate(t *testing.T) {
+	cases := []EnumConstraint{
+		mtaConstraint(),
+		{Symbols: 3, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2},
+		{Symbols: 4, MaxLevel: pam4.L1, MaxStartLevel: pam4.L1, MaxStep: 2},
+		{Symbols: 6, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2},
+		{Symbols: 2, MaxLevel: pam4.L3, MaxStartLevel: pam4.L3, MaxStep: 1},
+		{Symbols: 1, MaxLevel: pam4.L3, MaxStartLevel: pam4.L0, MaxStep: 2},
+	}
+	for _, c := range cases {
+		seqs, err := Enumerate(c)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		n, err := Count(c)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if n != len(seqs) {
+			t.Errorf("%+v: Count=%d, Enumerate=%d", c, n, len(seqs))
+		}
+	}
+}
+
+// TestCodeSpaceSizes pins the paper's Table III-style code-space sizes:
+// a 3-level code of length N has 3^N sequences (81 for four symbols).
+func TestCodeSpaceSizes(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		c3 := EnumConstraint{Symbols: n, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2}
+		got, err := Count(c3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		for i := 0; i < n; i++ {
+			want *= 3
+		}
+		if got != want {
+			t.Errorf("3-level length %d: %d sequences, want %d", n, got, want)
+		}
+		c2 := EnumConstraint{Symbols: n, MaxLevel: pam4.L1, MaxStartLevel: pam4.L1, MaxStep: 2}
+		got2, err := Count(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2 != 1<<uint(n) {
+			t.Errorf("2-level length %d: %d sequences, want %d", n, got2, 1<<uint(n))
+		}
+	}
+}
+
+func TestEnumerateLexOrder(t *testing.T) {
+	seqs, err := Enumerate(EnumConstraint{Symbols: 2, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if !lexLess(seqs[i-1], seqs[i]) {
+			t.Fatalf("sequences not in lexicographic order: %v before %v", seqs[i-1], seqs[i])
+		}
+	}
+	if seqs[0].String() != "00" || seqs[len(seqs)-1].String() != "22" {
+		t.Errorf("unexpected order: first %v last %v", seqs[0], seqs[len(seqs)-1])
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	bad := []EnumConstraint{
+		{Symbols: 0, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2},
+		{Symbols: 17, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 2},
+		{Symbols: 4, MaxLevel: pam4.Level(5), MaxStartLevel: pam4.L2, MaxStep: 2},
+		{Symbols: 4, MaxLevel: pam4.L1, MaxStartLevel: pam4.L2, MaxStep: 2},
+		{Symbols: 4, MaxLevel: pam4.L2, MaxStartLevel: pam4.L2, MaxStep: 0},
+	}
+	for _, c := range bad {
+		if _, err := Enumerate(c); err == nil {
+			t.Errorf("constraint %+v should be rejected", c)
+		}
+		if _, err := Count(c); err == nil {
+			t.Errorf("count of %+v should be rejected", c)
+		}
+	}
+}
+
+func TestSortByEnergyIsStableAndOrdered(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	seqs, err := Enumerate(mtaConstraint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortByEnergy(seqs, m)
+	for i := 1; i < len(seqs); i++ {
+		ei, ej := m.SeqEnergy(seqs[i-1]), m.SeqEnergy(seqs[i])
+		if ei > ej {
+			t.Fatalf("energy order violated at %d: %g > %g", i, ei, ej)
+		}
+		if ei == ej && !revLexLess(seqs[i-1], seqs[i]) {
+			t.Fatalf("tie-break order violated at %d: %v vs %v", i, seqs[i-1], seqs[i])
+		}
+	}
+	if seqs[0].String() != "0000" {
+		t.Errorf("cheapest MTA sequence = %v, want 0000", seqs[0])
+	}
+}

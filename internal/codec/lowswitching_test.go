@@ -1,0 +1,80 @@
+package codec
+
+import (
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+// TestLowSwitchingSameEnergyFewerTransitions: the switching-aware
+// tie-break must not change the expected energy (the selected multiset of
+// symbol compositions is identical) while reducing total internal
+// transitions.
+func TestLowSwitchingSameEnergyFewerTransitions(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		le := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		ls := mustGen(t, Spec{4, n, 3, LowSwitching})
+		if de := ls.ExpectedPerBit() - le.ExpectedPerBit(); de > 1e-9 || de < -1e-9 {
+			t.Errorf("length %d: low-switching changed energy by %g fJ/bit", n, de)
+		}
+		trans := func(cb *Codebook) int {
+			total := 0
+			for _, c := range cb.Codes() {
+				total += transitions(c)
+			}
+			return total
+		}
+		tLE, tLS := trans(le), trans(ls)
+		t.Logf("4b%ds-3: transitions lowest-energy %d vs low-switching %d", n, tLE, tLS)
+		if tLS > tLE {
+			t.Errorf("length %d: low-switching has MORE transitions (%d > %d)", n, tLS, tLE)
+		}
+		// Round trip still holds.
+		for v := uint8(0); v < 16; v++ {
+			got, ok := ls.Decode(ls.Encode(v))
+			if !ok || got != v {
+				t.Fatalf("length %d: roundtrip failed at %d", n, v)
+			}
+		}
+	}
+	// At some length the tie-break must actually bite.
+	improved := false
+	for _, n := range []int{5, 6, 7, 8} {
+		le := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		ls := mustGen(t, Spec{4, n, 3, LowSwitching})
+		sum := func(cb *Codebook) int {
+			total := 0
+			for _, c := range cb.Codes() {
+				total += transitions(c)
+			}
+			return total
+		}
+		if sum(ls) < sum(le) {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("low-switching never improved on lowest-energy — tie-break inert")
+	}
+	if LowSwitching.String() != "low-switching" {
+		t.Error("strategy name wrong")
+	}
+	_ = m
+}
+
+func TestSortByEnergyAndSwitchingOrder(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	seqs := []pam4.Seq{
+		pam4.MakeSeq(pam4.L0, pam4.L1, pam4.L0, pam4.L1), // 3 transitions
+		pam4.MakeSeq(pam4.L1, pam4.L1, pam4.L0, pam4.L0), // 1 transition, same energy
+		pam4.MakeSeq(pam4.L0, pam4.L0, pam4.L0, pam4.L0), // cheapest
+	}
+	SortByEnergyAndSwitching(seqs, m)
+	if seqs[0].String() != "0000" {
+		t.Errorf("cheapest not first: %v", seqs[0])
+	}
+	if transitions(seqs[1]) > transitions(seqs[2]) {
+		t.Errorf("tie-break order wrong: %v before %v", seqs[1], seqs[2])
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// The restricted DBI for sparse codes is a *level swap*: if a non-zero
+// level occupies the majority of the eight data wires in a UI column, it
+// is swapped with the minimum-energy L0 and the DBI wire signals which
+// level was swapped (L1, L2, or L0 for "none"). Swapping preserves the
+// 2/3-level alphabet, so the maximum-transition guarantee is untouched.
+
+// dbiThreshold is the strict majority bound: swap when more than four of
+// the eight data wires carry the level.
+const dbiThreshold = mta.GroupDataWires / 2
+
+// ApplyDBISwap implements the paper's rule on a pre-shift column:
+//
+//	swap L0↔L1 and set DBI=L1 if N_L1 > 4
+//	swap L0↔L2 and set DBI=L2 if N_L2 > 4
+//	otherwise DBI=L0
+//
+// L1 is tested first, as in the paper; both counts cannot exceed four
+// simultaneously (they sum to at most eight), so the order only matters
+// for documentation.
+func ApplyDBISwap(col mta.Column) mta.Column {
+	n1, n2 := 0, 0
+	for w := 0; w < mta.GroupDataWires; w++ {
+		switch col[w] {
+		case pam4.L1:
+			n1++
+		case pam4.L2:
+			n2++
+		}
+	}
+	switch {
+	case n1 > dbiThreshold:
+		col = swapLevels(col, pam4.L0, pam4.L1)
+		col[mta.DBIWire] = pam4.L1
+	case n2 > dbiThreshold:
+		col = swapLevels(col, pam4.L0, pam4.L2)
+		col[mta.DBIWire] = pam4.L2
+	default:
+		col[mta.DBIWire] = pam4.L0
+	}
+	return col
+}
+
+// UndoDBISwap reverses ApplyDBISwap using the DBI wire's (unshifted)
+// value. It reports false for a DBI symbol outside {L0, L1, L2}.
+func UndoDBISwap(col mta.Column) (mta.Column, bool) {
+	switch col[mta.DBIWire] {
+	case pam4.L0:
+		return col, true
+	case pam4.L1:
+		return swapLevels(col, pam4.L0, pam4.L1), true
+	case pam4.L2:
+		return swapLevels(col, pam4.L0, pam4.L2), true
+	default:
+		return col, false
+	}
+}
+
+// swapLevels exchanges two levels on the data wires (the DBI wire is left
+// alone).
+func swapLevels(col mta.Column, a, b pam4.Level) mta.Column {
+	for w := 0; w < mta.GroupDataWires; w++ {
+		switch col[w] {
+		case a:
+			col[w] = b
+		case b:
+			col[w] = a
+		}
+	}
+	return col
+}

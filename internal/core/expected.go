@@ -1,0 +1,92 @@
+package core
+
+import (
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// Exact expected-energy math for sparse group codecs on uniform random
+// data. Wires in a group are independent and identically distributed per
+// code position, so the DBI column statistics follow a multinomial over
+// the per-position level distribution — no Monte Carlo needed.
+//
+// Seam level-shifting energy is excluded: it affects at most two symbols
+// per burst and only after an MTA burst that ended at L3; the simulator's
+// exact-data mode accounts for it, and tests bound the discrepancy.
+
+// ExpectedColumnEnergy returns the expected fJ of one transmitted UI
+// column (eight data wires plus the DBI wire) at code position p.
+func (c *SparseGroupCodec) ExpectedColumnEnergy(p int) float64 {
+	d := c.book.PositionLevelDistribution(p)
+	e1 := c.model.SymbolEnergy(pam4.L1)
+	e2 := c.model.SymbolEnergy(pam4.L2)
+	if !c.dbi {
+		// DBI wire parks at L0 (free).
+		return mta.GroupDataWires * (d[pam4.L1]*e1 + d[pam4.L2]*e2)
+	}
+
+	p0, p1, p2 := d[pam4.L0], d[pam4.L1], d[pam4.L2]
+	var total float64
+	for n1 := 0; n1 <= mta.GroupDataWires; n1++ {
+		for n2 := 0; n2+n1 <= mta.GroupDataWires; n2++ {
+			n0 := mta.GroupDataWires - n1 - n2
+			prob := multinomial8(n0, n1, n2) * pow(p0, n0) * pow(p1, n1) * pow(p2, n2)
+			if prob == 0 {
+				continue
+			}
+			var e float64
+			switch {
+			case n1 > dbiThreshold:
+				// L1 majority: L1s become L0, L0s become L1, DBI=L1.
+				e = float64(n0)*e1 + float64(n2)*e2 + e1
+			case n2 > dbiThreshold:
+				// L2 majority: L2s become L0, L0s become L2, DBI=L2.
+				e = float64(n0)*e2 + float64(n1)*e1 + e2
+			default:
+				e = float64(n1)*e1 + float64(n2)*e2
+			}
+			total += prob * e
+		}
+	}
+	return total
+}
+
+// ExpectedPerBit returns the expected fJ per data bit of the sparse group
+// codec on uniform random data, including the DBI wire (metadata symbols
+// when DBI is on, a parked L0 wire when off).
+func (c *SparseGroupCodec) ExpectedPerBit() float64 {
+	n := c.book.Spec().OutputSymbols
+	var colSum float64
+	for p := 0; p < n; p++ {
+		colSum += c.ExpectedColumnEnergy(p)
+	}
+	// One code slot moves 8 wires × 4 bits = 32 bits.
+	return colSum / (mta.GroupDataWires * NibbleBits)
+}
+
+// ExpectedBurstEnergy returns the expected fJ to move dataBytes bytes
+// through one group.
+func (c *SparseGroupCodec) ExpectedBurstEnergy(dataBytes int) float64 {
+	return c.ExpectedPerBit() * float64(dataBytes) * 8
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// multinomial8 returns 8!/(n0!·n1!·n2!) for n0+n1+n2 = 8.
+func multinomial8(n0, n1, n2 int) float64 {
+	return factorial(mta.GroupDataWires) / (factorial(n0) * factorial(n1) * factorial(n2))
+}
+
+func factorial(n int) float64 {
+	r := 1.0
+	for i := 2; i <= n; i++ {
+		r *= float64(i)
+	}
+	return r
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"smores/internal/mta"
+)
+
+// TestGoldenPaperFaithfulCodebooks pins the exact code tables of the
+// paper-faithful family. These are the tables the Verilog emitter ships
+// and Table IV's energies rest on; any change to enumeration order,
+// tie-breaking, or the energy calibration shows up here first.
+func TestGoldenPaperFaithfulCodebooks(t *testing.T) {
+	fam := DefaultFamily()
+	golden := map[int]string{
+		// 16 lowest-energy 3-symbol sequences, revlex tie-broken.
+		3: "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 012",
+		// The paper's one-nonzero construction at length 8.
+		8: "10000000 01000000 00100000 00010000 00001000 00000100 00000010 00000001 " +
+			"20000000 02000000 00200000 00020000 00002000 00000200 00000020 00000002",
+	}
+	for n, want := range golden {
+		var got []string
+		for _, c := range fam.ByLength(n).Book().Codes() {
+			got = append(got, c.String())
+		}
+		if s := strings.Join(got, " "); s != want {
+			t.Errorf("4b%ds-3 codebook drifted:\n got: %s\nwant: %s", n, s, want)
+		}
+	}
+}
+
+// TestGoldenMTAHead pins the cheapest rows of the canonical MTA table.
+func TestGoldenMTAHead(t *testing.T) {
+	c := mta.New(DefaultFamily().Model())
+	want := []string{"0000", "1000", "0100", "0010", "0001", "2000"}
+	tbl := c.Table()
+	for i, w := range want {
+		if tbl[i].String() != w {
+			t.Errorf("MTA entry %d = %s, want %s", i, tbl[i], w)
+		}
+	}
+}

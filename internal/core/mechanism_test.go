@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectLengthTable(t *testing.T) {
+	exVar := Scheme{Specification: VariableCode, Detection: Exhaustive}
+	exStat := Scheme{Specification: StaticCode, Detection: Exhaustive}
+	consStat := Scheme{Specification: StaticCode, Detection: Conservative}
+
+	cases := []struct {
+		scheme Scheme
+		gap    int
+		known  bool
+		want   int
+	}{
+		{exVar, 0, true, 0},   // back-to-back: MTA
+		{exVar, 1, true, 3},   // one-clock gap: 4b3s
+		{exVar, 2, true, 4},   // two clocks: 4b4s
+		{exVar, 4, true, 6},   // four clocks: 4b6s
+		{exVar, 6, true, 8},   // six clocks: 4b8s
+		{exVar, 50, true, 8},  // capped at 4b8s
+		{exVar, 3, false, 5},  // exhaustive ignores the window flag
+		{exStat, 0, true, 0},  // no gap: MTA
+		{exStat, 1, true, 3},  // any gap: 4b3s
+		{exStat, 40, true, 3}, // still 4b3s
+		{consStat, 1, true, 3},
+		{consStat, 5, false, 0}, // next command missed the window: MTA
+		{consStat, 0, true, 0},
+	}
+	for _, c := range cases {
+		if got := c.scheme.SelectLength(c.gap, c.known); got != c.want {
+			t.Errorf("%v.SelectLength(%d,%v) = %d, want %d", c.scheme, c.gap, c.known, got, c.want)
+		}
+	}
+}
+
+func TestSelectLengthNeverExceedsSlot(t *testing.T) {
+	// A sparse transfer must fit the dense slot plus the gap: N ≤ 2+gap.
+	f := func(gapRaw uint8, variable bool) bool {
+		gap := int(gapRaw % 64)
+		spec := StaticCode
+		if variable {
+			spec = VariableCode
+		}
+		s := Scheme{Specification: spec, Detection: Exhaustive}
+		n := s.SelectLength(gap, true)
+		if n == 0 {
+			return gap == 0 || true // MTA always fits
+		}
+		return n <= BurstSlotClocks+gap && n >= MinSparseSymbols && n <= MaxSparseSymbols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotClocksAndLatency(t *testing.T) {
+	if SlotClocks(0) != 2 {
+		t.Errorf("MTA slot = %d", SlotClocks(0))
+	}
+	if SlotClocks(3) != 3 || SlotClocks(8) != 8 {
+		t.Error("sparse slot clocks wrong")
+	}
+	if ExtraLatencyClocks(0) != 0 || ExtraLatencyClocks(3) != 1 || ExtraLatencyClocks(8) != 6 {
+		t.Error("extra latency wrong")
+	}
+}
+
+func TestSchemeStringAndWindow(t *testing.T) {
+	s := Scheme{Specification: StaticCode, Detection: Conservative}
+	if s.String() != "conservative/static" {
+		t.Errorf("String = %q", s.String())
+	}
+	if s.Window() != DefaultConservativeWindow {
+		t.Errorf("Window = %d", s.Window())
+	}
+	s.WindowClocks = 5
+	if s.Window() != 5 {
+		t.Errorf("Window = %d", s.Window())
+	}
+	if StaticCode.String() != "static" || VariableCode.String() != "variable" {
+		t.Error("spec names wrong")
+	}
+	if Exhaustive.String() != "exhaustive" || Conservative.String() != "conservative" {
+		t.Error("detection names wrong")
+	}
+	if CodeSpecification(9).String() == "" || GapDetection(9).String() == "" {
+		t.Error("unknown enums must still render")
+	}
+}
+
+func TestPaperSchemes(t *testing.T) {
+	ps := PaperSchemes()
+	if len(ps) != 3 {
+		t.Fatalf("PaperSchemes returned %d entries", len(ps))
+	}
+	if ps[0].Specification != VariableCode || ps[0].Detection != Exhaustive {
+		t.Error("first scheme should be exhaustive/variable")
+	}
+	if ps[2].Detection != Conservative {
+		t.Error("third scheme should be conservative")
+	}
+}
+
+func TestGapTracker(t *testing.T) {
+	var g GapTracker
+	if g.SinceLast(10) != -1 {
+		t.Error("SinceLast before any command should be -1")
+	}
+	if gap := g.Observe(100); gap != 0 {
+		t.Errorf("first command gap = %d, want 0", gap)
+	}
+	if gap := g.Observe(102); gap != 0 {
+		t.Errorf("back-to-back gap = %d, want 0", gap)
+	}
+	if gap := g.Observe(105); gap != 1 {
+		t.Errorf("one-clock gap = %d, want 1", gap)
+	}
+	if gap := g.Observe(115); gap != 8 {
+		t.Errorf("gap = %d, want 8", gap)
+	}
+	if g.SinceLast(120) != 5 {
+		t.Errorf("SinceLast = %d, want 5", g.SinceLast(120))
+	}
+	g.Reset()
+	if g.SinceLast(200) != -1 {
+		t.Error("Reset did not clear the tracker")
+	}
+}
+
+// TestGapTrackersAgree is the mechanism's central invariant: the DRAM-side
+// and GPU-side trackers, fed the same command stream, always compute
+// identical gaps — hence identical codec choices.
+func TestGapTrackersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	schemes := PaperSchemes()
+	var dram, gpu GapTracker
+	clock := int64(0)
+	for i := 0; i < 10000; i++ {
+		clock += int64(BurstSlotClocks + rng.Intn(12))
+		gd, gg := dram.Observe(clock), gpu.Observe(clock)
+		if gd != gg {
+			t.Fatalf("trackers disagree at %d: %d vs %d", clock, gd, gg)
+		}
+		for _, s := range schemes {
+			known := gd <= s.Window()-BurstSlotClocks
+			if s.SelectLength(gd, known) != s.SelectLength(gg, known) {
+				t.Fatalf("codec choice diverged under %v", s)
+			}
+		}
+	}
+}
+
+func TestSelectLengthPanicsOnUnknownSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Scheme{Specification: CodeSpecification(7), Detection: Exhaustive}.SelectLength(1, true)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"smores/internal/codec"
+	"smores/internal/pam4"
+)
+
+// MinSparseSymbols and MaxSparseSymbols bound the 3-level 4-bit family:
+// 4b3s-3 is the shortest code that fits a one-clock gap, and 4b8s-3 is
+// the longest the paper considers.
+const (
+	MinSparseSymbols = 3
+	MaxSparseSymbols = 8
+)
+
+// FamilyConfig selects how the sparse codec family is built.
+type FamilyConfig struct {
+	// DBI enables the restricted level-swap DBI on every codec.
+	DBI bool
+	// Levels is the utilized level count (2 or 3; the paper's preferred
+	// codes are 3-level).
+	Levels int
+	// PaperFaithful selects the paper's published code constructions:
+	// the one-nonzero code at length 8 (matching Table IV's 319.8 fJ/bit)
+	// instead of the strictly-lowest-energy set.
+	PaperFaithful bool
+}
+
+// DefaultFamilyConfig is the paper's preferred configuration: 3-level
+// codes with DBI, paper-faithful constructions.
+func DefaultFamilyConfig() FamilyConfig {
+	return FamilyConfig{DBI: true, Levels: 3, PaperFaithful: true}
+}
+
+// Family is the set of sparse group codecs indexed by output code length,
+// plus the energy model they share. It is immutable after construction.
+type Family struct {
+	cfg    FamilyConfig
+	model  *pam4.EnergyModel
+	byLen  map[int]*SparseGroupCodec
+	minLen int
+	maxLen int
+}
+
+// NewFamily builds codecs for every output length in
+// [MinSparseSymbols, MaxSparseSymbols] that the configuration admits
+// (2-level codes need at least four symbols for 16 code words).
+func NewFamily(m *pam4.EnergyModel, cfg FamilyConfig) (*Family, error) {
+	if cfg.Levels == 0 {
+		cfg.Levels = 3
+	}
+	if cfg.Levels != 2 && cfg.Levels != 3 {
+		return nil, fmt.Errorf("core: family level count must be 2 or 3, got %d", cfg.Levels)
+	}
+	f := &Family{cfg: cfg, model: m, byLen: make(map[int]*SparseGroupCodec)}
+	f.minLen = MinSparseSymbols
+	if cfg.Levels == 2 {
+		f.minLen = 4
+	}
+	f.maxLen = MaxSparseSymbols
+	for n := f.minLen; n <= f.maxLen; n++ {
+		strategy := codec.LowestEnergy
+		if cfg.PaperFaithful && cfg.Levels == 3 && n == MaxSparseSymbols {
+			strategy = codec.OneNonZero
+		}
+		book, err := codec.Generate(codec.Spec{
+			InputBits:     NibbleBits,
+			OutputSymbols: n,
+			Levels:        cfg.Levels,
+			Strategy:      strategy,
+		}, m)
+		if err != nil {
+			return nil, fmt.Errorf("core: building 4b%ds-%d: %w", n, cfg.Levels, err)
+		}
+		sc, err := NewSparseGroupCodec(book, cfg.DBI, m)
+		if err != nil {
+			return nil, err
+		}
+		f.byLen[n] = sc
+	}
+	return f, nil
+}
+
+// DefaultFamily builds the paper's preferred family under the default
+// energy model. Construction from built-in tables cannot fail.
+func DefaultFamily() *Family {
+	f, err := NewFamily(pam4.DefaultEnergyModel(), DefaultFamilyConfig())
+	if err != nil {
+		panic("core: default family: " + err.Error())
+	}
+	return f
+}
+
+// Config returns the family's configuration.
+func (f *Family) Config() FamilyConfig { return f.cfg }
+
+// Model returns the family's energy model.
+func (f *Family) Model() *pam4.EnergyModel { return f.model }
+
+// Lengths returns the available output code lengths in ascending order.
+func (f *Family) Lengths() []int {
+	out := make([]int, 0, f.maxLen-f.minLen+1)
+	for n := f.minLen; n <= f.maxLen; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ByLength returns the codec with the given output symbol count, or nil
+// if the family has none.
+func (f *Family) ByLength(n int) *SparseGroupCodec { return f.byLen[n] }
+
+// Shortest returns the family's shortest codec (4b3s-3 for 3-level
+// families — the paper's preferred static code).
+func (f *Family) Shortest() *SparseGroupCodec { return f.byLen[f.minLen] }
+
+// Longest returns the family's longest codec (4b8s).
+func (f *Family) Longest() *SparseGroupCodec { return f.byLen[f.maxLen] }

@@ -1,0 +1,193 @@
+// Package core implements the paper's contribution: SMOREs — Sparse
+// Multi-level Opportunistic Restricted Encodings for PAM4 buses.
+//
+// It provides the family of 4-bit sparse codebooks (4b{3..8}s at two or
+// three levels), the restricted DBI level-swap that saves additional
+// energy without breaking transition guarantees, the level-shifting rule
+// that glues sparse bursts to MTA bursts, and the gap-detection /
+// code-specification mechanism that chooses a codec from observed command
+// spacing with no extra pins, commands, or metadata.
+package core
+
+import (
+	"fmt"
+
+	"smores/internal/codec"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// NibblesPerByte and related layout constants for sparse group bursts.
+const (
+	// NibbleBits is the input width of the SMOREs codes.
+	NibbleBits = 4
+	// BytesPerSlot is the data carried by one group per command clock.
+	BytesPerSlot = mta.GroupDataWires
+)
+
+// SparseGroupCodec encodes whole group bursts (one byte-group of eight
+// data wires plus the DBI wire) with a sparse codebook, optional
+// restricted DBI, and seam level shifting.
+type SparseGroupCodec struct {
+	book  *codec.Codebook
+	dbi   bool
+	model *pam4.EnergyModel
+}
+
+// NewSparseGroupCodec wraps a 4-bit codebook. withDBI enables the
+// restricted level-swap DBI on top of the sparse code.
+func NewSparseGroupCodec(book *codec.Codebook, withDBI bool, m *pam4.EnergyModel) (*SparseGroupCodec, error) {
+	if book.Spec().InputBits != NibbleBits {
+		return nil, fmt.Errorf("core: sparse group codec needs a %d-bit codebook, got %d",
+			NibbleBits, book.Spec().InputBits)
+	}
+	return &SparseGroupCodec{book: book, dbi: withDBI, model: m}, nil
+}
+
+// Book returns the underlying codebook.
+func (c *SparseGroupCodec) Book() *codec.Codebook { return c.book }
+
+// DBI reports whether the restricted DBI level swap is enabled.
+func (c *SparseGroupCodec) DBI() bool { return c.dbi }
+
+// Name renders the paper-style codec name, e.g. "4b3s-3/DBI".
+func (c *SparseGroupCodec) Name() string {
+	n := c.book.Spec().Name()
+	if c.dbi {
+		n += "/DBI"
+	}
+	return n
+}
+
+// BurstUIs returns the wire time in unit intervals needed to transfer
+// dataBytes bytes through the group: two nibbles per byte-per-wire slot,
+// each stretched to the codebook's output length.
+func (c *SparseGroupCodec) BurstUIs(dataBytes int) int {
+	slots := dataBytes / BytesPerSlot
+	return slots * 2 * c.book.Spec().OutputSymbols
+}
+
+// EncodeGroupBurst encodes data (a multiple of 8 bytes; byte i goes to
+// wire i%8) into transmitted columns. state carries each wire's trailing
+// transmitted level and is advanced.
+//
+// Pipeline per the paper: sparse-encode each nibble, apply the restricted
+// DBI swap per UI column (if enabled), then apply level shifting to the
+// already-swapped symbols.
+func (c *SparseGroupCodec) EncodeGroupBurst(data []byte, state *mta.GroupState) ([]mta.Column, error) {
+	if len(data) == 0 || len(data)%BytesPerSlot != 0 {
+		return nil, fmt.Errorf("core: burst length %d is not a positive multiple of %d", len(data), BytesPerSlot)
+	}
+	n := c.book.Spec().OutputSymbols
+	codesPerWire := len(data) / BytesPerSlot * 2
+	cols := make([]mta.Column, 0, codesPerWire*n)
+
+	// Expand each wire's nibble stream into its code sequence, one code
+	// slot at a time so DBI sees aligned columns.
+	for slot := 0; slot < codesPerWire; slot++ {
+		byteIdx := slot / 2 * BytesPerSlot
+		loNibble := slot%2 == 0
+		var wireCodes [mta.GroupDataWires]pam4.Seq
+		for w := 0; w < mta.GroupDataWires; w++ {
+			b := data[byteIdx+w]
+			nib := b & 0x0f
+			if !loNibble {
+				nib = b >> 4
+			}
+			wireCodes[w] = c.book.Encode(nib)
+		}
+		for ui := 0; ui < n; ui++ {
+			var col mta.Column
+			for w := 0; w < mta.GroupDataWires; w++ {
+				col[w] = wireCodes[w].At(ui)
+			}
+			col[mta.DBIWire] = pam4.L0
+			if c.dbi {
+				col = ApplyDBISwap(col)
+			}
+			// Level shifting runs last, on transmitted values.
+			for w := range col {
+				if state[w] == pam4.L3 {
+					col[w] = col[w].ShiftUp()
+				}
+				state[w] = col[w]
+			}
+			cols = append(cols, col)
+		}
+	}
+	return cols, nil
+}
+
+// DecodeGroupBurst reverses EncodeGroupBurst. state must hold the same
+// trailing levels the encoder saw; it is advanced on success and left
+// unchanged on failure.
+func (c *SparseGroupCodec) DecodeGroupBurst(cols []mta.Column, dataBytes int, state *mta.GroupState) ([]byte, bool) {
+	n := c.book.Spec().OutputSymbols
+	if dataBytes <= 0 || dataBytes%BytesPerSlot != 0 {
+		return nil, false
+	}
+	codesPerWire := dataBytes / BytesPerSlot * 2
+	if len(cols) != codesPerWire*n {
+		return nil, false
+	}
+	st := *state
+	data := make([]byte, dataBytes)
+	for slot := 0; slot < codesPerWire; slot++ {
+		byteIdx := slot / 2 * BytesPerSlot
+		loNibble := slot%2 == 0
+		var wireSeqs [mta.GroupDataWires]pam4.Seq
+		for ui := 0; ui < n; ui++ {
+			col := cols[slot*n+ui]
+			// Undo level shifting first (receiver subtracts one level
+			// from any symbol following an L3), tracking the *received*
+			// trailing levels. An L0 right after an L3 is a 3ΔV swing no
+			// transmitter can have produced — reject it rather than
+			// saturate, so accepted streams always re-encode identically.
+			var unshifted mta.Column
+			for w := range col {
+				v := col[w]
+				if st[w] == pam4.L3 {
+					if v == pam4.L0 {
+						return nil, false
+					}
+					v = v.ShiftDown()
+				}
+				unshifted[w] = v
+				st[w] = col[w]
+			}
+			if c.dbi {
+				unswapped, ok := UndoDBISwap(unshifted)
+				if !ok {
+					return nil, false
+				}
+				// Canonical-swap check: the metadata must be the swap the
+				// encoder would have chosen for this column; otherwise the
+				// stream is corrupt (and would not re-encode identically).
+				preSwap := unswapped
+				preSwap[mta.DBIWire] = pam4.L0
+				if ApplyDBISwap(preSwap) != unshifted {
+					return nil, false
+				}
+				unshifted = unswapped
+			} else if unshifted[mta.DBIWire] != pam4.L0 {
+				return nil, false
+			}
+			for w := 0; w < mta.GroupDataWires; w++ {
+				wireSeqs[w] = wireSeqs[w].Append(unshifted[w])
+			}
+		}
+		for w := 0; w < mta.GroupDataWires; w++ {
+			nib, ok := c.book.Decode(wireSeqs[w])
+			if !ok {
+				return nil, false
+			}
+			if loNibble {
+				data[byteIdx+w] |= nib
+			} else {
+				data[byteIdx+w] |= nib << 4
+			}
+		}
+	}
+	*state = st
+	return data, true
+}

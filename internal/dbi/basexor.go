@@ -1,0 +1,51 @@
+package dbi
+
+// Base+XOR is the class of data-similarity transform (MiLC, Base+XOR,
+// and friends) that pre-dates SMOREs: each element of a burst is XORed
+// with a base element, so similar data yields mostly-zero residuals that
+// cheap codes exploit. The paper's point is that whole-memory encryption
+// destroys this similarity — the transform is included here so examples
+// and benchmarks can demonstrate exactly that failure.
+
+// BaseXOR returns data transformed against the given stride: element i
+// (a stride-sized chunk) is XORed with element i−1; element 0 is emitted
+// verbatim as the base. The transform is an involution given the same
+// reconstruction order, see UndoBaseXOR.
+func BaseXOR(data []byte, stride int) []byte {
+	if stride <= 0 || len(data) <= stride {
+		return append([]byte(nil), data...)
+	}
+	out := make([]byte, len(data))
+	copy(out, data[:stride])
+	for i := stride; i < len(data); i++ {
+		out[i] = data[i] ^ data[i-stride]
+	}
+	return out
+}
+
+// UndoBaseXOR reverses BaseXOR with the same stride.
+func UndoBaseXOR(residual []byte, stride int) []byte {
+	if stride <= 0 || len(residual) <= stride {
+		return append([]byte(nil), residual...)
+	}
+	out := make([]byte, len(residual))
+	copy(out, residual[:stride])
+	for i := stride; i < len(residual); i++ {
+		out[i] = residual[i] ^ out[i-stride]
+	}
+	return out
+}
+
+// ZeroFraction returns the fraction of zero bits in data — the quantity
+// similarity codes feed on (1.0 means free transfers under a
+// zero-suppressing code, 0.5 is what encrypted data looks like).
+func ZeroFraction(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, b := range data {
+		zeros += 8 - popcount8(b)
+	}
+	return float64(zeros) / float64(len(data)*8)
+}

@@ -1,0 +1,207 @@
+package dbi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+func approx(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if math.Abs(got-want)/math.Abs(want)*100 > tolPct {
+		t.Errorf("%s = %g, want %g (±%g%%)", name, got, want, tolPct)
+	}
+}
+
+// TestExpectedPerBitMatchesTableIV pins the two unconstrained baselines of
+// Table IV: 528.8 fJ/bit plain, 446.5 fJ/bit with MSB/LSB DBI.
+func TestExpectedPerBitMatchesTableIV(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	plain := NewPAM4Codec(false, m)
+	withDBI := NewPAM4Codec(true, m)
+	approx(t, "plain PAM4", plain.ExpectedPerBit(), 528.8, 0.05)
+	t.Logf("PAM4/DBI expected = %.1f fJ/bit (paper: 446.5)", withDBI.ExpectedPerBit())
+	approx(t, "PAM4/DBI", withDBI.ExpectedPerBit(), 446.5, 1.0)
+	if withDBI.ExpectedPerBit() >= plain.ExpectedPerBit() {
+		t.Error("DBI must save energy on uniform data")
+	}
+}
+
+func TestPAM4RoundTrip(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	rng := rand.New(rand.NewSource(4))
+	for _, withDBI := range []bool{false, true} {
+		c := NewPAM4Codec(withDBI, m)
+		for trial := 0; trial < 200; trial++ {
+			data := make([]byte, 16)
+			rng.Read(data)
+			cols, err := c.EncodeGroupBurst(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cols) != c.BurstUIs(len(data)) {
+				t.Fatalf("%d columns, want %d", len(cols), c.BurstUIs(len(data)))
+			}
+			got, ok := c.DecodeGroupBurst(cols)
+			if !ok || !bytes.Equal(got, data) {
+				t.Fatalf("%s roundtrip failed", c.Name())
+			}
+		}
+	}
+}
+
+func TestPAM4RoundTripQuick(t *testing.T) {
+	c := NewPAM4Codec(true, pam4.DefaultEnergyModel())
+	f := func(data [16]byte) bool {
+		cols, err := c.EncodeGroupBurst(data[:])
+		if err != nil {
+			return false
+		}
+		got, ok := c.DecodeGroupBurst(cols)
+		return ok && bytes.Equal(got, data[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBIColumnsAreMinorityOnes(t *testing.T) {
+	c := NewPAM4Codec(true, pam4.DefaultEnergyModel())
+	// All-ones data must be inverted to all-zeros + flags.
+	data := []byte{0xff, 0xff}
+	cols, err := c.EncodeGroupBurst(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < mta.GroupDataWires; w++ {
+		if cols[0][w] != pam4.L0 {
+			t.Errorf("wire %d = %v, want L0 after inversion", w, cols[0][w])
+		}
+	}
+	if cols[0][mta.DBIWire] != pam4.L3 {
+		t.Errorf("DBI flags = %v, want L3 (both inverted)", cols[0][mta.DBIWire])
+	}
+}
+
+func TestPlainCodecRejectsDBIFlags(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	enc := NewPAM4Codec(true, m)
+	dec := NewPAM4Codec(false, m)
+	cols, err := enc.EncodeGroupBurst([]byte{0xff, 0xff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dec.DecodeGroupBurst(cols); ok {
+		t.Error("plain codec accepted driven DBI flags")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := NewPAM4Codec(false, pam4.DefaultEnergyModel())
+	if _, err := c.EncodeGroupBurst(nil); err == nil {
+		t.Error("empty burst must error")
+	}
+	if _, err := c.EncodeGroupBurst([]byte{1}); err == nil {
+		t.Error("odd-length burst must error")
+	}
+	if _, ok := c.DecodeGroupBurst(nil); ok {
+		t.Error("empty decode must fail")
+	}
+	if c.Name() != "2b1s PAM4" || NewPAM4Codec(true, pam4.DefaultEnergyModel()).Name() != "2b1s PAM4/DBI" {
+		t.Error("names wrong")
+	}
+	if c.DBI() {
+		t.Error("plain codec reports DBI")
+	}
+}
+
+// TestDBIEnergyMonteCarlo cross-checks the exact enumeration against the
+// real encoder.
+func TestDBIEnergyMonteCarlo(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	c := NewPAM4Codec(true, m)
+	rng := rand.New(rand.NewSource(13))
+	var joules, bits float64
+	for trial := 0; trial < 3000; trial++ {
+		data := make([]byte, 16)
+		rng.Read(data)
+		cols, err := c.EncodeGroupBurst(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range cols {
+			for _, l := range col {
+				joules += m.SymbolEnergy(l)
+			}
+		}
+		bits += float64(len(data)) * 8
+	}
+	approx(t, "DBI MC", joules/bits, c.ExpectedPerBit(), 0.5)
+}
+
+func TestBaseXORRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, stride := range []int{1, 4, 8} {
+		for trial := 0; trial < 50; trial++ {
+			data := make([]byte, 64)
+			rng.Read(data)
+			if got := UndoBaseXOR(BaseXOR(data, stride), stride); !bytes.Equal(got, data) {
+				t.Fatalf("stride %d: roundtrip failed", stride)
+			}
+		}
+	}
+	short := []byte{1, 2}
+	if got := BaseXOR(short, 4); !bytes.Equal(got, short) {
+		t.Error("short input must pass through")
+	}
+	if got := BaseXOR(short, 0); !bytes.Equal(got, short) {
+		t.Error("zero stride must pass through")
+	}
+}
+
+// TestBaseXOROnSimilarVsEncryptedData demonstrates the paper's premise:
+// similarity transforms produce compressible residuals on smooth data and
+// nothing on encrypted (uniform random) data.
+func TestBaseXOROnSimilarVsEncryptedData(t *testing.T) {
+	// Smooth data: a slowly increasing ramp, stride 4 (32-bit elements).
+	smooth := make([]byte, 256)
+	for i := range smooth {
+		smooth[i] = byte(i / 4)
+	}
+	rng := rand.New(rand.NewSource(23))
+	encrypted := make([]byte, 256)
+	rng.Read(encrypted)
+
+	smoothZeros := ZeroFraction(BaseXOR(smooth, 4))
+	encZeros := ZeroFraction(BaseXOR(encrypted, 4))
+	if smoothZeros < 0.7 {
+		t.Errorf("smooth residual zero fraction = %.2f, want ≥0.7", smoothZeros)
+	}
+	if smoothZeros <= ZeroFraction(smooth)+0.1 {
+		t.Errorf("transform gained too little on smooth data: %.2f vs %.2f",
+			smoothZeros, ZeroFraction(smooth))
+	}
+	if math.Abs(encZeros-0.5) > 0.05 {
+		t.Errorf("encrypted residual zero fraction = %.2f, want ≈0.5", encZeros)
+	}
+}
+
+func TestZeroFraction(t *testing.T) {
+	if ZeroFraction(nil) != 0 {
+		t.Error("empty input")
+	}
+	if ZeroFraction([]byte{0}) != 1 {
+		t.Error("all zeros")
+	}
+	if ZeroFraction([]byte{0xff}) != 0 {
+		t.Error("all ones")
+	}
+	if ZeroFraction([]byte{0x0f}) != 0.5 {
+		t.Error("half ones")
+	}
+}

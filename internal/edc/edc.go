@@ -1,0 +1,64 @@
+// Package edc models the GDDR6-family Error Detection Code channel: each
+// byte group carries a CRC-8 over its share of every burst on a dedicated
+// EDC pin, letting the controller detect link errors and replay the
+// transfer. The paper's interface (GDDR6X) inherits this machinery; here
+// it completes the substrate and quantifies how CRC composes with the
+// sparse codes' intrinsic redundancy — together they catch every
+// single-symbol wire error, including the miscodings a sparse decoder
+// alone would accept silently.
+package edc
+
+// Poly is the CRC-8 generator polynomial x⁸+x²+x+1 (the ATM HEC
+// polynomial used by the GDDR6 EDC definition).
+const Poly = 0x07
+
+// crcTable is the byte-at-a-time table for Poly.
+var crcTable = func() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		crc := byte(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ Poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// CRC8 computes the CRC-8 of data with initial value 0.
+func CRC8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc = crcTable[crc^b]
+	}
+	return crc
+}
+
+// GroupBurstBytes is each byte group's share of a 32-byte burst.
+const GroupBurstBytes = 16
+
+// BurstCRCs returns the per-group CRCs of one 32-byte burst (one byte per
+// EDC pin per burst, sent as four PAM4 symbols alongside the data).
+func BurstCRCs(burst []byte) (crcs [2]byte, ok bool) {
+	if len(burst) != 2*GroupBurstBytes {
+		return crcs, false
+	}
+	crcs[0] = CRC8(burst[:GroupBurstBytes])
+	crcs[1] = CRC8(burst[GroupBurstBytes:])
+	return crcs, true
+}
+
+// Verify recomputes and compares the per-group CRCs.
+func Verify(burst []byte, crcs [2]byte) bool {
+	got, ok := BurstCRCs(burst)
+	return ok && got == crcs
+}
+
+// HoldPattern is the alternating pattern GDDR6 drives on an idle EDC pin
+// (the "EDC hold pattern"), one 4-bit nibble repeated — a small standing
+// energy cost on real devices that data-bus coding does not remove.
+const HoldPattern = 0xA

@@ -1,0 +1,127 @@
+package edc
+
+import (
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/pam4"
+	"smores/internal/rng"
+)
+
+func TestCRC8KnownValues(t *testing.T) {
+	// CRC-8/ATM ("CRC-8" in the catalogs): poly 0x07, init 0, check value
+	// for "123456789" is 0xF4.
+	if got := CRC8([]byte("123456789")); got != 0xF4 {
+		t.Fatalf("CRC8 check value = %#x, want 0xF4", got)
+	}
+	if CRC8(nil) != 0 {
+		t.Error("empty CRC should be 0")
+	}
+}
+
+func TestCRC8DetectsAllSingleBitErrors(t *testing.T) {
+	r := rng.New(2)
+	data := make([]byte, GroupBurstBytes)
+	r.Fill(data)
+	ref := CRC8(data)
+	for i := 0; i < len(data)*8; i++ {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i/8] ^= 1 << uint(i%8)
+		if CRC8(corrupted) == ref {
+			t.Fatalf("single-bit error at %d undetected", i)
+		}
+	}
+}
+
+func TestCRC8DetectsAllSingleByteErrors(t *testing.T) {
+	r := rng.New(3)
+	data := make([]byte, GroupBurstBytes)
+	r.Fill(data)
+	ref := CRC8(data)
+	for pos := 0; pos < len(data); pos++ {
+		for v := 0; v < 256; v++ {
+			if byte(v) == data[pos] {
+				continue
+			}
+			corrupted := append([]byte(nil), data...)
+			corrupted[pos] = byte(v)
+			if CRC8(corrupted) == ref {
+				t.Fatalf("byte error at %d (%#x) undetected", pos, v)
+			}
+		}
+	}
+}
+
+func TestBurstCRCsAndVerify(t *testing.T) {
+	r := rng.New(4)
+	burst := make([]byte, 32)
+	r.Fill(burst)
+	crcs, ok := BurstCRCs(burst)
+	if !ok {
+		t.Fatal("burst CRC failed")
+	}
+	if !Verify(burst, crcs) {
+		t.Fatal("verify of clean burst failed")
+	}
+	burst[5] ^= 0x10
+	if Verify(burst, crcs) {
+		t.Fatal("corrupted burst verified")
+	}
+	if _, ok := BurstCRCs(make([]byte, 31)); ok {
+		t.Error("short burst accepted")
+	}
+	if Verify(make([]byte, 31), crcs) {
+		t.Error("short burst verified")
+	}
+}
+
+// TestCRCCompletesSparseDetection: a sparse decoder alone miscodes some
+// single-symbol wire errors (the corrupted sequence is another valid
+// codeword); the EDC CRC catches every one of those, so the combination
+// detects 100% of single-symbol errors.
+func TestCRCCompletesSparseDetection(t *testing.T) {
+	fam := core.DefaultFamily()
+	for _, n := range []int{3, 4, 6, 8} {
+		book := fam.ByLength(n).Book()
+		miscodedCaught := 0
+		miscodedTotal := 0
+		for v := 0; v < 16; v++ {
+			code := book.Encode(uint8(v))
+			for pos := 0; pos < code.Len(); pos++ {
+				for l := pam4.L0; l <= pam4.L2; l++ {
+					if l == code.At(pos) {
+						continue
+					}
+					levels := code.Levels()
+					levels[pos] = l
+					corrupted := pam4.MakeSeq(levels...)
+					got, ok := book.Decode(corrupted)
+					if !ok || got == uint8(v) {
+						continue // detected by the code itself, or harmless
+					}
+					// Silent miscode: a wrong nibble reaches the burst.
+					miscodedTotal++
+					orig := make([]byte, GroupBurstBytes)
+					bad := append([]byte(nil), orig...)
+					orig[0] = uint8(v)
+					bad[0] = got
+					if CRC8(orig) != CRC8(bad) {
+						miscodedCaught++
+					}
+				}
+			}
+		}
+		if miscodedTotal == 0 {
+			continue // code detects everything on its own
+		}
+		if miscodedCaught != miscodedTotal {
+			t.Errorf("4b%ds: CRC caught %d/%d miscodings", n, miscodedCaught, miscodedTotal)
+		}
+	}
+}
+
+func TestHoldPattern(t *testing.T) {
+	if HoldPattern != 0xA {
+		t.Error("hold pattern constant changed")
+	}
+}

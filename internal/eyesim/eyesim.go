@@ -1,0 +1,190 @@
+// Package eyesim provides a first-order signal-integrity analysis of
+// PAM4 symbol streams — the phenomenon that motivates MTA and shapes the
+// SMOREs restrictions (§II of the paper): large voltage swings on
+// neighboring wires inject crosstalk into a victim, and simultaneous
+// switching draws supply-noise current, both of which erode the already
+// small 225 mV eye between adjacent PAM4 levels.
+//
+// The model is deliberately simple and documented rather than a SPICE
+// stand-in: victim noise per unit interval is a coupling fraction of each
+// adjacent neighbor's voltage step plus a supply term proportional to the
+// group's total current change. It is sufficient to quantify the paper's
+// qualitative claims: unconstrained PAM4 suffers 3ΔV aggressor swings;
+// MTA caps them at 2ΔV; sparse codes both cap the swing and switch less.
+package eyesim
+
+import (
+	"fmt"
+	"math"
+
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// Config sets the electrical coupling model.
+type Config struct {
+	// Driver supplies level voltages and currents; zero selects default.
+	Driver pam4.DriverConfig
+	// CouplingFrac is the fraction of an adjacent aggressor's voltage
+	// step that appears on the victim (per neighbor).
+	CouplingFrac float64
+	// SupplyNoiseOhms converts the group's net switching current into a
+	// shared supply-noise voltage (an effective PDN impedance).
+	SupplyNoiseOhms float64
+	// IncludeDBIWire includes the DBI wire as both aggressor and victim.
+	// GDDR6X shields or spaces the DBI wire (§II-B), so the default
+	// excludes it as an aggressor onto data wires.
+	IncludeDBIWire bool
+}
+
+// DefaultConfig returns a representative coupling model: 6% near-end
+// coupling per adjacent neighbor and a 0.3 Ω effective supply impedance
+// (decoupling absorbs most of the low-frequency switching current;
+// crosstalk is the dominant eye-closure mechanism, as in the paper's §II).
+func DefaultConfig() Config {
+	return Config{
+		Driver:          pam4.DefaultDriver(),
+		CouplingFrac:    0.06,
+		SupplyNoiseOhms: 0.3,
+	}
+}
+
+// Validate rejects unphysical configurations.
+func (c Config) Validate() error {
+	if err := c.Driver.Validate(); err != nil {
+		return err
+	}
+	if c.CouplingFrac < 0 || c.CouplingFrac >= 0.5 {
+		return fmt.Errorf("eyesim: coupling fraction %g outside [0, 0.5)", c.CouplingFrac)
+	}
+	if c.SupplyNoiseOhms < 0 {
+		return fmt.Errorf("eyesim: negative supply impedance")
+	}
+	return nil
+}
+
+// Report summarizes the signal integrity of a symbol stream.
+type Report struct {
+	// UIs is the number of unit intervals analyzed (transitions = UIs−1
+	// per wire plus the entry transition from the seed state).
+	UIs int
+	// MaxSwingDV is the largest level step observed on any analyzed wire
+	// (3 = the forbidden full swing).
+	MaxSwingDV int
+	// SwingCounts histograms transitions by |Δlevel| (index 0..3).
+	SwingCounts [4]int64
+	// WorstEyeMV is the minimum eye height seen by any victim in any UI.
+	WorstEyeMV float64
+	// MeanEyeMV is the average victim eye height.
+	MeanEyeMV float64
+	// MeanSwitchMA is the average per-UI total switching current.
+	MeanSwitchMA float64
+}
+
+// Analyzer evaluates column streams under a coupling model.
+type Analyzer struct {
+	cfg     Config
+	volts   [pam4.NumLevels]float64
+	amps    [pam4.NumLevels]float64
+	spacing float64
+}
+
+// New builds an analyzer.
+func New(cfg Config) (*Analyzer, error) {
+	if cfg.Driver == (pam4.DriverConfig{}) {
+		cfg.Driver = pam4.DefaultDriver()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{cfg: cfg, spacing: cfg.Driver.LevelSpacing()}
+	for _, p := range cfg.Driver.OperatingPoints() {
+		a.volts[p.Level] = p.Volts
+		a.amps[p.Level] = p.SupplyAmps
+	}
+	return a, nil
+}
+
+// wireCount returns how many wires participate.
+func (a *Analyzer) wireCount() int {
+	if a.cfg.IncludeDBIWire {
+		return mta.GroupWires
+	}
+	return mta.GroupDataWires
+}
+
+// Analyze evaluates one group's column stream, starting from the given
+// seed state (the trailing levels before the stream begins).
+func (a *Analyzer) Analyze(seed mta.GroupState, cols []mta.Column) Report {
+	r := Report{UIs: len(cols)}
+	if len(cols) == 0 {
+		return r
+	}
+	n := a.wireCount()
+	prev := seed
+	var eyeSum float64
+	var eyeSamples int64
+	r.WorstEyeMV = math.Inf(1)
+	var switchSum float64
+
+	for _, col := range cols {
+		// Per-wire voltage steps and total current change this UI.
+		var dv [mta.GroupWires]float64
+		var di float64
+		for w := 0; w < n; w++ {
+			step := pam4.Delta(prev[w], col[w])
+			r.SwingCounts[step]++
+			if step > r.MaxSwingDV {
+				r.MaxSwingDV = step
+			}
+			dv[w] = math.Abs(a.volts[col[w]] - a.volts[prev[w]])
+			di += math.Abs(a.amps[col[w]] - a.amps[prev[w]])
+		}
+		switchSum += di
+		ssn := di * a.cfg.SupplyNoiseOhms
+
+		for w := 0; w < n; w++ {
+			noise := ssn
+			if w > 0 {
+				noise += a.cfg.CouplingFrac * dv[w-1]
+			}
+			if w < n-1 {
+				noise += a.cfg.CouplingFrac * dv[w+1]
+			}
+			eye := (a.spacing - noise) * 1e3 // mV
+			eyeSum += eye
+			eyeSamples++
+			if eye < r.WorstEyeMV {
+				r.WorstEyeMV = eye
+			}
+		}
+		for w := 0; w < mta.GroupWires; w++ {
+			prev[w] = col[w]
+		}
+	}
+	r.MeanEyeMV = eyeSum / float64(eyeSamples)
+	r.MeanSwitchMA = switchSum / float64(len(cols)) * 1e3
+	return r
+}
+
+// WorstCaseAggressorEye returns the closed-form worst victim eye for a
+// given maximum permitted swing: both neighbors stepping maxSwing levels
+// simultaneously, plus the supply term for all wires switching maxSwing.
+func (a *Analyzer) WorstCaseAggressorEye(maxSwingDV int) float64 {
+	swing := float64(maxSwingDV) * a.spacing
+	// Bound the supply term by every wire stepping between the extreme
+	// currents of the permitted swing.
+	var worstDI float64
+	for from := pam4.L0; from < pam4.NumLevels; from++ {
+		for to := pam4.L0; to < pam4.NumLevels; to++ {
+			if pam4.Delta(from, to) > maxSwingDV {
+				continue
+			}
+			if d := math.Abs(a.amps[to] - a.amps[from]); d > worstDI {
+				worstDI = d
+			}
+		}
+	}
+	noise := 2*a.cfg.CouplingFrac*swing + float64(a.wireCount())*worstDI*a.cfg.SupplyNoiseOhms
+	return (a.spacing - noise) * 1e3
+}

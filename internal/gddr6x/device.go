@@ -1,0 +1,250 @@
+package gddr6x
+
+import "fmt"
+
+// Device tracks per-bank state and enforces command legality. The memory
+// controller asks Can* before issuing and then commits with the matching
+// command method. All methods take the current command clock; commands
+// may only move forward in time.
+type Device struct {
+	t     Timing
+	banks []bank
+
+	lastACT     int64 // for tRRD
+	lastCol     int64 // for tCCD and turnaround
+	lastColWr   bool
+	lastColBG   int // bank group of the last column command (tCCD_L)
+	anyCol      bool
+	refDue      int64
+	refDuePB    int64
+	refBankIdx  int
+	refBusyTill int64
+
+	// Counters for reporting.
+	acts, reads, writes, pres, refs int64
+}
+
+type bank struct {
+	open     bool
+	row      uint32
+	actReady int64 // earliest ACTIVATE
+	colReady int64 // earliest READ/WRITE after ACTIVATE (tRCD)
+	preReady int64 // earliest PRECHARGE
+}
+
+// NewDevice builds a device with all banks precharged.
+func NewDevice(t Timing) (*Device, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		t:        t,
+		banks:    make([]bank, t.Banks),
+		lastACT:  -1 << 40,
+		lastCol:  -1 << 40,
+		refDue:   t.TREFI,
+		refDuePB: t.TREFI / int64(t.Banks),
+	}
+	return d, nil
+}
+
+// Timing returns the device's timing parameters.
+func (d *Device) Timing() Timing { return d.t }
+
+// Busy reports whether the device is inside a refresh cycle at now.
+func (d *Device) Busy(now int64) bool { return now < d.refBusyTill }
+
+// OpenRow returns the open row of a bank, if any.
+func (d *Device) OpenRow(b int) (uint32, bool) {
+	bk := &d.banks[b]
+	return bk.row, bk.open
+}
+
+// RowHit reports whether addr's row is open in its bank.
+func (d *Device) RowHit(addr Address) bool {
+	bk := &d.banks[addr.Bank]
+	return bk.open && bk.row == addr.Row
+}
+
+// NeedsPrecharge reports whether addr's bank holds a different open row.
+func (d *Device) NeedsPrecharge(addr Address) bool {
+	bk := &d.banks[addr.Bank]
+	return bk.open && bk.row != addr.Row
+}
+
+// CanActivate reports whether ACT(b,row) may issue at now.
+func (d *Device) CanActivate(b int, now int64) bool {
+	bk := &d.banks[b]
+	return !d.Busy(now) && !bk.open && now >= bk.actReady && now >= d.lastACT+d.t.TRRD
+}
+
+// Activate opens a row.
+func (d *Device) Activate(b int, row uint32, now int64) error {
+	if !d.CanActivate(b, now) {
+		return fmt.Errorf("gddr6x: illegal ACT bank %d at %d", b, now)
+	}
+	bk := &d.banks[b]
+	bk.open = true
+	bk.row = row
+	bk.colReady = now + d.t.TRCD
+	bk.preReady = now + d.t.TRAS
+	d.lastACT = now
+	d.acts++
+	return nil
+}
+
+// colSpacingOK enforces tCCD_S/tCCD_L and bus-turnaround spacing between
+// column commands.
+func (d *Device) colSpacingOK(now int64, write bool, bankGroup int) bool {
+	if !d.anyCol {
+		return true
+	}
+	ccd := d.t.TCCD
+	if bankGroup == d.lastColBG && d.t.TCCDL > ccd {
+		ccd = d.t.TCCDL
+	}
+	if now < d.lastCol+ccd {
+		return false
+	}
+	if write && !d.lastColWr && now < d.lastCol+d.t.TRTW {
+		return false
+	}
+	if !write && d.lastColWr && now < d.lastCol+d.t.TWTR {
+		return false
+	}
+	return true
+}
+
+// CanRead reports whether READ(addr) may issue at now.
+func (d *Device) CanRead(addr Address, now int64) bool {
+	bk := &d.banks[addr.Bank]
+	return !d.Busy(now) && bk.open && bk.row == addr.Row &&
+		now >= bk.colReady && d.colSpacingOK(now, false, d.t.BankGroup(addr.Bank))
+}
+
+// Read issues a column read.
+func (d *Device) Read(addr Address, now int64) error {
+	if !d.CanRead(addr, now) {
+		return fmt.Errorf("gddr6x: illegal READ %v at %d", addr, now)
+	}
+	bk := &d.banks[addr.Bank]
+	if p := now + d.t.TRTP; p > bk.preReady {
+		bk.preReady = p
+	}
+	d.lastCol = now
+	d.lastColWr = false
+	d.lastColBG = d.t.BankGroup(addr.Bank)
+	d.anyCol = true
+	d.reads++
+	return nil
+}
+
+// CanWrite reports whether WRITE(addr) may issue at now.
+func (d *Device) CanWrite(addr Address, now int64) bool {
+	bk := &d.banks[addr.Bank]
+	return !d.Busy(now) && bk.open && bk.row == addr.Row &&
+		now >= bk.colReady && d.colSpacingOK(now, true, d.t.BankGroup(addr.Bank))
+}
+
+// Write issues a column write.
+func (d *Device) Write(addr Address, now int64) error {
+	if !d.CanWrite(addr, now) {
+		return fmt.Errorf("gddr6x: illegal WRITE %v at %d", addr, now)
+	}
+	bk := &d.banks[addr.Bank]
+	if p := now + d.t.WL + d.t.TCCD + d.t.TWR; p > bk.preReady {
+		bk.preReady = p
+	}
+	d.lastCol = now
+	d.lastColWr = true
+	d.lastColBG = d.t.BankGroup(addr.Bank)
+	d.anyCol = true
+	d.writes++
+	return nil
+}
+
+// CanPrecharge reports whether PRE(b) may issue at now.
+func (d *Device) CanPrecharge(b int, now int64) bool {
+	bk := &d.banks[b]
+	return !d.Busy(now) && bk.open && now >= bk.preReady
+}
+
+// Precharge closes a bank.
+func (d *Device) Precharge(b int, now int64) error {
+	if !d.CanPrecharge(b, now) {
+		return fmt.Errorf("gddr6x: illegal PRE bank %d at %d", b, now)
+	}
+	bk := &d.banks[b]
+	bk.open = false
+	bk.actReady = now + d.t.TRP
+	d.pres++
+	return nil
+}
+
+// RefreshDue reports whether an all-bank refresh is owed at now.
+func (d *Device) RefreshDue(now int64) bool { return now >= d.refDue }
+
+// PerBankRefreshDue reports whether the next round-robin per-bank refresh
+// is owed at now (per-bank refreshes run Banks× as often, each covering
+// 1/Banks of the device).
+func (d *Device) PerBankRefreshDue(now int64) bool { return now >= d.refDuePB }
+
+// NextRefreshBank returns the bank the round-robin per-bank refresh
+// targets next.
+func (d *Device) NextRefreshBank() int { return d.refBankIdx }
+
+// CanRefreshBank reports whether REFpb may issue for bank b at now.
+func (d *Device) CanRefreshBank(b int, now int64) bool {
+	bk := &d.banks[b]
+	return !d.Busy(now) && !bk.open && now >= bk.actReady
+}
+
+// RefreshBank performs a per-bank refresh of bank b, blocking only that
+// bank for tRFCpb.
+func (d *Device) RefreshBank(b int, now int64) error {
+	if b != d.refBankIdx {
+		return fmt.Errorf("gddr6x: REFpb bank %d out of order (next is %d)", b, d.refBankIdx)
+	}
+	if !d.CanRefreshBank(b, now) {
+		return fmt.Errorf("gddr6x: illegal REFpb bank %d at %d", b, now)
+	}
+	d.banks[b].actReady = now + d.t.TRFCPB
+	d.refBankIdx = (d.refBankIdx + 1) % d.t.Banks
+	d.refDuePB += d.t.TREFI / int64(d.t.Banks)
+	d.refs++
+	return nil
+}
+
+// CanRefresh reports whether REFab may issue: all banks precharged and no
+// refresh in flight.
+func (d *Device) CanRefresh(now int64) bool {
+	if d.Busy(now) {
+		return false
+	}
+	for i := range d.banks {
+		if d.banks[i].open || now < d.banks[i].actReady {
+			return false
+		}
+	}
+	return true
+}
+
+// Refresh performs an all-bank refresh.
+func (d *Device) Refresh(now int64) error {
+	if !d.CanRefresh(now) {
+		return fmt.Errorf("gddr6x: illegal REFab at %d", now)
+	}
+	end := now + d.t.TRFC
+	for i := range d.banks {
+		d.banks[i].actReady = end
+	}
+	d.refBusyTill = end
+	d.refDue += d.t.TREFI
+	d.refs++
+	return nil
+}
+
+// Counters reports cumulative command counts (ACT, RD, WR, PRE, REF).
+func (d *Device) Counters() (acts, reads, writes, pres, refs int64) {
+	return d.acts, d.reads, d.writes, d.pres, d.refs
+}

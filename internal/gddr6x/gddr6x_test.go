@@ -1,0 +1,297 @@
+package gddr6x
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTimingValid(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Fatalf("default timing invalid: %v", err)
+	}
+}
+
+func TestTimingValidation(t *testing.T) {
+	mutations := []func(*Timing){
+		func(x *Timing) { x.RL = 0 },
+		func(x *Timing) { x.WL = -1 },
+		func(x *Timing) { x.TCCD = 0 },
+		func(x *Timing) { x.TRCD = 0 },
+		func(x *Timing) { x.Banks = 0 },
+		func(x *Timing) { x.Banks = 15 }, // not a multiple of 4 groups
+		func(x *Timing) { x.RowSectors = 0 },
+		func(x *Timing) { x.ChunkSectors = 9 }, // 64 % 9 != 0
+		func(x *Timing) { x.TRTW = 2 },         // cannot cover read data
+		func(x *Timing) { x.TRFC = 9999999 },   // ≥ TREFI
+	}
+	for i, mut := range mutations {
+		cfg := DefaultTiming()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate timing", i)
+		}
+		if _, err := NewDevice(cfg); err == nil {
+			t.Errorf("mutation %d should fail device construction", i)
+		}
+	}
+}
+
+func TestMapSectorBijective(t *testing.T) {
+	cfg := DefaultTiming()
+	seen := make(map[Address]uint64)
+	for s := uint64(0); s < 1<<14; s++ {
+		a := cfg.MapSector(s)
+		if a.Bank < 0 || a.Bank >= cfg.Banks {
+			t.Fatalf("sector %d: bank %d out of range", s, a.Bank)
+		}
+		if int(a.Col) >= cfg.RowSectors {
+			t.Fatalf("sector %d: col %d out of range", s, a.Col)
+		}
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("sectors %d and %d map to the same address %v", prev, s, a)
+		}
+		seen[a] = s
+	}
+}
+
+func TestMapSectorInterleaving(t *testing.T) {
+	cfg := DefaultTiming()
+	chunk := uint64(cfg.ChunkSectors)
+	// Sectors within one chunk share a bank/row and advance the column.
+	a0 := cfg.MapSector(0)
+	aLast := cfg.MapSector(chunk - 1)
+	if a0.Bank != aLast.Bank || a0.Row != aLast.Row || aLast.Col != a0.Col+uint32(chunk-1) {
+		t.Errorf("chunk not contiguous: %v vs %v", a0, aLast)
+	}
+	// The next chunk lands on the next bank.
+	aNext := cfg.MapSector(chunk)
+	if aNext.Bank != (a0.Bank+1)%cfg.Banks {
+		t.Errorf("chunk interleave broken: %v", aNext)
+	}
+	// After one full round of banks we return to bank 0, same row,
+	// next chunk position.
+	r := cfg.MapSector(uint64(cfg.ChunkSectors * cfg.Banks))
+	if r.Bank != a0.Bank || r.Row != a0.Row || r.Col != a0.Col+uint32(cfg.ChunkSectors) {
+		t.Errorf("row revisit broken: %v", r)
+	}
+	// One row per bank fills before the row advances.
+	perRow := uint64(cfg.RowSectors * cfg.Banks)
+	n := cfg.MapSector(perRow)
+	if n.Row != a0.Row+1 || n.Bank != a0.Bank || n.Col != a0.Col {
+		t.Errorf("row advance broken: %v", n)
+	}
+}
+
+func TestMapSectorQuick(t *testing.T) {
+	cfg := DefaultTiming()
+	f := func(s uint64) bool {
+		s %= 1 << 40
+		a := cfg.MapSector(s)
+		return a.Bank >= 0 && a.Bank < cfg.Banks && int(a.Col) < cfg.RowSectors
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if DefaultTiming().BankGroup(5) != 1 {
+		t.Error("bank group mapping wrong")
+	}
+	if (Address{Bank: 1, Row: 2, Col: 3}).String() != "b1/r2/c3" {
+		t.Error("address string wrong")
+	}
+}
+
+func mustDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestActivateReadPrechargeCycle(t *testing.T) {
+	d := mustDevice(t)
+	cfg := d.Timing()
+	addr := Address{Bank: 0, Row: 5, Col: 0}
+
+	if d.CanRead(addr, 0) {
+		t.Fatal("read legal on closed bank")
+	}
+	if !d.CanActivate(0, 0) {
+		t.Fatal("activate illegal on fresh device")
+	}
+	if err := d.Activate(0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.RowHit(addr) {
+		t.Error("row hit not detected")
+	}
+	if d.CanRead(addr, cfg.TRCD-1) {
+		t.Error("read legal before tRCD")
+	}
+	if !d.CanRead(addr, cfg.TRCD) {
+		t.Error("read illegal at tRCD")
+	}
+	if err := d.Read(addr, cfg.TRCD); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong row is a conflict, not a hit.
+	other := Address{Bank: 0, Row: 9}
+	if d.CanRead(other, cfg.TRCD+cfg.TCCD) {
+		t.Error("read legal on wrong row")
+	}
+	if !d.NeedsPrecharge(other) {
+		t.Error("conflict not detected")
+	}
+	// Precharge honors tRAS.
+	if d.CanPrecharge(0, cfg.TRCD+1) {
+		t.Error("precharge legal before tRAS")
+	}
+	if !d.CanPrecharge(0, cfg.TRAS) {
+		t.Error("precharge illegal after tRAS")
+	}
+	if err := d.Precharge(0, cfg.TRAS); err != nil {
+		t.Fatal(err)
+	}
+	// Re-activate honors tRP.
+	if d.CanActivate(0, cfg.TRAS+cfg.TRP-1) {
+		t.Error("activate legal before tRP")
+	}
+	if !d.CanActivate(0, cfg.TRAS+cfg.TRP) {
+		t.Error("activate illegal after tRP")
+	}
+}
+
+func TestIllegalCommandsError(t *testing.T) {
+	d := mustDevice(t)
+	if err := d.Read(Address{Bank: 0}, 0); err == nil {
+		t.Error("read on closed bank must error")
+	}
+	if err := d.Write(Address{Bank: 0}, 0); err == nil {
+		t.Error("write on closed bank must error")
+	}
+	if err := d.Precharge(0, 0); err == nil {
+		t.Error("precharge of closed bank must error")
+	}
+	if err := d.Activate(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(0, 2, 100); err == nil {
+		t.Error("activate of open bank must error")
+	}
+	if err := d.Refresh(0); err == nil {
+		t.Error("refresh with open bank must error")
+	}
+}
+
+func TestTRRDBetweenActivates(t *testing.T) {
+	d := mustDevice(t)
+	cfg := d.Timing()
+	if err := d.Activate(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.CanActivate(1, cfg.TRRD-1) {
+		t.Error("ACT-to-ACT legal before tRRD")
+	}
+	if !d.CanActivate(1, cfg.TRRD) {
+		t.Error("ACT-to-ACT illegal at tRRD")
+	}
+}
+
+func TestColumnSpacingAndTurnaround(t *testing.T) {
+	d := mustDevice(t)
+	cfg := d.Timing()
+	a0 := Address{Bank: 0, Row: 1}
+	a1 := Address{Bank: 1, Row: 1}
+	if err := d.Activate(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(1, 1, cfg.TRRD); err != nil {
+		t.Fatal(err)
+	}
+	start := cfg.TRRD + cfg.TRCD
+	if err := d.Read(a0, start); err != nil {
+		t.Fatal(err)
+	}
+	if d.CanRead(a1, start+cfg.TCCD-1) {
+		t.Error("read legal inside tCCD")
+	}
+	if !d.CanRead(a1, start+cfg.TCCD) {
+		t.Error("read illegal at tCCD")
+	}
+	// Read→write turnaround.
+	if d.CanWrite(a1, start+cfg.TCCD) {
+		t.Error("write legal inside tRTW")
+	}
+	if !d.CanWrite(a1, start+cfg.TRTW) {
+		t.Error("write illegal at tRTW")
+	}
+	if err := d.Write(a1, start+cfg.TRTW); err != nil {
+		t.Fatal(err)
+	}
+	// Write→read turnaround.
+	wr := start + cfg.TRTW
+	if d.CanRead(a0, wr+cfg.TCCD) && cfg.TWTR > cfg.TCCD {
+		t.Error("read legal inside tWTR")
+	}
+	if !d.CanRead(a0, wr+cfg.TWTR) {
+		t.Error("read illegal at tWTR")
+	}
+	// Write recovery delays precharge.
+	if d.CanPrecharge(1, wr+cfg.WL+cfg.TCCD+cfg.TWR-1) {
+		t.Error("precharge legal inside tWR")
+	}
+}
+
+func TestRefreshCycle(t *testing.T) {
+	d := mustDevice(t)
+	cfg := d.Timing()
+	if d.RefreshDue(cfg.TREFI - 1) {
+		t.Error("refresh due early")
+	}
+	if !d.RefreshDue(cfg.TREFI) {
+		t.Error("refresh not due at tREFI")
+	}
+	if !d.CanRefresh(cfg.TREFI) {
+		t.Fatal("refresh illegal on idle device")
+	}
+	if err := d.Refresh(cfg.TREFI); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Busy(cfg.TREFI + cfg.TRFC - 1) {
+		t.Error("device not busy during refresh")
+	}
+	if d.Busy(cfg.TREFI + cfg.TRFC) {
+		t.Error("device busy after refresh")
+	}
+	if d.CanActivate(0, cfg.TREFI+1) {
+		t.Error("activate legal during refresh")
+	}
+	if !d.CanActivate(0, cfg.TREFI+cfg.TRFC) {
+		t.Error("activate illegal after refresh")
+	}
+	if d.RefreshDue(cfg.TREFI + cfg.TRFC) {
+		t.Error("refresh still due after refreshing")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := mustDevice(t)
+	cfg := d.Timing()
+	if err := d.Activate(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(Address{Bank: 0, Row: 1}, cfg.TRCD); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Precharge(0, cfg.TRAS); err != nil {
+		t.Fatal(err)
+	}
+	acts, reads, writes, pres, refs := d.Counters()
+	if acts != 1 || reads != 1 || writes != 0 || pres != 1 || refs != 0 {
+		t.Errorf("counters = %d,%d,%d,%d,%d", acts, reads, writes, pres, refs)
+	}
+	if row, open := d.OpenRow(0); open || row != 1 {
+		t.Error("bank should be closed after precharge")
+	}
+}

@@ -1,0 +1,203 @@
+package gpu
+
+import (
+	"fmt"
+
+	"smores/internal/memctrl"
+)
+
+// Access is one memory operation offered by a workload: a 32-byte sector
+// touch, preceded by Think idle clocks of compute.
+type Access struct {
+	Sector uint64
+	Write  bool
+	Think  int64
+}
+
+// Generator produces a workload's access stream. Implementations live in
+// the workload package; the driver only needs the stream.
+type Generator interface {
+	// Next returns the next access. ok is false when the workload ends.
+	Next() (a Access, ok bool)
+}
+
+// DriverConfig assembles a Driver.
+type DriverConfig struct {
+	// MSHRs bounds outstanding DRAM reads (miss-status holding
+	// registers); the driver stalls when they are exhausted — this is how
+	// stretched sparse reads feed back into performance.
+	MSHRs int
+	// LLC configures the cache; nil bypasses the cache entirely (every
+	// access goes to DRAM).
+	LLC *LLCConfig
+	// MaxAccesses bounds the run (0 = until the generator ends).
+	MaxAccesses int64
+	// MaxClocks aborts a wedged run.
+	MaxClocks int64
+}
+
+// RunResult summarizes a driver run.
+type RunResult struct {
+	Accesses    int64
+	DRAMReads   int64
+	DRAMWrites  int64
+	Clocks      int64
+	StallClocks int64
+	LLC         LLCStats
+}
+
+// Bandwidth returns achieved DRAM bytes per clock.
+func (r RunResult) Bandwidth() float64 {
+	if r.Clocks == 0 {
+		return 0
+	}
+	return float64(r.DRAMReads+r.DRAMWrites) * 32 / float64(r.Clocks)
+}
+
+// Driver connects a workload generator, the LLC, and one channel's memory
+// controller, advancing them in lockstep.
+type Driver struct {
+	cfg  DriverConfig
+	llc  *LLC
+	ctrl *memctrl.Controller
+	gen  Generator
+
+	inflight   int
+	pendingWB  []uint64
+	pendingRd  *memctrl.Request
+	nextAccess *Access
+	thinkLeft  int64
+	reqID      uint64
+	res        RunResult
+}
+
+// NewDriver builds a driver. ctrl must be freshly constructed; the driver
+// owns its completion callback.
+func NewDriver(cfg DriverConfig, ctrl *memctrl.Controller, gen Generator) (*Driver, error) {
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 32
+	}
+	if cfg.MaxClocks <= 0 {
+		cfg.MaxClocks = 1 << 32
+	}
+	d := &Driver{cfg: cfg, ctrl: ctrl, gen: gen}
+	if cfg.LLC != nil {
+		llc, err := NewLLC(*cfg.LLC)
+		if err != nil {
+			return nil, err
+		}
+		d.llc = llc
+	}
+	ctrl.OnReadDone(func(*memctrl.Request) { d.inflight-- })
+	return d, nil
+}
+
+// Run drives the workload to completion and returns the result.
+func (d *Driver) Run() (RunResult, error) {
+	for {
+		if d.cfg.MaxAccesses > 0 && d.res.Accesses >= d.cfg.MaxAccesses && d.drained() {
+			break
+		}
+		if d.res.Clocks >= d.cfg.MaxClocks {
+			return d.res, fmt.Errorf("gpu: run exceeded %d clocks", d.cfg.MaxClocks)
+		}
+		progressed := d.step()
+		d.ctrl.Tick()
+		d.res.Clocks++
+		if !progressed && d.inflight == 0 && d.nextAccess == nil && d.pendingRd == nil &&
+			len(d.pendingWB) == 0 && d.generatorDone() {
+			break
+		}
+	}
+	if !d.ctrl.Drain(1 << 22) {
+		return d.res, fmt.Errorf("gpu: controller failed to drain")
+	}
+	d.ctrl.Finish()
+	if d.llc != nil {
+		d.res.LLC = d.llc.Stats()
+	}
+	return d.res, nil
+}
+
+func (d *Driver) drained() bool {
+	return d.inflight == 0 && d.pendingRd == nil && len(d.pendingWB) == 0
+}
+
+func (d *Driver) generatorDone() bool { return d.gen == nil }
+
+// step advances the GPU by one clock; it reports whether any work was in
+// flight.
+func (d *Driver) step() bool {
+	// Retry backpressured writebacks first (oldest data).
+	for len(d.pendingWB) > 0 {
+		req := &memctrl.Request{ID: d.reqID, Kind: memctrl.Write, Sector: d.pendingWB[0]}
+		if !d.ctrl.Enqueue(req) {
+			d.res.StallClocks++
+			return true
+		}
+		d.reqID++
+		d.res.DRAMWrites++
+		d.pendingWB = d.pendingWB[1:]
+	}
+	// Retry a backpressured read miss.
+	if d.pendingRd != nil {
+		if d.inflight >= d.cfg.MSHRs || !d.ctrl.Enqueue(d.pendingRd) {
+			d.res.StallClocks++
+			return true
+		}
+		d.inflight++
+		d.res.DRAMReads++
+		d.pendingRd = nil
+	}
+	// Think time between accesses.
+	if d.thinkLeft > 0 {
+		d.thinkLeft--
+		return true
+	}
+	// Pull the next access.
+	if d.nextAccess == nil {
+		if d.gen == nil {
+			return d.inflight > 0
+		}
+		if d.cfg.MaxAccesses > 0 && d.res.Accesses >= d.cfg.MaxAccesses {
+			d.gen = nil
+			return d.inflight > 0
+		}
+		a, ok := d.gen.Next()
+		if !ok {
+			d.gen = nil
+			return d.inflight > 0
+		}
+		d.nextAccess = &a
+		if a.Think > 0 {
+			d.thinkLeft = a.Think
+			return true
+		}
+	}
+	// Issue the access through the LLC.
+	a := *d.nextAccess
+	d.nextAccess = nil
+	d.res.Accesses++
+	if d.llc == nil {
+		req := &memctrl.Request{ID: d.reqID, Kind: memctrl.Read, Sector: a.Sector}
+		if a.Write {
+			req.Kind = memctrl.Write
+		}
+		d.reqID++
+		if req.Kind == memctrl.Read {
+			d.pendingRd = req
+		} else if !d.ctrl.Enqueue(req) {
+			d.pendingWB = append(d.pendingWB, a.Sector)
+		} else {
+			d.res.DRAMWrites++
+		}
+		return true
+	}
+	needRead, wbs := d.llc.Access(a.Sector, a.Write)
+	d.pendingWB = append(d.pendingWB, wbs...)
+	if needRead {
+		d.pendingRd = &memctrl.Request{ID: d.reqID, Kind: memctrl.Read, Sector: a.Sector}
+		d.reqID++
+	}
+	return true
+}

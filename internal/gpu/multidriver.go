@@ -1,0 +1,174 @@
+package gpu
+
+import (
+	"fmt"
+
+	"smores/internal/memctrl"
+)
+
+// MultiDriver drives several independent GDDR6X channels from one
+// workload, interleaving 32-byte sectors round-robin across channels as
+// the RTX 3090's 384-bit bus does across its 24 16-bit channels. All
+// channels share one MSHR pool and advance in lockstep with the GPU
+// clock.
+type MultiDriver struct {
+	cfg   DriverConfig
+	llc   *LLC
+	ctrls []*memctrl.Controller
+	gen   Generator
+
+	inflight   int
+	pendingWB  []uint64
+	pendingRd  *memctrl.Request
+	nextAccess *Access
+	thinkLeft  int64
+	reqID      uint64
+	res        RunResult
+}
+
+// NewMultiDriver builds a driver over the given controllers (one per
+// channel). Controllers must be freshly constructed.
+func NewMultiDriver(cfg DriverConfig, ctrls []*memctrl.Controller, gen Generator) (*MultiDriver, error) {
+	if len(ctrls) == 0 {
+		return nil, fmt.Errorf("gpu: multi-driver needs at least one channel")
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 32 * len(ctrls)
+	}
+	if cfg.MaxClocks <= 0 {
+		cfg.MaxClocks = 1 << 32
+	}
+	d := &MultiDriver{cfg: cfg, ctrls: ctrls, gen: gen}
+	if cfg.LLC != nil {
+		llc, err := NewLLC(*cfg.LLC)
+		if err != nil {
+			return nil, err
+		}
+		d.llc = llc
+	}
+	for _, c := range ctrls {
+		c.OnReadDone(func(*memctrl.Request) { d.inflight-- })
+	}
+	return d, nil
+}
+
+// route splits a global sector into (channel, channel-local sector).
+func (d *MultiDriver) route(sector uint64) (int, uint64) {
+	n := uint64(len(d.ctrls))
+	return int(sector % n), sector / n
+}
+
+// Run drives the workload to completion.
+func (d *MultiDriver) Run() (RunResult, error) {
+	for {
+		if d.cfg.MaxAccesses > 0 && d.res.Accesses >= d.cfg.MaxAccesses && d.drained() {
+			break
+		}
+		if d.res.Clocks >= d.cfg.MaxClocks {
+			return d.res, fmt.Errorf("gpu: multi-channel run exceeded %d clocks", d.cfg.MaxClocks)
+		}
+		progressed := d.step()
+		for _, c := range d.ctrls {
+			c.Tick()
+		}
+		d.res.Clocks++
+		if !progressed && d.inflight == 0 && d.nextAccess == nil && d.pendingRd == nil &&
+			len(d.pendingWB) == 0 && d.gen == nil {
+			break
+		}
+	}
+	for _, c := range d.ctrls {
+		if !c.Drain(1 << 22) {
+			return d.res, fmt.Errorf("gpu: channel failed to drain")
+		}
+		c.Finish()
+	}
+	if d.llc != nil {
+		d.res.LLC = d.llc.Stats()
+	}
+	return d.res, nil
+}
+
+func (d *MultiDriver) drained() bool {
+	return d.inflight == 0 && d.pendingRd == nil && len(d.pendingWB) == 0
+}
+
+func (d *MultiDriver) enqueue(req *memctrl.Request) bool {
+	ch, local := d.route(req.Sector)
+	req.Sector = local
+	if d.ctrls[ch].Enqueue(req) {
+		return true
+	}
+	req.Sector = req.Sector*uint64(len(d.ctrls)) + uint64(ch) // restore for retry
+	return false
+}
+
+func (d *MultiDriver) step() bool {
+	for len(d.pendingWB) > 0 {
+		req := &memctrl.Request{ID: d.reqID, Kind: memctrl.Write, Sector: d.pendingWB[0]}
+		if !d.enqueue(req) {
+			d.res.StallClocks++
+			return true
+		}
+		d.reqID++
+		d.res.DRAMWrites++
+		d.pendingWB = d.pendingWB[1:]
+	}
+	if d.pendingRd != nil {
+		if d.inflight >= d.cfg.MSHRs || !d.enqueue(d.pendingRd) {
+			d.res.StallClocks++
+			return true
+		}
+		d.inflight++
+		d.res.DRAMReads++
+		d.pendingRd = nil
+	}
+	if d.thinkLeft > 0 {
+		d.thinkLeft--
+		return true
+	}
+	if d.nextAccess == nil {
+		if d.gen == nil {
+			return d.inflight > 0
+		}
+		if d.cfg.MaxAccesses > 0 && d.res.Accesses >= d.cfg.MaxAccesses {
+			d.gen = nil
+			return d.inflight > 0
+		}
+		a, ok := d.gen.Next()
+		if !ok {
+			d.gen = nil
+			return d.inflight > 0
+		}
+		d.nextAccess = &a
+		if a.Think > 0 {
+			d.thinkLeft = a.Think
+			return true
+		}
+	}
+	a := *d.nextAccess
+	d.nextAccess = nil
+	d.res.Accesses++
+	if d.llc == nil {
+		req := &memctrl.Request{ID: d.reqID, Kind: memctrl.Read, Sector: a.Sector}
+		if a.Write {
+			req.Kind = memctrl.Write
+		}
+		d.reqID++
+		if req.Kind == memctrl.Read {
+			d.pendingRd = req
+		} else if !d.enqueue(req) {
+			d.pendingWB = append(d.pendingWB, a.Sector)
+		} else {
+			d.res.DRAMWrites++
+		}
+		return true
+	}
+	needRead, wbs := d.llc.Access(a.Sector, a.Write)
+	d.pendingWB = append(d.pendingWB, wbs...)
+	if needRead {
+		d.pendingRd = &memctrl.Request{ID: d.reqID, Kind: memctrl.Read, Sector: a.Sector}
+		d.reqID++
+	}
+	return true
+}

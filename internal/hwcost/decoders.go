@@ -1,0 +1,164 @@
+package hwcost
+
+import (
+	"fmt"
+
+	"smores/internal/codec"
+	"smores/internal/core"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// Decoder-side estimates. The paper reports encoder costs (Fig. 7) and
+// argues the decoders have similar timing; these estimates quantify that:
+// MTA's reverse table minimizes like the forward one, and a sparse
+// decoder is sixteen wide equality comparators feeding a small encoder.
+
+// MTADecoderCost estimates the per-group MTA decoder: eight 4-symbol →
+// 7-bit reverse tables (with a valid output), preceded by the conditional
+// un-inversion stage.
+func MTADecoderCost(c *mta.Codec) (Cost, error) {
+	// Outputs: data[6:0] plus valid, as functions of the 8 symbol bits.
+	// Sequences outside the table are don't-care for the data bits.
+	table := c.Table()
+	inTable := make(map[uint32]uint8, len(table))
+	for v, s := range table {
+		inTable[s.Packed()] = uint8(v)
+	}
+	var dontCare []uint32
+	for s := uint32(0); s < 256; s++ {
+		if _, ok := inTable[s]; !ok {
+			dontCare = append(dontCare, s)
+		}
+	}
+	covers := make([][]Implicant, 0, 8)
+	for bit := 0; bit < 7; bit++ {
+		var onSet []uint32
+		for s, v := range inTable {
+			if v>>uint(bit)&1 == 1 {
+				onSet = append(onSet, s)
+			}
+		}
+		cover, err := Minimize(8, onSet, dontCare)
+		if err != nil {
+			return Cost{}, err
+		}
+		covers = append(covers, cover)
+	}
+	// valid bit: exact (no don't-cares).
+	var validOn []uint32
+	for s := range inTable {
+		validOn = append(validOn, s)
+	}
+	validCover, err := Minimize(8, validOn, nil)
+	if err != nil {
+		return Cost{}, err
+	}
+	covers = append(covers, validCover)
+
+	lut := SOPCost(8, covers)
+	perWire := Cost{AreaNAND2: 2, DelayNAND2: 1}. // prev==L3 detect
+							Chain(XORStageCost(mta.SeqSymbols * pam4.BitsPerSymbol)). // un-invert
+							Chain(lut)
+	return perWire.Scale(mta.GroupDataWires), nil
+}
+
+// SparseDecoderCost estimates a SMOREs group decoder: the receiver-side
+// level unshifter, the DBI un-swap (when enabled), and per wire either an
+// exact two-level reverse table (short codes) or a comparator-bank
+// realization (long codes, where exact minimization over 2N inputs is no
+// longer the natural implementation).
+func SparseDecoderCost(book *codec.Codebook, withDBI bool) (Cost, error) {
+	spec := book.Spec()
+	inBits := 2 * spec.OutputSymbols
+	var lut Cost
+	if inBits <= 12 {
+		inCode := make(map[uint32]uint8, spec.Values())
+		for v, s := range book.Codes() {
+			inCode[s.Packed()] = uint8(v)
+		}
+		var dontCare []uint32
+		for s := uint32(0); s < 1<<uint(inBits); s++ {
+			if _, ok := inCode[s]; !ok {
+				dontCare = append(dontCare, s)
+			}
+		}
+		covers := make([][]Implicant, 0, spec.InputBits+1)
+		for bit := 0; bit < spec.InputBits; bit++ {
+			var onSet []uint32
+			for s, v := range inCode {
+				if v>>uint(bit)&1 == 1 {
+					onSet = append(onSet, s)
+				}
+			}
+			cover, err := Minimize(inBits, onSet, dontCare)
+			if err != nil {
+				return Cost{}, err
+			}
+			covers = append(covers, cover)
+		}
+		var validOn []uint32
+		for s := range inCode {
+			validOn = append(validOn, s)
+		}
+		validCover, err := Minimize(inBits, validOn, nil)
+		if err != nil {
+			return Cost{}, err
+		}
+		covers = append(covers, validCover)
+		lut = SOPCost(inBits, covers)
+	} else {
+		lut = comparatorBankCost(spec)
+	}
+	total := lut.Scale(mta.GroupDataWires)
+	if withDBI {
+		unswap := MuxCost(8 * pam4.BitsPerSymbol).Scale(spec.OutputSymbols)
+		total = total.Add(unswap)
+		total.DelayNAND2 = lut.DelayNAND2 + MuxCost(1).DelayNAND2
+	}
+	total = total.Add(shifterCost(mta.GroupWires))
+	total.DelayNAND2 += shifterCost(1).DelayNAND2
+	return total, nil
+}
+
+// comparatorBankCost is the wide-code decoder realization: sixteen
+// equality comparators over 2N bits (XNOR per bit plus an AND tree), a
+// 16-way valid OR, and four 8-way OR planes encoding the value.
+func comparatorBankCost(spec codec.Spec) Cost {
+	inBits := 2 * spec.OutputSymbols
+	perComparator := Cost{AreaNAND2: float64(inBits)*1.5 + float64(inBits-1), DelayNAND2: 1 + gateTree(inBits).DelayNAND2}
+	bank := perComparator.Scale(spec.Values())
+	encode := gateTree(spec.Values() / 2).Scale(spec.InputBits) // 8-term OR per data bit
+	valid := gateTree(spec.Values())
+	total := bank.Add(encode).Add(valid)
+	total.DelayNAND2 = perComparator.DelayNAND2 + gateTree(spec.Values()).DelayNAND2
+	return total
+}
+
+// DecoderReports produces the decoder-side counterpart of Fig. 7.
+func DecoderReports(m *pam4.EnergyModel) ([]Report, error) {
+	var out []Report
+	mtaCost, err := MTADecoderCost(mta.New(m))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Report{Name: "MTA-dec", Cost: mtaCost})
+	for _, withDBI := range []bool{true, false} {
+		fam, err := core.NewFamily(m, core.FamilyConfig{DBI: withDBI, Levels: 3, PaperFaithful: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range []int{3, 4, 6, 8} {
+			c, err := SparseDecoderCost(fam.ByLength(n).Book(), withDBI)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("4b%ds-dec", n)
+			if withDBI {
+				name += "/DBI"
+			}
+			out = append(out, Report{Name: name, Cost: c})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package hwcost
+
+import (
+	"testing"
+
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+func TestDecoderReportsShape(t *testing.T) {
+	reports, err := DecoderReports(pam4.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 9 {
+		t.Fatalf("got %d decoder reports", len(reports))
+	}
+	byName := map[string]Cost{}
+	for _, r := range reports {
+		byName[r.Name] = r.Cost
+		if r.Cost.AreaNAND2 <= 0 || r.Cost.DelayNAND2 <= 0 {
+			t.Errorf("%s: non-positive cost %+v", r.Name, r.Cost)
+		}
+		t.Logf("%-14s area=%8.0f NAND2  delay=%4.1f", r.Name, r.Cost.AreaNAND2, r.Cost.DelayNAND2)
+	}
+	// The MTA decoder dominates the sparse ones, mirroring the encoders.
+	mtaCost := byName["MTA-dec"]
+	for name, c := range byName {
+		if name != "MTA-dec" && c.AreaNAND2 >= mtaCost.AreaNAND2 {
+			t.Errorf("%s area %.0f should be below MTA-dec %.0f", name, c.AreaNAND2, mtaCost.AreaNAND2)
+		}
+	}
+	// The paper's claim: decoder timing similar to the encoder's.
+	enc, err := MTAEncoderCost(mta.New(pam4.DefaultEnergyModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := mtaCost.DelayNAND2 / enc.DelayNAND2
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("MTA decoder delay %.1f vs encoder %.1f — not 'similar'", mtaCost.DelayNAND2, enc.DelayNAND2)
+	}
+	// DBI un-swap adds area.
+	if byName["4b3s-dec/DBI"].AreaNAND2 <= byName["4b3s-dec"].AreaNAND2 {
+		t.Error("DBI un-swap should add decoder area")
+	}
+}
+
+func TestMTADecoderCostConsistency(t *testing.T) {
+	c := mta.New(pam4.DefaultEnergyModel())
+	a, err := MTADecoderCost(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MTADecoderCost(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("decoder cost not deterministic")
+	}
+}

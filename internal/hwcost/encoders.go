@@ -1,0 +1,129 @@
+package hwcost
+
+import (
+	"fmt"
+
+	"smores/internal/codec"
+	"smores/internal/core"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// Report is a named cost estimate (one Fig. 7 bar).
+type Report struct {
+	Name string
+	Cost Cost
+}
+
+// lutCovers minimizes a lookup table with nIn input bits and one cover
+// per output bit; output bit (symbol s, bit b) is taken from the symbol
+// levels of table[v].
+func lutCovers(nIn int, table []pam4.Seq) ([][]Implicant, error) {
+	if len(table) != 1<<uint(nIn) {
+		return nil, fmt.Errorf("hwcost: table of %d entries for %d inputs", len(table), nIn)
+	}
+	symbols := table[0].Len()
+	covers := make([][]Implicant, 0, symbols*2)
+	for s := 0; s < symbols; s++ {
+		for b := 0; b < pam4.BitsPerSymbol; b++ {
+			var onSet []uint32
+			for v, seq := range table {
+				if uint8(seq.At(s))>>uint(b)&1 == 1 {
+					onSet = append(onSet, uint32(v))
+				}
+			}
+			cover, err := Minimize(nIn, onSet, nil)
+			if err != nil {
+				return nil, err
+			}
+			covers = append(covers, cover)
+		}
+	}
+	return covers, nil
+}
+
+// MTAEncoderCost estimates the full 9-wire group MTA encoder: eight
+// 7-bit→4-symbol lookup tables, the per-wire conditional inversion stage
+// (inverting a level is a two-bit XOR in the natural mapping), and the
+// previous-symbol L3 detectors.
+func MTAEncoderCost(c *mta.Codec) (Cost, error) {
+	covers, err := lutCovers(7, c.Table())
+	if err != nil {
+		return Cost{}, err
+	}
+	lut := SOPCost(7, covers)
+	perWire := lut.
+		Chain(XORStageCost(mta.SeqSymbols * pam4.BitsPerSymbol)). // inversion
+		Add(Cost{AreaNAND2: 2, DelayNAND2: 1})                    // prev==L3 detect
+	return perWire.Scale(mta.GroupDataWires), nil
+}
+
+// columnDBICost is one UI column's restricted-DBI unit: L1/L2 equality
+// detectors on eight wires, two population counts, two majority
+// comparators, the level-swap muxes (two bits per wire), and the DBI-wire
+// drive.
+func columnDBICost() Cost {
+	detect := Cost{AreaNAND2: 8 * 2 * 1.5, DelayNAND2: 1}
+	count := PopcountCost(8).Scale(2)
+	compare := ComparatorCost(4).Scale(2)
+	swap := MuxCost(8 * pam4.BitsPerSymbol)
+	drive := Cost{AreaNAND2: 4, DelayNAND2: 1}
+	return detect.Chain(count).Chain(compare).Chain(swap).Add(drive)
+}
+
+// shifterCost is the per-wire level-shifting stage: a previous-level L3
+// detector and a saturating two-bit incrementer.
+func shifterCost(wires int) Cost {
+	return Cost{AreaNAND2: 8, DelayNAND2: 2}.Scale(wires)
+}
+
+// SparseEncoderCost estimates a SMOREs group encoder for the given
+// codebook: eight 4-bit→N-symbol lookup tables, N per-column DBI units
+// when enabled, and the nine-wire level shifter.
+func SparseEncoderCost(book *codec.Codebook, withDBI bool) (Cost, error) {
+	spec := book.Spec()
+	covers, err := lutCovers(spec.InputBits, book.Codes())
+	if err != nil {
+		return Cost{}, err
+	}
+	lut := SOPCost(spec.InputBits, covers)
+	total := lut.Scale(mta.GroupDataWires)
+	if withDBI {
+		total = total.Chain(columnDBICost().Scale(spec.OutputSymbols))
+		// Scale preserved only area; restore the serial DBI delay.
+		total.DelayNAND2 = lut.DelayNAND2 + columnDBICost().DelayNAND2
+	}
+	total = total.Add(shifterCost(mta.GroupWires))
+	total.DelayNAND2 += shifterCost(1).DelayNAND2
+	return total, nil
+}
+
+// Fig7Reports produces the paper's Figure 7 series: the MTA encoder and
+// the sparse encoders 4b{3,4,6,8}s-3 with and without DBI.
+func Fig7Reports(m *pam4.EnergyModel) ([]Report, error) {
+	var out []Report
+	mtaCost, err := MTAEncoderCost(mta.New(m))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Report{Name: "MTA", Cost: mtaCost})
+
+	for _, withDBI := range []bool{true, false} {
+		fam, err := core.NewFamily(m, core.FamilyConfig{DBI: withDBI, Levels: 3, PaperFaithful: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range []int{3, 4, 6, 8} {
+			c, err := SparseEncoderCost(fam.ByLength(n).Book(), withDBI)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("4b%ds-3", n)
+			if withDBI {
+				name += "/DBI"
+			}
+			out = append(out, Report{Name: name, Cost: c})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package hwcost
+
+import (
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/pam4"
+)
+
+func TestCostComposition(t *testing.T) {
+	a := Cost{AreaNAND2: 10, DelayNAND2: 3}
+	b := Cost{AreaNAND2: 5, DelayNAND2: 4}
+	if got := a.Add(b); got.AreaNAND2 != 15 || got.DelayNAND2 != 4 {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Chain(b); got.AreaNAND2 != 15 || got.DelayNAND2 != 7 {
+		t.Errorf("Chain = %+v", got)
+	}
+	if got := a.Scale(3); got.AreaNAND2 != 30 || got.DelayNAND2 != 3 {
+		t.Errorf("Scale = %+v", got)
+	}
+	if a.AreaUM2() != 10*NAND2AreaUM2 || a.DelayPS() != 3*NAND2DelayPS {
+		t.Error("physical conversions wrong")
+	}
+}
+
+func TestGateTrees(t *testing.T) {
+	if c := gateTree(1); c.AreaNAND2 != 0 || c.DelayNAND2 != 0 {
+		t.Error("1-input tree should be free")
+	}
+	if c := gateTree(4); c.AreaNAND2 != 3 || c.DelayNAND2 != 2 {
+		t.Errorf("4-input tree = %+v", c)
+	}
+	if c := PopcountCost(1); c.AreaNAND2 != 0 {
+		t.Error("1-input popcount should be free")
+	}
+	if c := PopcountCost(8); c.AreaNAND2 <= 0 || c.DelayNAND2 <= 0 {
+		t.Error("8-input popcount should cost something")
+	}
+	if ComparatorCost(0).AreaNAND2 != 0 {
+		t.Error("0-bit comparator should be free")
+	}
+}
+
+// TestFig7Shape pins the load-bearing claims of Figure 7:
+//  1. the MTA encoder is the largest structure,
+//  2. every encoder's delay is in the 8–10 NAND2 band the paper quotes
+//     (we allow a slightly wider 5–16 modelling band),
+//  3. removing DBI saves 42% (4b3s) to 86% (4b8s) of area,
+//  4. removing DBI cuts delay by more than half... (paper §V-A).
+func TestFig7Shape(t *testing.T) {
+	reports, err := Fig7Reports(pam4.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Cost{}
+	for _, r := range reports {
+		byName[r.Name] = r.Cost
+		if r.Cost.AreaNAND2 <= 0 || r.Cost.DelayNAND2 <= 0 {
+			t.Errorf("%s has non-positive cost %+v", r.Name, r.Cost)
+		}
+		t.Logf("%-12s area=%8.0f NAND2 (%.4f mm²)  delay=%4.1f NAND2 (%.0f ps)",
+			r.Name, r.Cost.AreaNAND2, r.Cost.AreaUM2()/1e6, r.Cost.DelayNAND2, r.Cost.DelayPS())
+	}
+	mtaCost := byName["MTA"]
+	for name, c := range byName {
+		if name != "MTA" && c.AreaNAND2 >= mtaCost.AreaNAND2 {
+			t.Errorf("%s area %.0f should be below MTA's %.0f", name, c.AreaNAND2, mtaCost.AreaNAND2)
+		}
+	}
+	// The paper's canonical-NAND2 normalization puts the MTA encoder at
+	// 0.002286 mm² ≈ 14.7k NAND2; our estimator should land within 2×.
+	if mtaCost.AreaNAND2 < 7000 || mtaCost.AreaNAND2 > 30000 {
+		t.Errorf("MTA area = %.0f NAND2, paper implies ≈14.7k", mtaCost.AreaNAND2)
+	}
+	if mtaCost.DelayNAND2 < 5 || mtaCost.DelayNAND2 > 16 {
+		t.Errorf("MTA delay = %.1f NAND2 delays, paper quotes 8–10", mtaCost.DelayNAND2)
+	}
+
+	// DBI ablation: area savings grow with code sparsity.
+	type pair struct{ n int }
+	savings := map[int]float64{}
+	for _, n := range []int{3, 4, 6, 8} {
+		with := byName[fmtName(n, true)]
+		without := byName[fmtName(n, false)]
+		if without.AreaNAND2 >= with.AreaNAND2 {
+			t.Errorf("4b%ds: removing DBI did not shrink area", n)
+		}
+		savings[n] = 1 - without.AreaNAND2/with.AreaNAND2
+		if without.DelayNAND2 > with.DelayNAND2/2+1 {
+			t.Errorf("4b%ds: delay without DBI (%.1f) not roughly half of %.1f",
+				n, without.DelayNAND2, with.DelayNAND2)
+		}
+	}
+	t.Logf("DBI area savings: 3s=%.0f%% 4s=%.0f%% 6s=%.0f%% 8s=%.0f%% (paper: 42%%→86%%)",
+		savings[3]*100, savings[4]*100, savings[6]*100, savings[8]*100)
+	if !(savings[3] < savings[4] && savings[4] < savings[6] && savings[6] < savings[8]) {
+		t.Errorf("DBI savings not increasing with sparsity: %v", savings)
+	}
+	if savings[3] < 0.25 || savings[3] > 0.60 {
+		t.Errorf("4b3s DBI saving = %.0f%%, paper says 42%%", savings[3]*100)
+	}
+	if savings[8] < 0.70 || savings[8] > 0.95 {
+		t.Errorf("4b8s DBI saving = %.0f%%, paper says 86%%", savings[8]*100)
+	}
+	_ = pair{}
+}
+
+func fmtName(n int, dbi bool) string {
+	name := "4b" + string(rune('0'+n)) + "s-3"
+	if dbi {
+		name += "/DBI"
+	}
+	return name
+}
+
+func TestSparseEncoderCostErrors(t *testing.T) {
+	fam, err := core.NewFamily(pam4.DefaultEnergyModel(), core.FamilyConfig{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SparseEncoderCost(fam.ByLength(3).Book(), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLutCoversRejectsBadTable(t *testing.T) {
+	if _, err := lutCovers(4, nil); err == nil {
+		t.Error("short table must error")
+	}
+}

@@ -1,0 +1,129 @@
+package hwcost
+
+import "math"
+
+// Cost is an area/delay estimate in NAND2 equivalents (the paper's Fig. 7
+// normalization: one canonical NAND2 is 0.156 µm² and 11 ps in their
+// 16 nm library).
+type Cost struct {
+	// AreaNAND2 is the gate-count-equivalent area.
+	AreaNAND2 float64
+	// DelayNAND2 is the critical path in NAND2 delays.
+	DelayNAND2 float64
+}
+
+// Add composes two blocks in parallel (areas add, delay is the max).
+func (c Cost) Add(o Cost) Cost {
+	d := c.DelayNAND2
+	if o.DelayNAND2 > d {
+		d = o.DelayNAND2
+	}
+	return Cost{AreaNAND2: c.AreaNAND2 + o.AreaNAND2, DelayNAND2: d}
+}
+
+// Chain composes two blocks in series (areas add, delays add).
+func (c Cost) Chain(o Cost) Cost {
+	return Cost{AreaNAND2: c.AreaNAND2 + o.AreaNAND2, DelayNAND2: c.DelayNAND2 + o.DelayNAND2}
+}
+
+// Scale multiplies the area by n instances sharing the same critical path.
+func (c Cost) Scale(n int) Cost {
+	return Cost{AreaNAND2: c.AreaNAND2 * float64(n), DelayNAND2: c.DelayNAND2}
+}
+
+// Paper-calibrated physical constants for the 16 nm library (Fig. 7
+// discussion).
+const (
+	// NAND2AreaUM2 is the canonical NAND2 area in µm².
+	NAND2AreaUM2 = 0.156
+	// NAND2DelayPS is the canonical NAND2 delay in picoseconds.
+	NAND2DelayPS = 11.0
+)
+
+// AreaUM2 converts the estimate to µm².
+func (c Cost) AreaUM2() float64 { return c.AreaNAND2 * NAND2AreaUM2 }
+
+// DelayPS converts the estimate to picoseconds.
+func (c Cost) DelayPS() float64 { return c.DelayNAND2 * NAND2DelayPS }
+
+// gateTree returns the cost of an f-input AND or OR realized as a tree of
+// 2-input gates: f−1 gates, ceil(log2 f) levels. Single-input "gates" are
+// wires.
+func gateTree(fanIn int) Cost {
+	if fanIn <= 1 {
+		return Cost{}
+	}
+	return Cost{
+		AreaNAND2:  float64(fanIn - 1),
+		DelayNAND2: math.Ceil(math.Log2(float64(fanIn))),
+	}
+}
+
+// inverterCost is the NAND2-relative area of an inverter.
+const inverterCost = 0.5
+
+// muxCost is one 2:1 mux bit (three NAND2 plus the select inverter,
+// amortized).
+const muxCost = 3.5
+
+// xorCost is one XOR2 (four NAND2).
+const xorCost = 4.0
+
+// SOPCost converts a minimized multi-output SOP into a gate-level
+// estimate: each output is an AND-plane (one tree per product term) into
+// an OR-plane, with one shared inverter rail for the inputs.
+func SOPCost(nInputs int, covers [][]Implicant) Cost {
+	area := float64(nInputs) * inverterCost
+	var worst float64
+	for _, cover := range covers {
+		if len(cover) == 0 {
+			continue
+		}
+		maxLits := 0
+		for _, im := range cover {
+			area += gateTree(im.Literals()).AreaNAND2
+			if im.Literals() > maxLits {
+				maxLits = im.Literals()
+			}
+		}
+		area += gateTree(len(cover)).AreaNAND2
+		if d := gateTree(maxLits).DelayNAND2 + gateTree(len(cover)).DelayNAND2; d > worst {
+			worst = d
+		}
+	}
+	// One inverter level on the inputs plus the AND and OR planes.
+	return Cost{AreaNAND2: area, DelayNAND2: 1 + worst}
+}
+
+// PopcountCost estimates an n-input population counter built from full
+// and half adders (full adder ≈ 4.5 NAND2-equivalent area in standard
+// mappings; the tree has ~n−log2(n) adders and log-depth carry chains).
+func PopcountCost(n int) Cost {
+	if n <= 1 {
+		return Cost{}
+	}
+	adders := float64(n) - math.Ceil(math.Log2(float64(n)))
+	return Cost{
+		AreaNAND2:  adders * 4.5,
+		DelayNAND2: 2 * math.Ceil(math.Log2(float64(n))),
+	}
+}
+
+// ComparatorCost estimates a k-bit magnitude comparison against a
+// constant (a few gates per bit).
+func ComparatorCost(bitsWide int) Cost {
+	if bitsWide < 1 {
+		return Cost{}
+	}
+	return Cost{AreaNAND2: float64(bitsWide) * 2, DelayNAND2: math.Ceil(math.Log2(float64(bitsWide) + 1))}
+}
+
+// MuxCost estimates w parallel 2:1 muxes.
+func MuxCost(w int) Cost {
+	return Cost{AreaNAND2: muxCost * float64(w), DelayNAND2: 2}
+}
+
+// XORStageCost estimates w parallel XOR2 gates (conditional inversion).
+func XORStageCost(w int) Cost {
+	return Cost{AreaNAND2: xorCost * float64(w), DelayNAND2: 2}
+}

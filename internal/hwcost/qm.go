@@ -1,0 +1,218 @@
+// Package hwcost estimates encoder hardware cost in technology-normalized
+// NAND2 equivalents, standing in for the paper's Synopsys synthesis flow
+// (Fig. 7). Lookup-table encoders are minimized to two-level logic with a
+// Quine–McCluskey pass and costed as factored AND/OR trees; counting and
+// muxing blocks (DBI, level shifting) use structural gate formulas.
+package hwcost
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Implicant is a product term over n inputs: for input i, bit i of Mask
+// set means the input appears in the term, and bit i of Value gives its
+// required polarity.
+type Implicant struct {
+	Value uint32
+	Mask  uint32
+}
+
+// Literals returns the number of literals in the term.
+func (im Implicant) Literals() int { return bits.OnesCount32(im.Mask) }
+
+// Covers reports whether the term covers the given minterm.
+func (im Implicant) Covers(minterm uint32) bool {
+	return minterm&im.Mask == im.Value&im.Mask
+}
+
+// String renders the term as a pattern of 0/1/- over n inputs, most
+// significant input first.
+func (im Implicant) Pattern(n int) string {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bit := uint32(1) << uint(n-1-i)
+		switch {
+		case im.Mask&bit == 0:
+			out[i] = '-'
+		case im.Value&bit != 0:
+			out[i] = '1'
+		default:
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Minimize computes a near-minimal sum-of-products cover of the on-set
+// over n input variables using Quine–McCluskey prime-implicant generation
+// followed by essential-prime selection and a greedy cover of the rest.
+// dontCare minterms may be covered for free. n must be at most 12.
+func Minimize(n int, onSet, dontCare []uint32) ([]Implicant, error) {
+	if n < 1 || n > 12 {
+		return nil, fmt.Errorf("hwcost: %d inputs outside supported range [1,12]", n)
+	}
+	full := uint32(1)<<uint(n) - 1
+	care := make(map[uint32]bool, len(onSet))
+	for _, m := range onSet {
+		if m > full {
+			return nil, fmt.Errorf("hwcost: minterm %d exceeds %d inputs", m, n)
+		}
+		care[m] = true
+	}
+	if len(care) == 0 {
+		return nil, nil
+	}
+	all := make(map[Implicant]bool, len(onSet)+len(dontCare))
+	for m := range care {
+		all[Implicant{Value: m, Mask: full}] = true
+	}
+	for _, m := range dontCare {
+		if m > full {
+			return nil, fmt.Errorf("hwcost: don't-care %d exceeds %d inputs", m, n)
+		}
+		if !care[m] {
+			all[Implicant{Value: m, Mask: full}] = true
+		}
+	}
+
+	// Iteratively combine implicants differing in exactly one cared bit.
+	// Implicants are bucketed by mask, and partners are found by hashed
+	// value lookup — O(n·bits) per pass instead of O(n²).
+	primes := make(map[Implicant]bool)
+	cur := all
+	for len(cur) > 0 {
+		next := make(map[Implicant]bool)
+		combined := make(map[Implicant]bool, len(cur))
+		buckets := make(map[uint32]map[uint32]bool)
+		for im := range cur {
+			b := buckets[im.Mask]
+			if b == nil {
+				b = make(map[uint32]bool)
+				buckets[im.Mask] = b
+			}
+			b[im.Value&im.Mask] = true
+		}
+		for msk, values := range buckets {
+			for v := range values {
+				for rest := msk; rest != 0; rest &= rest - 1 {
+					bit := rest & -rest
+					if v&bit != 0 {
+						continue // visit each pair once, from the 0 side
+					}
+					if !values[v|bit] {
+						continue
+					}
+					next[Implicant{Value: v, Mask: msk &^ bit}] = true
+					combined[Implicant{Value: v, Mask: msk}] = true
+					combined[Implicant{Value: v | bit, Mask: msk}] = true
+				}
+			}
+		}
+		for im := range cur {
+			if !combined[im] {
+				primes[im] = true
+			}
+		}
+		cur = next
+	}
+
+	// Cover the on-set (don't-cares need no cover).
+	minterms := make([]uint32, 0, len(care))
+	for m := range care {
+		minterms = append(minterms, m)
+	}
+	sort.Slice(minterms, func(i, j int) bool { return minterms[i] < minterms[j] })
+	primeList := make([]Implicant, 0, len(primes))
+	for im := range primes {
+		primeList = append(primeList, im)
+	}
+	sort.Slice(primeList, func(i, j int) bool {
+		if primeList[i].Mask != primeList[j].Mask {
+			return primeList[i].Mask < primeList[j].Mask
+		}
+		return primeList[i].Value < primeList[j].Value
+	})
+
+	covered := make(map[uint32]bool, len(minterms))
+	var cover []Implicant
+
+	// Essential primes first.
+	for _, m := range minterms {
+		var only *Implicant
+		count := 0
+		for i := range primeList {
+			if primeList[i].Covers(m) {
+				count++
+				only = &primeList[i]
+				if count > 1 {
+					break
+				}
+			}
+		}
+		if count == 1 && !covered[m] {
+			cover = append(cover, *only)
+			for _, mm := range minterms {
+				if only.Covers(mm) {
+					covered[mm] = true
+				}
+			}
+		}
+	}
+	// Greedy cover of the remainder: repeatedly take the prime covering
+	// the most uncovered minterms (ties: fewer literals).
+	for {
+		remaining := 0
+		for _, m := range minterms {
+			if !covered[m] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		bestIdx, bestGain := -1, 0
+		for i, im := range primeList {
+			gain := 0
+			for _, m := range minterms {
+				if !covered[m] && im.Covers(m) {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && bestIdx >= 0 &&
+				im.Literals() < primeList[bestIdx].Literals()) {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("hwcost: cover construction failed (internal)")
+		}
+		cover = append(cover, primeList[bestIdx])
+		for _, m := range minterms {
+			if primeList[bestIdx].Covers(m) {
+				covered[m] = true
+			}
+		}
+	}
+	// Deduplicate (an essential prime may be re-picked by greedy).
+	seen := make(map[Implicant]bool, len(cover))
+	out := cover[:0]
+	for _, im := range cover {
+		if !seen[im] {
+			seen[im] = true
+			out = append(out, im)
+		}
+	}
+	return out, nil
+}
+
+// Eval evaluates a SOP cover on one input assignment.
+func Eval(cover []Implicant, input uint32) bool {
+	for _, im := range cover {
+		if im.Covers(input) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package hwcost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smores/internal/rng"
+)
+
+// verify checks that the cover computes exactly the on-set over all
+// inputs (don't-cares may go either way).
+func verify(t *testing.T, n int, onSet, dontCare []uint32, cover []Implicant) {
+	t.Helper()
+	on := make(map[uint32]bool)
+	for _, m := range onSet {
+		on[m] = true
+	}
+	dc := make(map[uint32]bool)
+	for _, m := range dontCare {
+		dc[m] = true
+	}
+	for input := uint32(0); input < 1<<uint(n); input++ {
+		got := Eval(cover, input)
+		if dc[input] && !on[input] {
+			continue
+		}
+		if got != on[input] {
+			t.Fatalf("cover wrong at input %0*b: got %v want %v", n, input, got, on[input])
+		}
+	}
+}
+
+func TestMinimizeKnownFunctions(t *testing.T) {
+	// XOR of 2 inputs: two 2-literal terms, no simplification possible.
+	cover, err := Minimize(2, []uint32{0b01, 0b10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, 2, []uint32{1, 2}, nil, cover)
+	if len(cover) != 2 || cover[0].Literals() != 2 {
+		t.Errorf("XOR cover = %v", cover)
+	}
+
+	// Constant-one over 3 inputs collapses to a single empty term.
+	var all []uint32
+	for i := uint32(0); i < 8; i++ {
+		all = append(all, i)
+	}
+	cover, err = Minimize(3, all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 || cover[0].Literals() != 0 {
+		t.Errorf("constant-one cover = %v", cover)
+	}
+	verify(t, 3, all, nil, cover)
+
+	// Single variable: f = x2 over 3 inputs.
+	cover, err = Minimize(3, []uint32{4, 5, 6, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 || cover[0].Literals() != 1 {
+		t.Errorf("single-variable cover = %v", cover)
+	}
+
+	// Majority of 3: three 2-literal terms.
+	cover, err = Minimize(3, []uint32{3, 5, 6, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, 3, []uint32{3, 5, 6, 7}, nil, cover)
+	if len(cover) != 3 {
+		t.Errorf("majority cover has %d terms, want 3 (%v)", len(cover), cover)
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// Classic 7-segment style simplification: with don't-cares the cover
+	// must shrink relative to treating them as zeros.
+	on := []uint32{1, 3, 7}
+	dc := []uint32{5}
+	withDC, err := Minimize(3, on, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, 3, on, dc, withDC)
+	without, err := Minimize(3, on, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits := func(c []Implicant) int {
+		n := 0
+		for _, im := range c {
+			n += im.Literals()
+		}
+		return n
+	}
+	if lits(withDC) > lits(without) {
+		t.Errorf("don't-cares increased literal count: %d > %d", lits(withDC), lits(without))
+	}
+}
+
+func TestMinimizeEmptyAndErrors(t *testing.T) {
+	if cover, err := Minimize(4, nil, nil); err != nil || cover != nil {
+		t.Error("empty on-set should give an empty cover")
+	}
+	if _, err := Minimize(0, []uint32{0}, nil); err == nil {
+		t.Error("0 inputs must error")
+	}
+	if _, err := Minimize(13, []uint32{0}, nil); err == nil {
+		t.Error("13 inputs must error")
+	}
+	if _, err := Minimize(3, []uint32{9}, nil); err == nil {
+		t.Error("out-of-range minterm must error")
+	}
+	if _, err := Minimize(3, []uint32{0}, []uint32{12}); err == nil {
+		t.Error("out-of-range don't-care must error")
+	}
+}
+
+// TestMinimizeRandomFunctions fuzzes correctness: the minimized cover
+// must equal the original function everywhere.
+func TestMinimizeRandomFunctions(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(5) // 3..7 inputs
+		var on, dc []uint32
+		for m := uint32(0); m < 1<<uint(n); m++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				on = append(on, m)
+			case 2:
+				dc = append(dc, m)
+			}
+		}
+		cover, err := Minimize(n, on, dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, n, on, dc, cover)
+	}
+}
+
+func TestImplicantPattern(t *testing.T) {
+	im := Implicant{Value: 0b101, Mask: 0b101}
+	if got := im.Pattern(3); got != "1-1" {
+		t.Errorf("Pattern = %q", got)
+	}
+	if im.Literals() != 2 {
+		t.Errorf("Literals = %d", im.Literals())
+	}
+}
+
+func TestMinimizeQuickNeverExpands(t *testing.T) {
+	// The cover never has more terms than minterms.
+	f := func(bitsRaw uint16) bool {
+		var on []uint32
+		for m := uint32(0); m < 16; m++ {
+			if bitsRaw>>m&1 == 1 {
+				on = append(on, m)
+			}
+		}
+		cover, err := Minimize(4, on, nil)
+		if err != nil {
+			return false
+		}
+		for input := uint32(0); input < 16; input++ {
+			want := bitsRaw>>input&1 == 1
+			if Eval(cover, input) != want {
+				return false
+			}
+		}
+		return len(cover) <= len(on)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

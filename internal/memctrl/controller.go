@@ -1,0 +1,623 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"smores/internal/bus"
+	"smores/internal/core"
+	"smores/internal/gddr6x"
+	"smores/internal/rng"
+	"smores/internal/stats"
+)
+
+// Stats reports controller activity.
+type Stats struct {
+	Clock          int64
+	ReadsServed    int64
+	WritesServed   int64
+	ReadLatencySum int64 // arrive → data decoded, reads only
+	SparseReads    int64
+	SparseWrites   int64
+	// DecisionMismatches counts disagreements between the DRAM-side and
+	// GPU-side codec decisions — the mechanism's invariant says zero.
+	DecisionMismatches int64
+	// BusConflicts counts data-slot overlaps — scheduling invariant, zero.
+	BusConflicts int64
+	// MaxGapClocks is the largest idle span observed between transfers —
+	// dominated by the refresh shadow (tRFC under REFab, tRFCpb-ish under
+	// REFpb).
+	MaxGapClocks int64
+}
+
+// Controller drives one GDDR6X channel. Not safe for concurrent use;
+// advance it with Tick.
+type Controller struct {
+	cfg Config
+	dev *gddr6x.Device
+	ch  *bus.Channel
+
+	clock  int64
+	readQ  []*Request
+	writeQ []*Request
+
+	writeMode  bool
+	refreshing bool
+	// busReservedUntil is the clock through which the data bus is booked
+	// (dense slots when undecided, stretched slots once a sparse length
+	// commits). Column commands whose data would start earlier are held.
+	busReservedUntil int64
+	// cmdBusyTill models command-bus occupancy: GDDR6-style ACTIVATE
+	// commands span two command clocks, so an ACT displaces the column
+	// command that would have used the next slot — the paper's dominant
+	// source of one-clock data-bus gaps.
+	cmdBusyTill int64
+
+	// pending is the most recently placed transfer; its encoding may still
+	// be undecided and its trailing idle unaccounted.
+	pending *xfer
+
+	dramTracker core.GapTracker
+	gpuTracker  core.GapTracker
+
+	// payload generates random burst data in exact-data mode (encrypted
+	// traffic is uniform random, so synthesized payloads are faithful).
+	payload *rng.RNG
+	buf     [bus.BurstBytes]byte
+
+	completions []*Request // sorted by Done
+	onReadDone  func(*Request)
+
+	readGaps  *stats.Histogram
+	writeGaps *stats.Histogram
+	st        Stats
+}
+
+// xfer tracks one data transfer through decision and idle accounting.
+type xfer struct {
+	req       *Request
+	cmdAt     int64
+	dataStart int64
+	kind      Kind
+	decided   bool
+	codeLen   int
+	postamble bool
+	accounted bool // trailing idle accounted
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dev, err := gddr6x.NewDevice(cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Policy == OptimizedMTA {
+		cfg.Bus.LevelShiftedIdle = true
+	}
+	c := &Controller{
+		cfg:       cfg,
+		dev:       dev,
+		ch:        bus.New(cfg.Bus),
+		readGaps:  stats.NewHistogram(cfg.GapHistBuckets),
+		writeGaps: stats.NewHistogram(cfg.GapHistBuckets),
+	}
+	if cfg.Bus.ExactData {
+		c.payload = rng.New(0x5310_4E5)
+	}
+	return c, nil
+}
+
+// OnReadDone registers the completion callback (data fully arrived and
+// decoded). Must be set before ticking if completions matter.
+func (c *Controller) OnReadDone(f func(*Request)) { c.onReadDone = f }
+
+// Clock returns the current command clock.
+func (c *Controller) Clock() int64 { return c.clock }
+
+// Stats returns a snapshot of controller statistics.
+func (c *Controller) Stats() Stats { return c.st }
+
+// BusStats returns the channel energy/occupancy statistics.
+func (c *Controller) BusStats() bus.Stats { return c.ch.Stats() }
+
+// BusEvents returns the recorded bus event sequence (empty unless
+// Config.Bus.Record was set).
+func (c *Controller) BusEvents() []bus.Event { return c.ch.Events() }
+
+// ReadGapHistogram returns idle data-bus clocks observed after read
+// transfers (Fig. 5a).
+func (c *Controller) ReadGapHistogram() *stats.Histogram { return c.readGaps }
+
+// WriteGapHistogram returns idle clocks after write transfers (Fig. 5b).
+func (c *Controller) WriteGapHistogram() *stats.Histogram { return c.writeGaps }
+
+// QueueLens returns the current read and write queue depths.
+func (c *Controller) QueueLens() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Enqueue offers a request; it reports false when the target queue is
+// full (the caller must retry later — this is the backpressure path).
+func (c *Controller) Enqueue(r *Request) bool {
+	r.Addr = c.cfg.Timing.MapSector(r.Sector)
+	r.Arrive = c.clock
+	switch r.Kind {
+	case Read:
+		if len(c.readQ) >= c.cfg.ReadQueueCap {
+			return false
+		}
+		c.readQ = append(c.readQ, r)
+	case Write:
+		if len(c.writeQ) >= c.cfg.WriteQueueCap {
+			return false
+		}
+		c.writeQ = append(c.writeQ, r)
+	default:
+		panic("memctrl: unknown request kind")
+	}
+	return true
+}
+
+// decisionDeadline returns how long after a column command the encoding
+// decision may wait for the next command before it must commit.
+func (c *Controller) decisionDeadline() int64 {
+	if c.cfg.Policy == SMOREs && c.cfg.Scheme.Detection == core.Conservative {
+		return int64(c.cfg.Scheme.Window())
+	}
+	// Exhaustive (and the baselines): the data must be encoded just
+	// before it leaves at RL; leave a small encode margin.
+	d := c.cfg.Timing.RL - 4
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Tick advances one command clock.
+func (c *Controller) Tick() {
+	c.deliverCompletions()
+
+	// Encoding decision deadline for the pending transfer: no follow-up
+	// command has arrived, so both sides know the gap is at least the
+	// deadline and commit on that basis (conservative detection instead
+	// falls back to MTA here).
+	if c.pending != nil && !c.pending.decided && c.clock-c.pending.cmdAt > c.decisionDeadline() {
+		proxy := int(c.decisionDeadline()) - core.BurstSlotClocks
+		c.decidePending(proxy, proxy, false, c.pending.kind)
+	}
+
+	if c.dev.Busy(c.clock) {
+		c.clock++
+		return
+	}
+
+	if c.cfg.Refresh == PerBank {
+		if c.issuePerBankRefresh() {
+			c.clock++
+			return
+		}
+	} else {
+		if c.dev.RefreshDue(c.clock) {
+			c.refreshing = true
+		}
+		if c.refreshing {
+			if c.issueForRefresh() {
+				c.clock++
+				return
+			}
+			// No refresh-related command issuable this clock: fall through
+			// so in-flight banks can finish their row cycles.
+		}
+	}
+
+	c.updateMode()
+
+	if !c.refreshing && c.clock >= c.cmdBusyTill {
+		// Column commands claim their slot; activates and precharges use
+		// the free slots between them (tCCD leaves every other clock
+		// open). Because a GDDR6-style ACTIVATE spans two command clocks,
+		// an ACT started in a free slot spills into the next column slot
+		// and slips that transfer by one clock — the paper's §IV-A
+		// dominant source of one-clock data-bus gaps.
+		if c.issueColumn() || c.issuePrep(c.activeQueue()) || c.issuePrep(c.inactiveQueue()) ||
+			c.issueClosePage() {
+			c.clock++
+			return
+		}
+	}
+	c.clock++
+}
+
+// Drain runs the controller until all queued and in-flight work has
+// completed or maxClocks elapse; it returns false on timeout.
+func (c *Controller) Drain(maxClocks int64) bool {
+	deadline := c.clock + maxClocks
+	for (len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.completions) > 0) && c.clock < deadline {
+		c.Tick()
+	}
+	// Let the final pending decision and completions flush.
+	for i := int64(0); i < c.cfg.Timing.RL+int64(core.MaxSparseSymbols)+c.decisionDeadline()+4 && c.clock < deadline; i++ {
+		c.Tick()
+	}
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.completions) == 0
+}
+
+func (c *Controller) activeQueue() *[]*Request {
+	if c.writeMode {
+		return &c.writeQ
+	}
+	return &c.readQ
+}
+
+func (c *Controller) inactiveQueue() *[]*Request {
+	if c.writeMode {
+		return &c.readQ
+	}
+	return &c.writeQ
+}
+
+func (c *Controller) updateMode() {
+	if c.writeMode {
+		if len(c.writeQ) == 0 || (len(c.writeQ) <= c.cfg.WriteLo && len(c.readQ) > 0) {
+			c.writeMode = false
+		}
+		return
+	}
+	if len(c.writeQ) >= c.cfg.WriteHi || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+		c.writeMode = true
+	}
+}
+
+// issueForRefresh closes banks and fires REFab. Returns true if it issued
+// a command this clock.
+func (c *Controller) issueForRefresh() bool {
+	if c.dev.CanRefresh(c.clock) {
+		if err := c.dev.Refresh(c.clock); err != nil {
+			panic("memctrl: " + err.Error())
+		}
+		c.refreshing = false
+		return true
+	}
+	for b := 0; b < c.cfg.Timing.Banks; b++ {
+		if _, open := c.dev.OpenRow(b); open && c.dev.CanPrecharge(b, c.clock) {
+			if err := c.dev.Precharge(b, c.clock); err != nil {
+				panic("memctrl: " + err.Error())
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// issueColumn issues the first legal READ/WRITE from the active queue
+// (FR-FCFS: the queue scan naturally prefers older requests; row hits are
+// the only issuable ones).
+func (c *Controller) issueColumn() bool {
+	q := c.activeQueue()
+	for i, r := range *q {
+		var ok bool
+		lat := c.cfg.Timing.RL
+		if r.Kind == Read {
+			ok = c.dev.CanRead(r.Addr, c.clock)
+		} else {
+			lat = c.cfg.Timing.WL
+			ok = c.dev.CanWrite(r.Addr, c.clock)
+		}
+		lat += c.cfg.ExtraCodecLatency // must match placeTransfer's data start
+		// Hold the command if its data would start inside a booked slot
+		// (e.g. a read stretched across a gap; write data is buffered).
+		if ok && c.clock+lat < c.busReservedUntil {
+			ok = false
+		}
+		if !ok {
+			continue
+		}
+		var err error
+		if r.Kind == Read {
+			err = c.dev.Read(r.Addr, c.clock)
+		} else {
+			err = c.dev.Write(r.Addr, c.clock)
+		}
+		if err != nil {
+			panic("memctrl: " + err.Error())
+		}
+		*q = append((*q)[:i], (*q)[i+1:]...)
+		c.placeTransfer(r)
+		return true
+	}
+	return false
+}
+
+// issuePrep issues one PRECHARGE or ACTIVATE needed by the queue, oldest
+// request first. Activates get command-bus priority over column commands
+// at the call site ordering in Tick — per the paper, GPU controllers
+// prioritize activates to sustain bank-level parallelism, and those stolen
+// command slots are the dominant source of one-clock data-bus gaps.
+func (c *Controller) issuePrep(q *[]*Request) bool {
+	prepped := make(map[int]bool, 4)
+	for _, r := range *q {
+		if prepped[r.Addr.Bank] {
+			continue
+		}
+		prepped[r.Addr.Bank] = true
+		if c.dev.RowHit(r.Addr) {
+			continue
+		}
+		if c.dev.NeedsPrecharge(r.Addr) {
+			if c.dev.CanPrecharge(r.Addr.Bank, c.clock) {
+				if err := c.dev.Precharge(r.Addr.Bank, c.clock); err != nil {
+					panic("memctrl: " + err.Error())
+				}
+				return true
+			}
+			continue
+		}
+		if c.dev.CanActivate(r.Addr.Bank, c.clock) {
+			if err := c.dev.Activate(r.Addr.Bank, r.Addr.Row, c.clock); err != nil {
+				panic("memctrl: " + err.Error())
+			}
+			c.cmdBusyTill = c.clock + 2 // ACT is a two-clock command
+			return true
+		}
+	}
+	return false
+}
+
+// issuePerBankRefresh services round-robin REFpb when due: close the
+// target bank if needed, then refresh it. Other banks keep serving, so
+// only a short single-bank shadow appears on the bus.
+func (c *Controller) issuePerBankRefresh() bool {
+	if !c.dev.PerBankRefreshDue(c.clock) {
+		return false
+	}
+	b := c.dev.NextRefreshBank()
+	if _, open := c.dev.OpenRow(b); open {
+		if c.dev.CanPrecharge(b, c.clock) {
+			if err := c.dev.Precharge(b, c.clock); err != nil {
+				panic("memctrl: " + err.Error())
+			}
+			return true
+		}
+		return false
+	}
+	if c.dev.CanRefreshBank(b, c.clock) {
+		if err := c.dev.RefreshBank(b, c.clock); err != nil {
+			panic("memctrl: " + err.Error())
+		}
+		return true
+	}
+	return false
+}
+
+// issueClosePage implements the ClosedPage ablation: precharge any open
+// bank whose row no queued request wants.
+func (c *Controller) issueClosePage() bool {
+	if c.cfg.Pages != ClosedPage {
+		return false
+	}
+	for b := 0; b < c.cfg.Timing.Banks; b++ {
+		row, open := c.dev.OpenRow(b)
+		if !open || !c.dev.CanPrecharge(b, c.clock) {
+			continue
+		}
+		wanted := false
+		for _, q := range []*[]*Request{&c.readQ, &c.writeQ} {
+			for _, r := range *q {
+				if r.Addr.Bank == b && r.Addr.Row == row {
+					wanted = true
+					break
+				}
+			}
+			if wanted {
+				break
+			}
+		}
+		if wanted {
+			continue
+		}
+		if err := c.dev.Precharge(b, c.clock); err != nil {
+			panic("memctrl: " + err.Error())
+		}
+		return true
+	}
+	return false
+}
+
+// placeTransfer books the data slot for a just-issued column command,
+// decides the previous pending transfer's encoding, and accounts the idle
+// span between them.
+func (c *Controller) placeTransfer(r *Request) {
+	lat := c.cfg.Timing.RL
+	if r.Kind == Write {
+		lat = c.cfg.Timing.WL
+	}
+	lat += c.cfg.ExtraCodecLatency
+	x := &xfer{req: r, cmdAt: c.clock, dataStart: c.clock + lat, kind: r.Kind}
+	r.IssuedAt = c.clock
+	r.DataStart = x.dataStart
+
+	// Both ends of the link observe every column command; the DRAM-side
+	// and GPU-side trackers must always agree (verified in decidePending).
+	gapDRAM := c.dramTracker.Observe(c.clock)
+	gapGPU := c.gpuTracker.Observe(c.clock)
+
+	if c.pending != nil {
+		if !c.pending.decided {
+			delta := c.clock - c.pending.cmdAt
+			known := true
+			if c.cfg.Policy == SMOREs && c.cfg.Scheme.Detection == core.Conservative {
+				known = delta <= int64(c.cfg.Scheme.Window())
+			}
+			c.decidePending(gapDRAM, gapGPU, known, r.Kind)
+		}
+		if !c.pending.accounted {
+			c.accountIdle(c.pending, x)
+		}
+	}
+	c.pending = x
+	if end := x.dataStart + core.BurstSlotClocks; end > c.busReservedUntil {
+		c.busReservedUntil = end
+	}
+}
+
+// decidePending commits the pending transfer's encoding. gap is the idle
+// clocks available after its dense slot as the DRAM-side tracker computed
+// it; gpuGap is the same quantity from the GPU-side tracker; known is the
+// conservative-window flag; nextKind is the kind of the upcoming transfer
+// (sparse stretching is only applied between same-direction transfers —
+// a direction switch has turnaround dead time instead of an exploitable
+// gap).
+func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
+	p := c.pending
+	codeLen := 0
+	if c.cfg.Policy == SMOREs && nextKind == p.kind {
+		codeLen = c.cfg.Scheme.SelectLength(gap, known)
+	}
+	// The other end of the link (GPU for reads, DRAM for writes) mirrors
+	// the decision from its own tracker over the same command stream;
+	// verify the mechanism's central invariant.
+	if mirror := c.mirrorDecision(gpuGap, known, nextKind, p.kind); mirror != codeLen {
+		c.st.DecisionMismatches++
+	}
+
+	p.decided = true
+	p.codeLen = codeLen
+	p.postamble = codeLen == 0 && gap > 0 && c.cfg.Policy != OptimizedMTA
+	p.req.CodeLength = codeLen
+	if end := p.dataStart + int64(core.SlotClocks(codeLen)); end > c.busReservedUntil {
+		c.busReservedUntil = end
+	}
+
+	var data []byte
+	if c.payload != nil {
+		c.payload.Fill(c.buf[:])
+		data = c.buf[:]
+	}
+	if err := c.ch.SendBurst(data, codeLen); err != nil {
+		panic("memctrl: " + err.Error())
+	}
+	if p.postamble {
+		c.ch.Postamble()
+	}
+
+	if codeLen != 0 {
+		if p.kind == Read {
+			c.st.SparseReads++
+		} else {
+			c.st.SparseWrites++
+		}
+	}
+
+	if p.kind == Read {
+		p.req.Done = p.dataStart + int64(core.SlotClocks(codeLen))
+		c.scheduleCompletion(p.req)
+	} else {
+		c.st.WritesServed++
+	}
+}
+
+// mirrorDecision recomputes the codec choice as the other end of the link
+// would (GPU for reads, DRAM for writes), from the same observable
+// command stream.
+func (c *Controller) mirrorDecision(gap int, known bool, nextKind, kind Kind) int {
+	if c.cfg.Policy != SMOREs || nextKind != kind {
+		return 0
+	}
+	return c.cfg.Scheme.SelectLength(gap, known)
+}
+
+// accountIdle charges the bus for the idle span between prev's slot and
+// next's data start, and records the gap histograms.
+func (c *Controller) accountIdle(prev, next *xfer) {
+	prev.accounted = true
+	denseEnd := prev.dataStart + core.BurstSlotClocks
+	span := next.dataStart - denseEnd
+	if span < 0 {
+		c.st.BusConflicts++
+		return
+	}
+	used := int64(0)
+	if prev.codeLen > 0 {
+		used = int64(prev.codeLen - core.BurstSlotClocks)
+	} else if prev.postamble {
+		used = 1
+	}
+	if span > c.st.MaxGapClocks {
+		c.st.MaxGapClocks = span
+	}
+	idle := span - used
+	if idle < 0 {
+		c.st.BusConflicts++
+		idle = 0
+	}
+	c.ch.Idle(idle * bus.UIsPerClock)
+	if prev.kind == next.kind {
+		if prev.kind == Read {
+			c.readGaps.Add(int(span))
+		} else {
+			c.writeGaps.Add(int(span))
+		}
+	}
+}
+
+// scheduleCompletion inserts a read into the completion list (kept sorted
+// by Done; lists are short).
+func (c *Controller) scheduleCompletion(r *Request) {
+	i := len(c.completions)
+	for i > 0 && c.completions[i-1].Done > r.Done {
+		i--
+	}
+	c.completions = append(c.completions, nil)
+	copy(c.completions[i+1:], c.completions[i:])
+	c.completions[i] = r
+}
+
+func (c *Controller) deliverCompletions() {
+	for len(c.completions) > 0 && c.completions[0].Done <= c.clock {
+		r := c.completions[0]
+		c.completions = c.completions[1:]
+		c.st.ReadsServed++
+		c.st.ReadLatencySum += r.Done - r.Arrive
+		if c.onReadDone != nil {
+			c.onReadDone(r)
+		}
+	}
+}
+
+// Finish decides any still-pending transfer (treating the bus as idle
+// afterwards) and delivers outstanding completions. Call once after the
+// workload ends.
+func (c *Controller) Finish() {
+	if c.pending != nil && !c.pending.decided {
+		// End of trace: an arbitrarily long gap follows.
+		gap := int(c.decisionDeadline()) - core.BurstSlotClocks
+		if gap < 1 {
+			gap = 1
+		}
+		known := c.cfg.Policy != SMOREs || c.cfg.Scheme.Detection != core.Conservative
+		c.decidePending(gap, gap, known, c.pending.kind)
+	}
+	if len(c.completions) > 0 {
+		c.clock = c.completions[len(c.completions)-1].Done + 1
+		c.deliverCompletions()
+	}
+}
+
+// AverageReadLatency returns mean read latency in clocks.
+func (c *Controller) AverageReadLatency() float64 {
+	if c.st.ReadsServed == 0 {
+		return 0
+	}
+	return float64(c.st.ReadLatencySum) / float64(c.st.ReadsServed)
+}
+
+// Describe summarizes the controller configuration for reports.
+func (c *Controller) Describe() string {
+	if c.cfg.Policy == SMOREs {
+		return fmt.Sprintf("%v(%v)", c.cfg.Policy, c.cfg.Scheme)
+	}
+	return c.cfg.Policy.String()
+}

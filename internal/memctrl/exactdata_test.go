@@ -1,0 +1,68 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+
+	"smores/internal/bus"
+	"smores/internal/core"
+	"smores/internal/rng"
+)
+
+// TestExactDataEndToEnd runs whole simulations with real symbol streams
+// on the wires (random payloads standing in for encrypted data) under
+// every policy, asserting the physical invariant — no 3ΔV transition
+// ever appears across any mix of MTA bursts, sparse bursts, postambles,
+// seams and idle periods produced by real scheduling — and that the
+// expected-energy fast path agrees with exact accounting.
+func TestExactDataEndToEnd(t *testing.T) {
+	schemes := []Config{
+		{Policy: BaselineMTA},
+		{Policy: OptimizedMTA},
+		{Policy: SMOREs, Scheme: core.Scheme{Specification: core.StaticCode, Detection: core.Exhaustive}},
+		{Policy: SMOREs, Scheme: core.Scheme{Specification: core.VariableCode, Detection: core.Exhaustive}},
+		{Policy: SMOREs, Scheme: core.Scheme{Specification: core.StaticCode, Detection: core.Conservative}},
+	}
+	for si, base := range schemes {
+		run := func(exact bool) *Controller {
+			cfg := base
+			cfg.Bus = bus.Config{ExactData: exact}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(uint64(42 + si))
+			var arrivals []arrival
+			at := int64(0)
+			for i := 0; i < 1200; i++ {
+				at += int64(r.Intn(10))
+				kind := Read
+				if r.Bool(0.3) {
+					kind = Write
+				}
+				arrivals = append(arrivals, arrival{at: at, req: &Request{
+					ID: uint64(i), Kind: kind, Sector: uint64(r.Intn(1 << 20)),
+				}})
+			}
+			feed(t, c, arrivals)
+			return c
+		}
+		exact := run(true)
+		expected := run(false)
+
+		st := exact.BusStats()
+		if st.Violations != 0 {
+			t.Errorf("scheme %d: %d max-transition violations on real streams", si, st.Violations)
+		}
+		if st.DataBits == 0 {
+			t.Fatalf("scheme %d: no data moved", si)
+		}
+		ePer, xPer := expected.BusStats().PerBit(), st.PerBit()
+		if math.Abs(ePer-xPer)/ePer > 0.01 {
+			t.Errorf("scheme %d: exact %.1f vs expected %.1f fJ/bit (>1%% apart)", si, xPer, ePer)
+		}
+		if exact.Stats().DecisionMismatches != 0 || exact.Stats().BusConflicts != 0 {
+			t.Errorf("scheme %d: invariants violated: %+v", si, exact.Stats())
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package memctrl implements a GPU-style GDDR6X memory controller for one
+// channel: FR-FCFS scheduling with activate priority, write-buffer
+// draining with bus turnaround, refresh management, and — the part the
+// paper adds — the opportunistic SMOREs encoding decision driven by
+// command-gap detection, mirrored on both the DRAM and GPU side.
+package memctrl
+
+import (
+	"fmt"
+
+	"smores/internal/gddr6x"
+)
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+// Request kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one 32-byte sector transfer requested of the controller.
+type Request struct {
+	// ID is a caller-chosen identifier, echoed on completion.
+	ID uint64
+	// Kind selects read or write.
+	Kind Kind
+	// Sector is the linear 32-byte sector index within the channel.
+	Sector uint64
+	// Arrive is the clock at which the request entered the controller.
+	Arrive int64
+
+	// Fields filled by the controller:
+
+	// Addr is the decomposed DRAM coordinate.
+	Addr gddr6x.Address
+	// IssuedAt is the clock of the column command.
+	IssuedAt int64
+	// DataStart is the clock at which the data slot begins.
+	DataStart int64
+	// CodeLength is the encoding used (0 = MTA).
+	CodeLength int
+	// Done is the clock at which read data has fully arrived and decoded
+	// (reads only).
+	Done int64
+}

@@ -1,0 +1,86 @@
+package mta
+
+import (
+	"math/rand"
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+func TestInversionChainWarmup(t *testing.T) {
+	c := New(pam4.DefaultEnergyModel())
+	// Sequence 0 after a seam reset is never inverted.
+	if got := c.inversionProbAt(0); got != 0 {
+		t.Errorf("π₀ = %g, want 0", got)
+	}
+	// The chain increases toward and converges on the steady state.
+	prev := 0.0
+	for k := 1; k <= inversionChainDepth; k++ {
+		pi := c.inversionProbAt(k)
+		if pi <= 0 || pi > c.InversionProbability()+1e-9 {
+			t.Errorf("π_%d = %g out of (0, %g]", k, pi, c.InversionProbability())
+		}
+		if pi < prev-1e-9 {
+			t.Errorf("π_%d = %g decreased from %g", k, pi, prev)
+		}
+		prev = pi
+	}
+	if got := c.inversionProbAt(inversionChainDepth + 5); got != c.InversionProbability() {
+		t.Errorf("deep chain π = %g, want steady state %g", got, c.InversionProbability())
+	}
+	// Energies follow: fresh sequences are cheapest.
+	if c.ExpectedSeqEnergyAt(0) >= c.ExpectedSeqEnergy() {
+		t.Error("fresh sequence should be cheaper than steady state")
+	}
+	if c.ExpectedBeatEnergyAt(0) >= c.ExpectedBeatEnergyAt(100) {
+		t.Error("fresh beat should be cheaper than steady state")
+	}
+}
+
+// TestChainWarmupMonteCarlo verifies the warm-up recurrence against a
+// simulated wire that resets its seam every burst.
+func TestChainWarmupMonteCarlo(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	c := New(m)
+	rng := rand.New(rand.NewSource(99))
+	const bursts = 120000
+	const seqsPerBurst = 2
+	sums := make([]float64, seqsPerBurst)
+	for b := 0; b < bursts; b++ {
+		prev := IdleLevel // seam reset
+		for k := 0; k < seqsPerBurst; k++ {
+			s, nl := c.EncodeWire(uint8(rng.Intn(TableSize)), prev)
+			sums[k] += m.SeqEnergy(s)
+			prev = nl
+		}
+	}
+	for k := 0; k < seqsPerBurst; k++ {
+		got := sums[k] / bursts
+		want := c.ExpectedSeqEnergyAt(k)
+		if diff := (got - want) / want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("sequence %d: MC %.1f vs model %.1f", k, got, want)
+		}
+	}
+}
+
+func TestEndL3Prob(t *testing.T) {
+	c := New(pam4.DefaultEnergyModel())
+	p0 := c.EndL3ProbAt(0)
+	if p0 <= 0 || p0 >= 1 {
+		t.Fatalf("EndL3ProbAt(0) = %g", p0)
+	}
+	// Monte Carlo check for the fresh case.
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s, _ := c.EncodeWire(uint8(rng.Intn(TableSize)), IdleLevel)
+		if s.Last() == pam4.L3 {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if diff := (got - p0) / p0; diff > 0.03 || diff < -0.03 {
+		t.Errorf("fresh end-L3 probability: MC %.4f vs model %.4f", got, p0)
+	}
+}

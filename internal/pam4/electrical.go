@@ -1,0 +1,99 @@
+package pam4
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriverConfig describes the GDDR6X-style PAM4 output stage: a bank of
+// identical driver legs that can each pull the wire up to VDDQ or down to
+// ground, against an on-die termination resistor to VDDQ at the receiver
+// (pseudo-open-drain signaling). Level L(k) is produced by enabling k
+// pull-down legs (and Legs−k pull-up legs), so L0 parks the wire at VDDQ
+// with zero static current and L3 draws the most.
+//
+// The defaults reproduce the paper's Table II / Figure 2 electrical
+// parameters for GDDR6X on an RTX 3090.
+type DriverConfig struct {
+	// VDDQ is the I/O supply voltage in volts.
+	VDDQ float64
+	// LegOhms is the resistance of one driver leg (pull-up and pull-down
+	// legs are matched, the paper's "120/120 Ω").
+	LegOhms float64
+	// Legs is the number of driver legs (3 for PAM4: levels 0..3).
+	Legs int
+	// TermOhms is the receiver termination resistance to VDDQ.
+	TermOhms float64
+}
+
+// DefaultDriver is the GDDR6X PAM4 output stage from the paper's Table II:
+// VDDQ = 1.35 V, three 120 Ω/120 Ω legs, 40 Ω termination.
+func DefaultDriver() DriverConfig {
+	return DriverConfig{VDDQ: 1.35, LegOhms: 120, Legs: 3, TermOhms: 40}
+}
+
+// Validate checks that the configuration describes a physical network.
+func (c DriverConfig) Validate() error {
+	switch {
+	case c.VDDQ <= 0:
+		return fmt.Errorf("pam4: VDDQ must be positive, got %g", c.VDDQ)
+	case c.LegOhms <= 0:
+		return fmt.Errorf("pam4: leg resistance must be positive, got %g", c.LegOhms)
+	case c.TermOhms <= 0:
+		return fmt.Errorf("pam4: termination resistance must be positive, got %g", c.TermOhms)
+	case c.Legs != NumLevels-1:
+		return fmt.Errorf("pam4: PAM4 needs %d driver legs, got %d", NumLevels-1, c.Legs)
+	}
+	return nil
+}
+
+// LevelPoint is the electrical operating point of one PAM4 level.
+type LevelPoint struct {
+	Level Level
+	// PullDownLegs is how many legs pull to ground at this level.
+	PullDownLegs int
+	// PullUpOhms is the equivalent resistance to VDDQ (termination in
+	// parallel with the enabled pull-up legs).
+	PullUpOhms float64
+	// PullDownOhms is the equivalent resistance to ground
+	// (+Inf when no leg pulls down).
+	PullDownOhms float64
+	// Volts is the wire voltage.
+	Volts float64
+	// SupplyAmps is the static current drawn from VDDQ.
+	SupplyAmps float64
+}
+
+// OperatingPoints solves the resistive divider for all four levels,
+// lowest-energy level first. Level L(k) enables k pull-down legs.
+func (c DriverConfig) OperatingPoints() [NumLevels]LevelPoint {
+	var pts [NumLevels]LevelPoint
+	for k := 0; k < NumLevels; k++ {
+		p := LevelPoint{Level: Level(k), PullDownLegs: k}
+		upLegs := c.Legs - k
+		// Conductance to VDDQ: termination plus enabled pull-up legs.
+		gUp := 1/c.TermOhms + float64(upLegs)/c.LegOhms
+		p.PullUpOhms = 1 / gUp
+		if k == 0 {
+			// No DC path to ground: wire sits at VDDQ, zero current.
+			p.PullDownOhms = math.Inf(1)
+			p.Volts = c.VDDQ
+			p.SupplyAmps = 0
+		} else {
+			p.PullDownOhms = c.LegOhms / float64(k)
+			total := p.PullUpOhms + p.PullDownOhms
+			p.Volts = c.VDDQ * p.PullDownOhms / total
+			p.SupplyAmps = c.VDDQ / total
+		}
+		pts[k] = p
+	}
+	return pts
+}
+
+// LevelSpacing returns the voltage difference between adjacent levels in
+// volts. For the default GDDR6X network this is 225 mV. The spacing is
+// uniform for matched legs; this returns the L0→L1 step.
+func (c DriverConfig) LevelSpacing() float64 {
+	pts := c.OperatingPoints()
+	return pts[0].Volts - pts[1].Volts
+}

@@ -1,0 +1,160 @@
+package pam4
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > 1e-9 {
+			t.Errorf("%s = %g, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want)*100 > tolPct {
+		t.Errorf("%s = %g, want %g (±%g%%)", name, got, want, tolPct)
+	}
+}
+
+// TestOperatingPointsMatchPaper pins the Figure 2 electrical table: the
+// voltages are 225 mV apart and the current steps are the paper's 9.4 mA
+// (L0→L1) and 5.6 mA (L1→L2).
+func TestOperatingPointsMatchPaper(t *testing.T) {
+	pts := DefaultDriver().OperatingPoints()
+
+	wantVolts := []float64{1.35, 1.125, 0.9, 0.675}
+	wantAmps := []float64{0, 0.009375, 0.015, 0.016875}
+	for i, p := range pts {
+		if p.Level != Level(i) || p.PullDownLegs != i {
+			t.Errorf("point %d mislabeled: %+v", i, p)
+		}
+		approx(t, "volts", p.Volts, wantVolts[i], 0.01)
+		approx(t, "amps", p.SupplyAmps, wantAmps[i], 0.01)
+	}
+	// Paper: ΔI(L0→L1) = 9.4 mA, ΔI(L1→L2) = 5.6 mA (quoted to 2 digits).
+	approx(t, "ΔI L0→L1", pts[1].SupplyAmps-pts[0].SupplyAmps, 0.0094, 1)
+	approx(t, "ΔI L1→L2", pts[2].SupplyAmps-pts[1].SupplyAmps, 0.0056, 1)
+	// Equivalent divider resistances (Figure 2's table).
+	approx(t, "L1 pull-up", pts[1].PullUpOhms, 24, 0.01)
+	approx(t, "L2 pull-up", pts[2].PullUpOhms, 30, 0.01)
+	approx(t, "L3 pull-up", pts[3].PullUpOhms, 40, 0.01)
+	approx(t, "L1 pull-down", pts[1].PullDownOhms, 120, 0.01)
+	approx(t, "L2 pull-down", pts[2].PullDownOhms, 60, 0.01)
+	approx(t, "L3 pull-down", pts[3].PullDownOhms, 40, 0.01)
+	if !math.IsInf(pts[0].PullDownOhms, 1) {
+		t.Errorf("L0 pull-down should be infinite, got %g", pts[0].PullDownOhms)
+	}
+}
+
+func TestLevelSpacing(t *testing.T) {
+	approx(t, "level spacing", DefaultDriver().LevelSpacing(), 0.225, 0.01)
+}
+
+func TestDriverValidate(t *testing.T) {
+	good := DefaultDriver()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default driver invalid: %v", err)
+	}
+	bad := []DriverConfig{
+		{VDDQ: 0, LegOhms: 120, Legs: 3, TermOhms: 40},
+		{VDDQ: 1.35, LegOhms: 0, Legs: 3, TermOhms: 40},
+		{VDDQ: 1.35, LegOhms: 120, Legs: 3, TermOhms: -1},
+		{VDDQ: 1.35, LegOhms: 120, Legs: 2, TermOhms: 40},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, c)
+		}
+	}
+}
+
+// TestEnergyModelCalibration pins the derived per-symbol energies against
+// the paper's published anchors.
+func TestEnergyModelCalibration(t *testing.T) {
+	m := DefaultEnergyModel()
+
+	// Mean PAM4 symbol = 1057.5 fJ, i.e. 528.8 fJ/bit.
+	approx(t, "mean symbol", m.MeanSymbolEnergy(), 1057.5, 0.001)
+	approx(t, "PAM4 fJ/bit", m.PAM4PerBit(), 528.75, 0.001)
+
+	// Derived per-level energies.
+	want := []float64{0, 961.36, 1538.18, 1730.45}
+	for l, w := range want {
+		approx(t, "E(L"+string(rune('0'+l))+")", m.SymbolEnergy(Level(l)), w, 0.01)
+	}
+
+	// T_eff ≈ 76 ps.
+	approx(t, "T_eff", m.EffectiveWindow(), 75.96e-12, 0.1)
+
+	// The paper's 2-bit→2-symbol example: {L0L0, L0L1, L1L0, L2L0}
+	// averages 865 fJ per 2 bits (432.5 fJ/bit, an 18% saving).
+	codes := []Seq{
+		MakeSeq(L0, L0), MakeSeq(L0, L1), MakeSeq(L1, L0), MakeSeq(L2, L0),
+	}
+	var sum float64
+	for _, c := range codes {
+		sum += m.SeqEnergy(c)
+	}
+	avg := sum / 4
+	approx(t, "2b2s avg", avg, 865, 0.1)
+	saving := 1 - (avg/2)/m.PAM4PerBit()
+	approx(t, "2b2s saving", saving, 0.18, 2)
+}
+
+func TestPostambleCalibration(t *testing.T) {
+	m := DefaultEnergyModel()
+	// One command clock (4 UI) of L1 on a 9-wire group, amortized over the
+	// group's 256-bit share of a burst... the paper's adder is per 256-bit
+	// burst over 18 wires: 18 wires × 4 UI × E_post / 256 bits = 325.4.
+	adder := 18 * 4 * m.PostambleWireUIEnergy() / 256
+	approx(t, "postamble fJ/bit adder", adder, 325.4, 0.01)
+	// Sanity: the calibrated postamble drive is within 0.5% of
+	// VDDQ²/LegOhms · T_eff.
+	d := m.Driver()
+	structural := d.VDDQ * d.VDDQ / d.LegOhms * m.EffectiveWindow() * 1e15
+	approx(t, "postamble vs structural", m.PostambleWireUIEnergy(), structural, 0.5)
+}
+
+func TestSeqEnergy(t *testing.T) {
+	m := DefaultEnergyModel()
+	if got := m.SeqEnergy(MakeSeq()); got != 0 {
+		t.Errorf("empty sequence energy = %g", got)
+	}
+	s := MakeSeq(L1, L2, L3)
+	want := m.SymbolEnergy(L1) + m.SymbolEnergy(L2) + m.SymbolEnergy(L3)
+	approx(t, "seq energy", m.SeqEnergy(s), want, 1e-9)
+	// Monotonic in level.
+	for l := L0; l < L3; l++ {
+		if m.SymbolEnergy(l) >= m.SymbolEnergy(l+1) {
+			t.Errorf("energy not increasing from %v to %v", l, l+1)
+		}
+	}
+}
+
+func TestNewEnergyModelErrors(t *testing.T) {
+	if _, err := NewEnergyModel(DriverConfig{}, 1000); err == nil {
+		t.Error("invalid driver must error")
+	}
+	if _, err := NewEnergyModel(DefaultDriver(), 0); err == nil {
+		t.Error("zero calibration energy must error")
+	}
+	if _, err := NewEnergyModel(DefaultDriver(), -5); err == nil {
+		t.Error("negative calibration energy must error")
+	}
+}
+
+func TestSymbolEnergyPanicsOnInvalidLevel(t *testing.T) {
+	m := DefaultEnergyModel()
+	mustPanic(t, "invalid level energy", func() { m.SymbolEnergy(Level(4)) })
+}
+
+func TestLevelEnergiesCopy(t *testing.T) {
+	m := DefaultEnergyModel()
+	tbl := m.LevelEnergies()
+	tbl[1] = -1
+	if m.SymbolEnergy(L1) < 0 {
+		t.Error("LevelEnergies must return a copy")
+	}
+}

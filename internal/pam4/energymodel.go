@@ -1,0 +1,117 @@
+package pam4
+
+import "fmt"
+
+// Paper-published calibration anchors (all in femtojoules).
+const (
+	// CalibratedMeanSymbolEnergy is the paper's average energy of one
+	// unconstrained PAM4 symbol: 1057.5 fJ for 2 bits (528.8 fJ/bit).
+	CalibratedMeanSymbolEnergy = 1057.5
+
+	// CalibratedPostambleWireUIEnergy is the per-wire, per-unit-interval
+	// cost of driving the L1 postamble, calibrated so a one-command-clock
+	// postamble on a 9-wire group adds the paper's 325.4 fJ/bit to a
+	// 256-bit burst. It is within 0.3% of VDDQ²/LegOhms·T_eff, i.e. the
+	// postamble drive bypasses the termination divider.
+	CalibratedPostambleWireUIEnergy = 325.4 * 256 / 72
+)
+
+// EnergyModel maps PAM4 levels to per-symbol (per unit interval) energy in
+// femtojoules. Models are immutable once built.
+type EnergyModel struct {
+	perLevel  [NumLevels]float64
+	postamble float64
+	teff      float64 // effective energy-integration window, seconds
+	driver    DriverConfig
+}
+
+// NewEnergyModel derives per-symbol energies from the electrical operating
+// points of the driver network: E(level) = VDDQ · I(level) · T_eff, where
+// T_eff is calibrated so the mean symbol energy matches meanSymbolFJ.
+//
+// With the default GDDR6X driver and the paper's 1057.5 fJ mean this yields
+// E(L0..L3) ≈ 0, 961.4, 1538.2, 1730.5 fJ and T_eff ≈ 76 ps.
+func NewEnergyModel(driver DriverConfig, meanSymbolFJ float64) (*EnergyModel, error) {
+	if err := driver.Validate(); err != nil {
+		return nil, err
+	}
+	if meanSymbolFJ <= 0 {
+		return nil, fmt.Errorf("pam4: mean symbol energy must be positive, got %g", meanSymbolFJ)
+	}
+	pts := driver.OperatingPoints()
+	var meanPower float64
+	for _, p := range pts {
+		meanPower += driver.VDDQ * p.SupplyAmps
+	}
+	meanPower /= NumLevels
+	if meanPower <= 0 {
+		return nil, fmt.Errorf("pam4: driver network draws no current; cannot calibrate")
+	}
+	m := &EnergyModel{driver: driver}
+	// meanSymbolFJ is in fJ; convert to joules for the window computation.
+	m.teff = meanSymbolFJ * 1e-15 / meanPower
+	for i, p := range pts {
+		m.perLevel[i] = driver.VDDQ * p.SupplyAmps * m.teff * 1e15
+	}
+	m.postamble = CalibratedPostambleWireUIEnergy
+	return m, nil
+}
+
+// DefaultEnergyModel returns the paper-calibrated GDDR6X PAM4 energy model.
+// It panics only if the built-in constants are inconsistent, which is
+// covered by tests.
+func DefaultEnergyModel() *EnergyModel {
+	m, err := NewEnergyModel(DefaultDriver(), CalibratedMeanSymbolEnergy)
+	if err != nil {
+		panic("pam4: default energy model: " + err.Error())
+	}
+	return m
+}
+
+// SymbolEnergy returns the energy in fJ to drive one symbol of the given
+// level for one unit interval.
+func (m *EnergyModel) SymbolEnergy(l Level) float64 {
+	if !l.Valid() {
+		panic(fmt.Sprintf("pam4: invalid level %d", l))
+	}
+	return m.perLevel[l]
+}
+
+// SeqEnergy returns the total energy in fJ of a symbol sequence.
+func (m *EnergyModel) SeqEnergy(s Seq) float64 {
+	var e float64
+	for i := 0; i < s.Len(); i++ {
+		e += m.perLevel[s.At(i)]
+	}
+	return e
+}
+
+// MeanSymbolEnergy returns the average energy of one symbol over the four
+// levels, i.e. the expected per-symbol cost of uniform random PAM4 data.
+func (m *EnergyModel) MeanSymbolEnergy() float64 {
+	var sum float64
+	for _, e := range m.perLevel {
+		sum += e
+	}
+	return sum / NumLevels
+}
+
+// PAM4PerBit returns the expected fJ/bit of unconstrained PAM4 on uniform
+// random data (the paper's 528.8 fJ/bit).
+func (m *EnergyModel) PAM4PerBit() float64 {
+	return m.MeanSymbolEnergy() / BitsPerSymbol
+}
+
+// PostambleWireUIEnergy returns the per-wire, per-UI energy of driving the
+// L1 postamble.
+func (m *EnergyModel) PostambleWireUIEnergy() float64 { return m.postamble }
+
+// EffectiveWindow returns the calibrated energy-integration window T_eff in
+// seconds (≈76 ps for the default model).
+func (m *EnergyModel) EffectiveWindow() float64 { return m.teff }
+
+// Driver returns the electrical configuration the model was built from.
+func (m *EnergyModel) Driver() DriverConfig { return m.driver }
+
+// LevelEnergies returns a copy of the per-level energy table in fJ.
+func (m *EnergyModel) LevelEnergies() [NumLevels]float64 { return m.perLevel }

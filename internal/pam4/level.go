@@ -1,0 +1,96 @@
+// Package pam4 models four-level pulse-amplitude-modulation (PAM4)
+// signaling as used by the GDDR6X DRAM interface: the four voltage levels,
+// packed symbol sequences, the driver/termination electrical network that
+// determines per-symbol current draw, and the calibrated per-symbol energy
+// model used throughout the repository.
+//
+// Naming follows the SMOREs paper (HPCA 2022): L0 is the highest-voltage,
+// lowest-energy level (no driver legs pulling down); L3 is the
+// lowest-voltage, highest-energy level (all three legs pulling down).
+package pam4
+
+import "fmt"
+
+// Level is one PAM4 signal level. L0 is cheapest (highest voltage on a
+// POD-terminated bus, zero current), L3 most expensive.
+type Level uint8
+
+// The four PAM4 levels.
+const (
+	L0 Level = 0
+	L1 Level = 1
+	L2 Level = 2
+	L3 Level = 3
+
+	// NumLevels is the number of PAM4 signal levels.
+	NumLevels = 4
+
+	// BitsPerSymbol is the payload carried by one unconstrained PAM4 symbol.
+	BitsPerSymbol = 2
+
+	// MaxTransition is the largest level step permitted on an encoded wire
+	// (no 3ΔV swings between L0 and L3).
+	MaxTransition = 2
+)
+
+// Valid reports whether l is one of the four PAM4 levels.
+func (l Level) Valid() bool { return l < NumLevels }
+
+// Invert returns the MTA inversion of l: L0↔L3 and L1↔L2.
+func (l Level) Invert() Level { return L3 - l }
+
+// ShiftUp returns l raised by one level, saturating at L3. The SMOREs
+// level-shifting rule never needs to shift an L3 (sparse codes only use
+// L0..L2), so saturation is a defensive bound rather than a code path.
+func (l Level) ShiftUp() Level {
+	if l >= L3 {
+		return L3
+	}
+	return l + 1
+}
+
+// ShiftDown returns l lowered by one level, saturating at L0.
+func (l Level) ShiftDown() Level {
+	if l == L0 {
+		return L0
+	}
+	return l - 1
+}
+
+// Delta returns the magnitude of the voltage-step between two levels,
+// in units of ΔV (one level spacing, 225 mV on GDDR6X).
+func Delta(a, b Level) int {
+	if a > b {
+		return int(a - b)
+	}
+	return int(b - a)
+}
+
+// TransitionOK reports whether a transition between two levels respects the
+// maximum-transition restriction (no 3ΔV swings).
+func TransitionOK(a, b Level) bool { return Delta(a, b) <= MaxTransition }
+
+// String returns the level in the paper's "L0".."L3" notation.
+func (l Level) String() string {
+	if !l.Valid() {
+		return fmt.Sprintf("L?(%d)", uint8(l))
+	}
+	return fmt.Sprintf("L%d", uint8(l))
+}
+
+// Digit returns the level as a single digit rune, matching the compact
+// sequence notation used in the paper's Table I (e.g. "0212").
+func (l Level) Digit() byte { return '0' + byte(l) }
+
+// LevelFromBits maps a 2-bit value to a level using the natural binary
+// mapping (msb·2 + lsb). GDDR6X's exact bit-to-level map is proprietary;
+// any bijection yields identical energy statistics on uniform data.
+func LevelFromBits(msb, lsb uint8) Level {
+	return Level((msb&1)<<1 | lsb&1)
+}
+
+// Bits returns the (msb, lsb) pair carried by the level under the natural
+// binary mapping. Inverse of LevelFromBits.
+func (l Level) Bits() (msb, lsb uint8) {
+	return uint8(l>>1) & 1, uint8(l) & 1
+}

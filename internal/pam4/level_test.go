@@ -1,0 +1,108 @@
+package pam4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelValid(t *testing.T) {
+	for l := Level(0); l < NumLevels; l++ {
+		if !l.Valid() {
+			t.Errorf("level %v should be valid", l)
+		}
+	}
+	for _, l := range []Level{4, 5, 255} {
+		if l.Valid() {
+			t.Errorf("level %d should be invalid", l)
+		}
+	}
+}
+
+func TestLevelInvert(t *testing.T) {
+	want := map[Level]Level{L0: L3, L1: L2, L2: L1, L3: L0}
+	for in, out := range want {
+		if got := in.Invert(); got != out {
+			t.Errorf("%v.Invert() = %v, want %v", in, got, out)
+		}
+		if got := in.Invert().Invert(); got != in {
+			t.Errorf("double inversion of %v = %v, want identity", in, got)
+		}
+	}
+}
+
+func TestLevelShift(t *testing.T) {
+	cases := []struct{ in, up, down Level }{
+		{L0, L1, L0},
+		{L1, L2, L0},
+		{L2, L3, L1},
+		{L3, L3, L2},
+	}
+	for _, c := range cases {
+		if got := c.in.ShiftUp(); got != c.up {
+			t.Errorf("%v.ShiftUp() = %v, want %v", c.in, got, c.up)
+		}
+		if got := c.in.ShiftDown(); got != c.down {
+			t.Errorf("%v.ShiftDown() = %v, want %v", c.in, got, c.down)
+		}
+	}
+}
+
+func TestDeltaAndTransition(t *testing.T) {
+	for a := Level(0); a < NumLevels; a++ {
+		for b := Level(0); b < NumLevels; b++ {
+			d := Delta(a, b)
+			if d != Delta(b, a) {
+				t.Fatalf("Delta not symmetric for %v,%v", a, b)
+			}
+			wantOK := d <= 2
+			if got := TransitionOK(a, b); got != wantOK {
+				t.Errorf("TransitionOK(%v,%v) = %v, want %v", a, b, got, wantOK)
+			}
+		}
+	}
+	if TransitionOK(L0, L3) {
+		t.Error("L0→L3 must be forbidden (3ΔV)")
+	}
+	if !TransitionOK(L0, L2) {
+		t.Error("L0→L2 (2ΔV) must be allowed")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L2.String() != "L2" {
+		t.Errorf("L2.String() = %q", L2.String())
+	}
+	if Level(9).String() != "L?(9)" {
+		t.Errorf("invalid level string = %q", Level(9).String())
+	}
+	if L3.Digit() != '3' {
+		t.Errorf("L3.Digit() = %q", L3.Digit())
+	}
+}
+
+func TestLevelBitsRoundTrip(t *testing.T) {
+	for msb := uint8(0); msb < 2; msb++ {
+		for lsb := uint8(0); lsb < 2; lsb++ {
+			l := LevelFromBits(msb, lsb)
+			gm, gl := l.Bits()
+			if gm != msb || gl != lsb {
+				t.Errorf("bits (%d,%d) → %v → (%d,%d)", msb, lsb, l, gm, gl)
+			}
+		}
+	}
+	// Natural binary map: higher bit pattern = higher level index.
+	if LevelFromBits(1, 1) != L3 || LevelFromBits(0, 0) != L0 {
+		t.Error("LevelFromBits must use natural binary mapping")
+	}
+}
+
+func TestLevelBitsQuick(t *testing.T) {
+	f := func(msb, lsb uint8) bool {
+		l := LevelFromBits(msb, lsb)
+		gm, gl := l.Bits()
+		return l.Valid() && gm == msb&1 && gl == lsb&1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package pam4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Seq is a packed sequence of up to 16 PAM4 symbols. Symbol i occupies bits
+// [2i, 2i+2) of the packed word, so symbol 0 is the first symbol on the
+// wire. The zero Seq is the empty sequence.
+type Seq struct {
+	packed uint32
+	n      uint8
+}
+
+// MaxSeqLen is the longest sequence representable by Seq.
+const MaxSeqLen = 16
+
+// MakeSeq builds a sequence from levels in wire order.
+// It panics if more than MaxSeqLen levels are given or a level is invalid;
+// sequences are constructed from trusted tables and generator loops.
+func MakeSeq(levels ...Level) Seq {
+	if len(levels) > MaxSeqLen {
+		panic(fmt.Sprintf("pam4: sequence of %d symbols exceeds max %d", len(levels), MaxSeqLen))
+	}
+	var s Seq
+	s.n = uint8(len(levels))
+	for i, l := range levels {
+		if !l.Valid() {
+			panic(fmt.Sprintf("pam4: invalid level %d at symbol %d", l, i))
+		}
+		s.packed |= uint32(l) << (2 * uint(i))
+	}
+	return s
+}
+
+// SeqFromPacked reconstructs a sequence from its packed representation and
+// length. It is the inverse of Seq.Packed and is used by codec lookup
+// tables.
+func SeqFromPacked(packed uint32, n int) Seq {
+	if n < 0 || n > MaxSeqLen {
+		panic(fmt.Sprintf("pam4: invalid sequence length %d", n))
+	}
+	mask := uint32(1)<<(2*uint(n)) - 1
+	if n == MaxSeqLen {
+		mask = ^uint32(0)
+	}
+	return Seq{packed: packed & mask, n: uint8(n)}
+}
+
+// ParseSeq parses the compact digit notation, e.g. "0212" → L0 L2 L1 L2.
+func ParseSeq(s string) (Seq, error) {
+	if len(s) > MaxSeqLen {
+		return Seq{}, fmt.Errorf("pam4: sequence %q longer than %d symbols", s, MaxSeqLen)
+	}
+	var q Seq
+	q.n = uint8(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '3' {
+			return Seq{}, fmt.Errorf("pam4: invalid symbol digit %q in %q", c, s)
+		}
+		q.packed |= uint32(c-'0') << (2 * uint(i))
+	}
+	return q, nil
+}
+
+// Len returns the number of symbols in the sequence.
+func (s Seq) Len() int { return int(s.n) }
+
+// Packed returns the packed 2-bit-per-symbol representation, suitable as a
+// map key together with Len.
+func (s Seq) Packed() uint32 { return s.packed }
+
+// At returns symbol i (0-based, wire order).
+func (s Seq) At(i int) Level {
+	if i < 0 || i >= int(s.n) {
+		panic(fmt.Sprintf("pam4: symbol index %d out of range [0,%d)", i, s.n))
+	}
+	return Level(s.packed >> (2 * uint(i)) & 3)
+}
+
+// First returns the first symbol. Panics on an empty sequence.
+func (s Seq) First() Level { return s.At(0) }
+
+// Last returns the final symbol. Panics on an empty sequence.
+func (s Seq) Last() Level { return s.At(int(s.n) - 1) }
+
+// Append returns the sequence with an extra symbol at the end.
+func (s Seq) Append(l Level) Seq {
+	if s.n >= MaxSeqLen {
+		panic("pam4: appending beyond max sequence length")
+	}
+	if !l.Valid() {
+		panic(fmt.Sprintf("pam4: invalid level %d", l))
+	}
+	s.packed |= uint32(l) << (2 * uint(s.n))
+	s.n++
+	return s
+}
+
+// Levels expands the sequence into a fresh slice of levels in wire order.
+func (s Seq) Levels() []Level {
+	out := make([]Level, s.n)
+	for i := range out {
+		out[i] = Level(s.packed >> (2 * uint(i)) & 3)
+	}
+	return out
+}
+
+// AppendLevels appends the sequence's levels to dst and returns dst,
+// avoiding an allocation in hot paths.
+func (s Seq) AppendLevels(dst []Level) []Level {
+	for i := 0; i < int(s.n); i++ {
+		dst = append(dst, Level(s.packed>>(2*uint(i))&3))
+	}
+	return dst
+}
+
+// Invert returns the sequence with every symbol MTA-inverted (s → L3−s).
+func (s Seq) Invert() Seq {
+	mask := uint32(1)<<(2*uint(s.n)) - 1
+	if s.n == MaxSeqLen {
+		mask = ^uint32(0)
+	}
+	return Seq{packed: ^s.packed & mask, n: s.n}
+}
+
+// MaxLevel returns the highest level used anywhere in the sequence.
+// Returns L0 for the empty sequence.
+func (s Seq) MaxLevel() Level {
+	var m Level
+	for i := 0; i < int(s.n); i++ {
+		if l := Level(s.packed >> (2 * uint(i)) & 3); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MaxInternalDelta returns the largest level step between adjacent symbols
+// within the sequence (0 for sequences shorter than 2 symbols).
+func (s Seq) MaxInternalDelta() int {
+	max := 0
+	for i := 1; i < int(s.n); i++ {
+		if d := Delta(s.At(i-1), s.At(i)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// CountLevel returns how many symbols in the sequence equal l.
+func (s Seq) CountLevel(l Level) int {
+	n := 0
+	for i := 0; i < int(s.n); i++ {
+		if Level(s.packed>>(2*uint(i))&3) == l {
+			n++
+		}
+	}
+	return n
+}
+
+// HasPrefix reports whether the sequence begins with the given levels.
+func (s Seq) HasPrefix(levels ...Level) bool {
+	if len(levels) > int(s.n) {
+		return false
+	}
+	for i, l := range levels {
+		if s.At(i) != l {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sequence in compact digit notation ("0212").
+func (s Seq) String() string {
+	var b strings.Builder
+	b.Grow(int(s.n))
+	for i := 0; i < int(s.n); i++ {
+		b.WriteByte(s.At(i).Digit())
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package pam4
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeSeqAndAccessors(t *testing.T) {
+	s := MakeSeq(L0, L2, L1, L2)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	want := []Level{L0, L2, L1, L2}
+	for i, w := range want {
+		if got := s.At(i); got != w {
+			t.Errorf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if s.First() != L0 || s.Last() != L2 {
+		t.Errorf("First/Last = %v/%v", s.First(), s.Last())
+	}
+	if s.String() != "0212" {
+		t.Errorf("String = %q, want 0212", s.String())
+	}
+}
+
+func TestParseSeq(t *testing.T) {
+	s, err := ParseSeq("0212")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != MakeSeq(L0, L2, L1, L2) {
+		t.Errorf("ParseSeq mismatch: %v", s)
+	}
+	if _, err := ParseSeq("0412"); err == nil {
+		t.Error("ParseSeq should reject digit 4")
+	}
+	if _, err := ParseSeq("01230123012301230"); err == nil {
+		t.Error("ParseSeq should reject 17 symbols")
+	}
+	empty, err := ParseSeq("")
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty parse: %v, %v", empty, err)
+	}
+}
+
+func TestSeqPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(MaxSeqLen + 1)
+		levels := make([]Level, n)
+		for i := range levels {
+			levels[i] = Level(rng.Intn(NumLevels))
+		}
+		s := MakeSeq(levels...)
+		back := SeqFromPacked(s.Packed(), s.Len())
+		if back != s {
+			t.Fatalf("packed roundtrip failed: %v vs %v", s, back)
+		}
+	}
+}
+
+func TestSeqAppend(t *testing.T) {
+	s := MakeSeq(L1)
+	s = s.Append(L3)
+	if s.String() != "13" {
+		t.Errorf("append: %q", s.String())
+	}
+	if got := s.Levels(); len(got) != 2 || got[0] != L1 || got[1] != L3 {
+		t.Errorf("Levels() = %v", got)
+	}
+	dst := s.AppendLevels(nil)
+	if len(dst) != 2 || dst[1] != L3 {
+		t.Errorf("AppendLevels = %v", dst)
+	}
+}
+
+func TestSeqInvert(t *testing.T) {
+	s := MakeSeq(L0, L1, L2, L3)
+	inv := s.Invert()
+	if inv.String() != "3210" {
+		t.Errorf("Invert = %q, want 3210", inv.String())
+	}
+	if inv.Invert() != s {
+		t.Error("double inversion must be identity")
+	}
+	// Inversion must not disturb symbols beyond the sequence length.
+	short := MakeSeq(L0)
+	if short.Invert().Len() != 1 || short.Invert().At(0) != L3 {
+		t.Errorf("short inversion: %v", short.Invert())
+	}
+}
+
+func TestSeqStats(t *testing.T) {
+	s := MakeSeq(L0, L2, L2, L1)
+	if s.MaxLevel() != L2 {
+		t.Errorf("MaxLevel = %v", s.MaxLevel())
+	}
+	if s.MaxInternalDelta() != 2 {
+		t.Errorf("MaxInternalDelta = %d", s.MaxInternalDelta())
+	}
+	if s.CountLevel(L2) != 2 || s.CountLevel(L3) != 0 {
+		t.Errorf("CountLevel mismatch")
+	}
+	if !s.HasPrefix(L0, L2) || s.HasPrefix(L2) || s.HasPrefix(L0, L2, L2, L1, L0) {
+		t.Errorf("HasPrefix mismatch")
+	}
+	if MakeSeq().MaxLevel() != L0 || MakeSeq(L3).MaxInternalDelta() != 0 {
+		t.Error("degenerate sequence stats wrong")
+	}
+}
+
+func TestSeqQuickInvertRoundTrip(t *testing.T) {
+	f := func(packed uint32, nRaw uint8) bool {
+		n := int(nRaw) % (MaxSeqLen + 1)
+		s := SeqFromPacked(packed, n)
+		return s.Invert().Invert() == s && s.Invert().Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqQuickDeltaInvariantUnderInversion(t *testing.T) {
+	// MTA inversion preserves transition magnitudes — the property that
+	// makes the MTA inversion rule safe.
+	f := func(packed uint32, nRaw uint8) bool {
+		n := int(nRaw) % (MaxSeqLen + 1)
+		s := SeqFromPacked(packed, n)
+		return s.Invert().MaxInternalDelta() == s.MaxInternalDelta()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqPanics(t *testing.T) {
+	mustPanic(t, "At out of range", func() { MakeSeq(L0).At(1) })
+	mustPanic(t, "invalid level", func() { MakeSeq(Level(7)) })
+	mustPanic(t, "append invalid", func() { MakeSeq().Append(Level(9)) })
+	mustPanic(t, "bad packed len", func() { SeqFromPacked(0, 17) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

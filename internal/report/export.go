@@ -1,0 +1,100 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"smores/internal/pam4"
+)
+
+// Machine-readable exports of the evaluation, for plotting the paper's
+// figures with external tooling.
+
+// ExportFleetCSV writes one row per application with the headline
+// statistics of a fleet run.
+func ExportFleetCSV(w io.Writer, fr FleetResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"app", "suite", "policy", "perbit_fj", "idle_frequency",
+		"reads", "writes", "clocks", "avg_read_latency",
+		"gap0_frac", "gap1_frac", "gap_gt16_frac",
+		"mta_bursts", "sparse_bursts", "postambles",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range fr.Results {
+		row := []string{
+			r.App.Name, r.App.Suite, r.Label,
+			f(r.PerBit), f(r.IdleFrequency),
+			strconv.FormatInt(r.Reads, 10), strconv.FormatInt(r.Writes, 10),
+			strconv.FormatInt(r.Clocks, 10), f(r.AvgReadLatency),
+			f(r.ReadGaps.Fraction(0)), f(r.ReadGaps.Fraction(1)), f(r.ReadGaps.OverflowFraction()),
+			strconv.FormatInt(r.Bus.MTABursts, 10), strconv.FormatInt(r.Bus.SparseBursts, 10),
+			strconv.FormatInt(r.Bus.Postambles, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportGapsCSV writes the aggregate gap histogram (Figure 5) as
+// (gap, read_fraction, write_fraction) rows, with ">16" as the final row.
+func ExportGapsCSV(w io.Writer, fr FleetResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"gap_clocks", "read_fraction", "write_fraction"}); err != nil {
+		return err
+	}
+	reads := fr.AggregateGaps(true)
+	writes := fr.AggregateGaps(false)
+	for g := 0; g < 17; g++ {
+		if err := cw.Write([]string{
+			strconv.Itoa(g), f(reads.Fraction(g)), f(writes.Fraction(g)),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{">16", f(reads.OverflowFraction()), f(writes.OverflowFraction())}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table4JSON is the machine-readable Table IV.
+type Table4JSON struct {
+	Name       string  `json:"name"`
+	WirePerBit float64 `json:"wire_fj_per_bit"`
+	Logic      float64 `json:"logic_fj_per_bit"`
+	Total      float64 `json:"total_fj_per_bit"`
+	Paper      float64 `json:"paper_fj_per_bit,omitempty"`
+}
+
+// ExportTable4JSON writes Table IV as JSON.
+func ExportTable4JSON(w io.Writer, m *pam4.EnergyModel) error {
+	rows, err := table4Rows(m)
+	if err != nil {
+		return err
+	}
+	out := make([]Table4JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Table4JSON{
+			Name:       r.name,
+			WirePerBit: r.wire + r.postamb,
+			Logic:      r.logic,
+			Total:      r.total(),
+			Paper:      paperTable4[r.name],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/memctrl"
+	"smores/internal/pam4"
+	"smores/internal/workload"
+)
+
+func smallFleet(t *testing.T) FleetResult {
+	t.Helper()
+	fr, err := RunFleet(RunSpec{Policy: memctrl.BaselineMTA, Accesses: 400, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestExportFleetCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run")
+	}
+	fr := smallFleet(t)
+	var buf bytes.Buffer
+	if err := ExportFleetCSV(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 43 { // header + 42 apps
+		t.Fatalf("csv has %d rows, want 43", len(rows))
+	}
+	if rows[0][0] != "app" || len(rows[1]) != len(rows[0]) {
+		t.Errorf("csv malformed: %v", rows[0])
+	}
+	// Every app appears once.
+	seen := map[string]bool{}
+	for _, r := range rows[1:] {
+		if seen[r[0]] {
+			t.Errorf("duplicate app %s", r[0])
+		}
+		seen[r[0]] = true
+	}
+}
+
+func TestExportGapsCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run")
+	}
+	fr := smallFleet(t)
+	var buf bytes.Buffer
+	if err := ExportGapsCSV(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 { // header + 17 gaps + overflow
+		t.Fatalf("csv has %d rows", len(rows))
+	}
+	if rows[18][0] != ">16" {
+		t.Errorf("last row = %v", rows[18])
+	}
+}
+
+func TestExportTable4JSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportTable4JSON(&buf, pam4.DefaultEnergyModel()); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Table4JSON
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("json has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Errorf("%s: non-positive total", r.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "4b3s-3/DBI") {
+		t.Error("json missing codec names")
+	}
+}
+
+// TestClosedPageAblation: the ClosedPage policy issues more activates,
+// opening more one-clock gaps; SMOREs' relative saving grows while the
+// baseline's absolute energy rises.
+func TestClosedPageAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-ish run")
+	}
+	run := func(pages memctrl.PagePolicy, policy memctrl.EncodingPolicy) AppResult {
+		p, _ := workload.ByName("srad")
+		r, err := RunApp(p, RunSpec{
+			Policy: policy, Pages: pages, Accesses: 6000, Seed: 4,
+			Scheme: core.Scheme{Specification: core.StaticCode, Detection: core.Exhaustive},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	openBase := run(memctrl.OpenPage, memctrl.BaselineMTA)
+	closedBase := run(memctrl.ClosedPage, memctrl.BaselineMTA)
+	if closedBase.PerBit <= openBase.PerBit {
+		t.Errorf("closed-page baseline (%.1f) should cost more than open-page (%.1f)",
+			closedBase.PerBit, openBase.PerBit)
+	}
+	openSm := run(memctrl.OpenPage, memctrl.SMOREs)
+	closedSm := run(memctrl.ClosedPage, memctrl.SMOREs)
+	openSave := 1 - openSm.PerBit/openBase.PerBit
+	closedSave := 1 - closedSm.PerBit/closedBase.PerBit
+	t.Logf("SMOREs saving: open-page %.1f%%, closed-page %.1f%%", openSave*100, closedSave*100)
+	if closedSave < openSave-0.02 {
+		t.Errorf("closed-page saving %.3f should not fall below open-page %.3f", closedSave, openSave)
+	}
+}

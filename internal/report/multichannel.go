@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+
+	"smores/internal/bus"
+	"smores/internal/gpu"
+	"smores/internal/memctrl"
+	"smores/internal/workload"
+)
+
+// MultiResult is the outcome of a multi-channel simulation.
+type MultiResult struct {
+	App      workload.Profile
+	Channels int
+	Label    string
+	// PerBit is the aggregate fJ per data bit across all channels.
+	PerBit float64
+	// PerChannel holds each channel's bus statistics.
+	PerChannel []bus.Stats
+	Clocks     int64
+	Reads      int64
+	Writes     int64
+}
+
+// RunAppMultiChannel simulates one application over several interleaved
+// GDDR6X channels (the RTX 3090 has 24). Sectors stripe round-robin
+// across channels; every channel runs the same encoding policy, and the
+// MSHR pool scales with the channel count.
+func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiResult, error) {
+	if channels < 1 {
+		return MultiResult{}, fmt.Errorf("report: channel count must be positive, got %d", channels)
+	}
+	gen, err := workload.NewGenerator(p, spec.Seed)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	ctrls := make([]*memctrl.Controller, channels)
+	for i := range ctrls {
+		ctrls[i], err = memctrl.New(spec.controllerConfig())
+		if err != nil {
+			return MultiResult{}, err
+		}
+	}
+	dcfg := gpu.DriverConfig{
+		MSHRs:       p.MSHRs * channels,
+		MaxAccesses: spec.Accesses,
+	}
+	if spec.UseLLC {
+		llc := gpu.DefaultLLCConfig()
+		dcfg.LLC = &llc
+	}
+	drv, err := gpu.NewMultiDriver(dcfg, ctrls, gen)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	res, err := drv.Run()
+	if err != nil {
+		return MultiResult{}, err
+	}
+
+	mr := MultiResult{
+		App:      p,
+		Channels: channels,
+		Clocks:   res.Clocks,
+		Reads:    res.DRAMReads,
+		Writes:   res.DRAMWrites,
+	}
+	var energy, bits float64
+	for _, c := range ctrls {
+		st := c.BusStats()
+		mr.PerChannel = append(mr.PerChannel, st)
+		energy += st.TotalEnergy()
+		bits += st.DataBits
+		mr.Label = c.Describe()
+		if cs := c.Stats(); cs.DecisionMismatches != 0 || cs.BusConflicts != 0 {
+			return mr, fmt.Errorf("report: channel invariant violated: %+v", cs)
+		}
+	}
+	if bits > 0 {
+		mr.PerBit = energy / bits
+	}
+	return mr, nil
+}
+
+// ChannelBalance returns the max/min ratio of per-channel transferred
+// bits (1.0 = perfectly balanced striping).
+func (m MultiResult) ChannelBalance() float64 {
+	var xs []float64
+	for _, st := range m.PerChannel {
+		xs = append(xs, st.DataBits)
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return hi / lo
+}

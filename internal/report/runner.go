@@ -1,0 +1,198 @@
+// Package report is the evaluation harness: it runs workloads through the
+// full stack (generator → LLC → controller → channel) under each encoding
+// policy and produces the paper's tables and figures as formatted text.
+package report
+
+import (
+	"fmt"
+
+	"smores/internal/bus"
+	"smores/internal/core"
+	"smores/internal/gddr6x"
+	"smores/internal/gpu"
+	"smores/internal/memctrl"
+	"smores/internal/stats"
+	"smores/internal/workload"
+)
+
+// RunSpec selects one simulation configuration.
+type RunSpec struct {
+	// Policy and Scheme select the encoding.
+	Policy memctrl.EncodingPolicy
+	Scheme core.Scheme
+	// Accesses is the workload length in LLC-level accesses.
+	Accesses int64
+	// Seed makes runs reproducible; the same seed with different policies
+	// replays identical traffic.
+	Seed uint64
+	// UseLLC interposes the 6 MB sectored cache.
+	UseLLC bool
+	// ExtraCodecLatency is the §V-A pipeline ablation.
+	ExtraCodecLatency int64
+	// WindowClocks overrides the conservative detection window (0 keeps
+	// the paper's 8 clocks).
+	WindowClocks int
+	// Timing overrides the GDDR6X timing parameters (nil keeps defaults).
+	Timing *gddr6x.Timing
+	// Pages selects the row-buffer policy ablation.
+	Pages memctrl.PagePolicy
+}
+
+// controllerConfig assembles the memctrl configuration for a spec.
+func (s RunSpec) controllerConfig() memctrl.Config {
+	scheme := s.Scheme
+	if s.WindowClocks > 0 {
+		scheme.WindowClocks = s.WindowClocks
+	}
+	cfg := memctrl.Config{
+		Policy:            s.Policy,
+		Scheme:            scheme,
+		Pages:             s.Pages,
+		ExtraCodecLatency: s.ExtraCodecLatency,
+	}
+	if s.Timing != nil {
+		cfg.Timing = *s.Timing
+	}
+	return cfg
+}
+
+// DefaultAccesses is the per-app run length used by the evaluation
+// commands. Tests use smaller budgets.
+const DefaultAccesses = 60000
+
+// AppResult is one (application, policy) simulation outcome.
+type AppResult struct {
+	App    workload.Profile
+	Label  string
+	PerBit float64 // fJ per transferred data bit, total
+	Bus    bus.Stats
+	Ctrl   memctrl.Stats
+	// ReadGaps and WriteGaps are idle-clock histograms (Fig. 5).
+	ReadGaps  *stats.Histogram
+	WriteGaps *stats.Histogram
+	Clocks    int64
+	Reads     int64
+	Writes    int64
+	// AvgReadLatency is in command clocks.
+	AvgReadLatency float64
+	// IdleFrequency is the fraction of transfers followed by any gap —
+	// the paper sorts Fig. 8's applications by it.
+	IdleFrequency float64
+}
+
+// RunApp simulates one application under one spec.
+func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
+	gen, err := workload.NewGenerator(p, spec.Seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	ctrl, err := memctrl.New(spec.controllerConfig())
+	if err != nil {
+		return AppResult{}, err
+	}
+	dcfg := gpu.DriverConfig{
+		MSHRs:       p.MSHRs,
+		MaxAccesses: spec.Accesses,
+	}
+	if spec.UseLLC {
+		llc := gpu.DefaultLLCConfig()
+		dcfg.LLC = &llc
+	}
+	drv, err := gpu.NewDriver(dcfg, ctrl, gen)
+	if err != nil {
+		return AppResult{}, err
+	}
+	res, err := drv.Run()
+	if err != nil {
+		return AppResult{}, fmt.Errorf("report: %s under %s: %w", p.Name, ctrl.Describe(), err)
+	}
+
+	ar := AppResult{
+		App:            p,
+		Label:          ctrl.Describe(),
+		PerBit:         ctrl.BusStats().PerBit(),
+		Bus:            ctrl.BusStats(),
+		Ctrl:           ctrl.Stats(),
+		ReadGaps:       ctrl.ReadGapHistogram(),
+		WriteGaps:      ctrl.WriteGapHistogram(),
+		Clocks:         res.Clocks,
+		Reads:          res.DRAMReads,
+		Writes:         res.DRAMWrites,
+		AvgReadLatency: ctrl.AverageReadLatency(),
+	}
+	if t := ar.ReadGaps.Total() + ar.WriteGaps.Total(); t > 0 {
+		gapped := float64(t) - float64(ar.ReadGaps.Count(0)+ar.WriteGaps.Count(0))
+		ar.IdleFrequency = gapped / float64(t)
+	}
+	if ar.Ctrl.DecisionMismatches != 0 {
+		return ar, fmt.Errorf("report: %s: %d DRAM/GPU decision mismatches", p.Name, ar.Ctrl.DecisionMismatches)
+	}
+	if ar.Ctrl.BusConflicts != 0 {
+		return ar, fmt.Errorf("report: %s: %d data-bus conflicts", p.Name, ar.Ctrl.BusConflicts)
+	}
+	return ar, nil
+}
+
+// PolicySpecs returns the standard evaluation matrix: the two baselines
+// and the paper's three SMOREs design points.
+func PolicySpecs(accesses int64, seed uint64, useLLC bool) []RunSpec {
+	mk := func(pol memctrl.EncodingPolicy, sch core.Scheme) RunSpec {
+		return RunSpec{Policy: pol, Scheme: sch, Accesses: accesses, Seed: seed, UseLLC: useLLC}
+	}
+	return []RunSpec{
+		mk(memctrl.BaselineMTA, core.Scheme{}),
+		mk(memctrl.OptimizedMTA, core.Scheme{}),
+		mk(memctrl.SMOREs, core.Scheme{Specification: core.VariableCode, Detection: core.Exhaustive}),
+		mk(memctrl.SMOREs, core.Scheme{Specification: core.StaticCode, Detection: core.Exhaustive}),
+		mk(memctrl.SMOREs, core.Scheme{Specification: core.StaticCode, Detection: core.Conservative}),
+	}
+}
+
+// FleetResult is the outcome of running every app under one spec.
+type FleetResult struct {
+	Spec    RunSpec
+	Label   string
+	Results []AppResult
+}
+
+// RunFleet simulates all 42 applications under one spec.
+func RunFleet(spec RunSpec) (FleetResult, error) {
+	fr := FleetResult{Spec: spec}
+	for i, p := range workload.Fleet() {
+		// Per-app seeds derive from the spec seed so different policies
+		// replay identical traffic per app.
+		appSpec := spec
+		appSpec.Seed = spec.Seed + uint64(i)*1000003
+		r, err := RunApp(p, appSpec)
+		if err != nil {
+			return fr, err
+		}
+		fr.Results = append(fr.Results, r)
+		fr.Label = r.Label
+	}
+	return fr, nil
+}
+
+// MeanPerBit returns the fleet-average fJ/bit.
+func (fr FleetResult) MeanPerBit() float64 {
+	var xs []float64
+	for _, r := range fr.Results {
+		xs = append(xs, r.PerBit)
+	}
+	return stats.Mean(xs)
+}
+
+// AggregateGaps merges the per-app gap histograms (reads or writes).
+func (fr FleetResult) AggregateGaps(reads bool) *stats.Histogram {
+	agg := stats.NewHistogram(17)
+	for _, r := range fr.Results {
+		h := r.ReadGaps
+		if !reads {
+			h = r.WriteGaps
+		}
+		if err := agg.Merge(h); err != nil {
+			panic("report: " + err.Error())
+		}
+	}
+	return agg
+}

@@ -1,0 +1,160 @@
+package report
+
+import (
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/memctrl"
+	"smores/internal/workload"
+)
+
+func TestRunAppBaseline(t *testing.T) {
+	p, _ := workload.ByName("bfs")
+	r, err := RunApp(p, RunSpec{Policy: memctrl.BaselineMTA, Accesses: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reads == 0 || r.Clocks == 0 {
+		t.Fatal("no traffic simulated")
+	}
+	if r.PerBit < 560 || r.PerBit > 950 {
+		t.Errorf("baseline per-bit = %.1f, expected between MTA (585) and MTA+postamble (910)", r.PerBit)
+	}
+	if r.ReadGaps.Total() == 0 {
+		t.Error("no gap samples")
+	}
+	if r.IdleFrequency <= 0 || r.IdleFrequency >= 1 {
+		t.Errorf("idle frequency = %.2f", r.IdleFrequency)
+	}
+	if r.AvgReadLatency < 30 {
+		t.Errorf("read latency = %.1f clocks, below RL", r.AvgReadLatency)
+	}
+}
+
+func TestSameSeedReplaysIdenticalTraffic(t *testing.T) {
+	p, _ := workload.ByName("lulesh")
+	a, err := RunApp(p, RunSpec{Policy: memctrl.BaselineMTA, Accesses: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunApp(p, RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.StaticCode, Detection: core.Exhaustive},
+		Accesses: 2000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reads != b.Reads || a.Writes != b.Writes {
+		t.Errorf("traffic diverged across policies: %d/%d vs %d/%d", a.Reads, a.Writes, b.Reads, b.Writes)
+	}
+	if b.PerBit >= a.PerBit {
+		t.Errorf("SMOREs (%.1f) not cheaper than baseline (%.1f)", b.PerBit, a.PerBit)
+	}
+}
+
+func TestPolicySpecs(t *testing.T) {
+	specs := PolicySpecs(100, 1, false)
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].Policy != memctrl.BaselineMTA || specs[1].Policy != memctrl.OptimizedMTA {
+		t.Error("baseline ordering wrong")
+	}
+	if specs[2].Scheme.Specification != core.VariableCode {
+		t.Error("third spec should be variable")
+	}
+	if specs[4].Scheme.Detection != core.Conservative {
+		t.Error("fifth spec should be conservative")
+	}
+}
+
+// TestFleetCalibration runs the whole fleet at reduced scale and checks
+// the headline reproduction targets with tolerant bands:
+// Fig. 5's gap distribution and Table V's savings ordering.
+func TestFleetCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet calibration is a long test")
+	}
+	const accesses = 6000
+	base, err := RunFleet(RunSpec{Policy: memctrl.BaselineMTA, Accesses: accesses, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := base.AggregateGaps(true)
+	if g0 := gaps.Fraction(0); g0 < 0.45 || g0 > 0.70 {
+		t.Errorf("read gap-0 fraction = %.2f, paper reports 0.592", g0)
+	}
+	if g1 := gaps.Fraction(1); g1 < 0.20 || g1 > 0.40 {
+		t.Errorf("read gap-1 fraction = %.2f, paper reports 0.291", g1)
+	}
+	if tail := gaps.OverflowFraction(); tail < 0.02 || tail > 0.12 {
+		t.Errorf("read >16 fraction = %.2f, paper reports 0.069", tail)
+	}
+	wgaps := base.AggregateGaps(false)
+	if g0 := wgaps.Fraction(0); g0 < 0.40 || g0 > 0.75 {
+		t.Errorf("write gap-0 fraction = %.2f, paper reports 0.591", g0)
+	}
+
+	variable, err := RunFleet(RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.VariableCode, Detection: core.Exhaustive},
+		Accesses: accesses, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunFleet(RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.StaticCode, Detection: core.Exhaustive},
+		Accesses: accesses, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := RunFleet(RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.StaticCode, Detection: core.Conservative},
+		Accesses: accesses, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := base.MeanPerBit()
+	sVar := 1 - variable.MeanPerBit()/b
+	sStat := 1 - static.MeanPerBit()/b
+	sCons := 1 - cons.MeanPerBit()/b
+	t.Logf("Table V savings: variable %.1f%% (paper 28.2), static %.1f%% (26.8), conservative %.1f%% (25.2)",
+		sVar*100, sStat*100, sCons*100)
+	if !(sVar > sStat && sStat > sCons) {
+		t.Errorf("savings ordering broken: %.3f, %.3f, %.3f", sVar, sStat, sCons)
+	}
+	if sVar < 0.22 || sVar > 0.40 {
+		t.Errorf("variable saving %.1f%% outside the paper's band (28.2%%)", sVar*100)
+	}
+	if sCons < 0.15 || sCons > 0.35 {
+		t.Errorf("conservative saving %.1f%% outside the paper's band (25.2%%)", sCons*100)
+	}
+}
+
+func TestAggregateGapsMergesAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run")
+	}
+	fr, err := RunFleet(RunSpec{Policy: memctrl.BaselineMTA, Accesses: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Results) != 42 {
+		t.Fatalf("fleet results = %d", len(fr.Results))
+	}
+	agg := fr.AggregateGaps(true)
+	var total int64
+	for _, r := range fr.Results {
+		total += r.ReadGaps.Total()
+	}
+	if agg.Total() != total {
+		t.Errorf("aggregate total %d != sum %d", agg.Total(), total)
+	}
+}

@@ -1,0 +1,168 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/memctrl"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+func TestStaticTablesRender(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+
+	fig1 := Fig1SymbolEnergy(m)
+	if !strings.Contains(fig1, "1057.5") || !strings.Contains(fig1, "L3") {
+		t.Errorf("Fig1 missing content:\n%s", fig1)
+	}
+	fig2 := Fig2DriverTable(m.Driver())
+	if !strings.Contains(fig2, "225 mV") {
+		t.Errorf("Fig2 missing level spacing:\n%s", fig2)
+	}
+	t1 := Table1MTA(mta.New(m))
+	if strings.Count(t1, "\n") < 17 {
+		t.Errorf("Table I too short:\n%s", t1)
+	}
+	if !strings.Contains(t1, "0000") {
+		t.Error("Table I missing the all-L0 sequence")
+	}
+
+	t3, err := Table3CodeSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-level 4 symbols = 81 (the paper's §IV-B example); the 4-symbol
+	// no-3ΔV space (139) appears in the 4-level column... for starts ≤L2.
+	if !strings.Contains(t3, "81") || !strings.Contains(t3, "139") {
+		t.Errorf("Table III missing code-space sizes:\n%s", t3)
+	}
+
+	t4, err := Table4Energy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2b1s PAM4", "MTA+postamble", "4b3s-3/DBI", "4b8s-3"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table IV missing row %q:\n%s", want, t4)
+		}
+	}
+
+	f6, err := Fig6Survey(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f6, "3-level/DBI") || strings.Count(f6, "\n") < 9 {
+		t.Errorf("Fig6 malformed:\n%s", f6)
+	}
+
+	f7, err := Fig7Hardware(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f7, "MTA") || !strings.Contains(f7, "4b8s-3/DBI") {
+		t.Errorf("Fig7 malformed:\n%s", f7)
+	}
+}
+
+// TestTable4DeltasSmall checks that every reproduced Table IV row is
+// within a few percent of the paper's published value.
+func TestTable4DeltasSmall(t *testing.T) {
+	rows, err := table4Rows(pam4.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("Table IV has %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		paper, ok := paperTable4[r.name]
+		if !ok {
+			t.Errorf("row %q has no paper reference", r.name)
+			continue
+		}
+		delta := (r.total()/paper - 1) * 100
+		if delta < -3 || delta > 3 {
+			t.Errorf("%s: %+.1f%% off paper (%.1f vs %.1f)", r.name, delta, r.total(), paper)
+		}
+	}
+}
+
+func TestFleetDependentTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run")
+	}
+	const accesses = 1500
+	base, err := RunFleet(RunSpec{Policy: memctrl.BaselineMTA, Accesses: accesses, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunFleet(RunSpec{Policy: memctrl.OptimizedMTA, Accesses: accesses, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variable, err := RunFleet(RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.VariableCode, Detection: core.Exhaustive},
+		Accesses: accesses, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunFleet(RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.StaticCode, Detection: core.Exhaustive},
+		Accesses: accesses, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := RunFleet(RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   core.Scheme{Specification: core.StaticCode, Detection: core.Conservative},
+		Accesses: accesses, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f5 := Fig5Gaps(base)
+	if !strings.Contains(f5, "Figure 5a") || !strings.Contains(f5, "xsbench") {
+		t.Errorf("Fig5 malformed:\n%s", f5)
+	}
+	f8 := Fig8Energy(base, []FleetResult{variable, static}, "Figure 8a")
+	if !strings.Contains(f8, "MEAN") || strings.Count(f8, "\n") < 44 {
+		t.Errorf("Fig8 malformed:\n%s", f8)
+	}
+	f8b := Fig8Energy(opt, []FleetResult{variable, static}, "Figure 8b")
+	if !strings.Contains(f8b, "Figure 8b") {
+		t.Error("Fig8b missing title")
+	}
+	t5 := Table5(base, variable, static, cons)
+	if !strings.Contains(t5, "conservative(8)") || !strings.Contains(t5, "28.2%") {
+		t.Errorf("Table V malformed:\n%s", t5)
+	}
+	perf := PerfTable(base, []FleetResult{variable, static, cons})
+	if strings.Count(perf, "%") < 6 {
+		t.Errorf("perf table malformed:\n%s", perf)
+	}
+	ctx := TotalPowerContext(base, variable)
+	if !strings.Contains(ctx, "7.25") {
+		t.Errorf("power context malformed:\n%s", ctx)
+	}
+
+	// Normalized Fig. 8 means must reflect Table V's ordering.
+	if !(variable.MeanPerBit() < static.MeanPerBit() && static.MeanPerBit() < base.MeanPerBit()) {
+		t.Error("scheme energy ordering broken")
+	}
+}
+
+func TestTable2Config(t *testing.T) {
+	out := Table2Config()
+	for _, want := range []string{"82 SMs", "936.0 GB/s", "24 GB GDDR6X", "RL=30", "16 banks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 49 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(7)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Error("fork mirrors parent")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %g, want ≈0.5", mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(2)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-n/10)/float64(n/10) > 0.05 {
+			t.Errorf("digit %d count %d deviates >5%%", d, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(4)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %g", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) fired") // probability 0 must never fire
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	for _, mean := range []float64{1, 2, 4.5, 16} {
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			v := r.Geometric(mean)
+			if v < 1 {
+				t.Fatalf("geometric sample %d < 1", v)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		want := mean
+		if mean <= 1 {
+			want = 1
+		}
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("Geometric(%g) mean = %g", mean, got)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(6)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-5)/5 > 0.03 {
+		t.Errorf("Exp(5) mean = %g", got)
+	}
+}
+
+func TestFill(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 100} {
+		b := make([]byte, n)
+		r.Fill(b)
+		if n >= 16 {
+			allZero := true
+			for _, x := range b {
+				if x != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Errorf("Fill(%d) produced all zeros", n)
+			}
+		}
+	}
+	// Byte-level uniformity check.
+	big := make([]byte, 1<<16)
+	r.Fill(big)
+	var ones int
+	for _, x := range big {
+		for b := x; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(len(big)*8); math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("bit density = %g", frac)
+	}
+}

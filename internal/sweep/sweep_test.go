@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Accesses: 1200, Seed: 2} }
+
+func TestConservativeWindowSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep")
+	}
+	points, err := ConservativeWindow(quickCfg(), []int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Larger windows catch more gaps: savings must be non-decreasing
+	// (within noise) and all positive.
+	for i, p := range points {
+		if p.Saving <= 0.05 {
+			t.Errorf("window %g: saving %.1f%% implausibly low", p.Param, p.Saving*100)
+		}
+		if i > 0 && p.Saving < points[i-1].Saving-0.02 {
+			t.Errorf("saving dropped from %.3f to %.3f at window %g",
+				points[i-1].Saving, p.Saving, p.Param)
+		}
+	}
+	// The paper's knee: window 8 captures most of window 16's benefit.
+	if points[3].Saving-points[2].Saving > 0.05 {
+		t.Errorf("window 8 (%.3f) far from window 16 (%.3f): knee not reproduced",
+			points[2].Saving, points[3].Saving)
+	}
+	t.Log("\n" + Render("conservative window sweep", "clocks", points))
+}
+
+func TestReadLatencySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep")
+	}
+	points, err := ReadLatency(quickCfg(), []int64{20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Saving < 0.15 || p.Saving > 0.45 {
+			t.Errorf("RL=%g: saving %.1f%% outside plausible band", p.Param, p.Saving*100)
+		}
+	}
+	// Savings are insensitive to RL (the decision deadline scales).
+	spread := points[0].Saving - points[len(points)-1].Saving
+	if spread > 0.05 || spread < -0.05 {
+		t.Errorf("savings vary %.3f across RL sweep; mechanism should be latency-insensitive", spread)
+	}
+	t.Log("\n" + Render("read latency sweep", "RL clocks", points))
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := ConservativeWindow(quickCfg(), []int{0}); err == nil {
+		t.Error("zero window must error")
+	}
+	if _, err := ReadLatency(quickCfg(), []int64{0}); err == nil {
+		t.Error("zero RL must error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render("t", "p", []Point{{Param: 8, Saving: 0.25, PerBit: 550}})
+	if !strings.Contains(out, "25.0%") || !strings.Contains(out, "550") {
+		t.Errorf("render malformed: %s", out)
+	}
+}

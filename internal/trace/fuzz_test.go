@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic, and any successfully parsed prefix must re-serialize and re-parse
+// identically.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SMTR\x01\x00\x00\x00"))
+	f.Add([]byte("SMTR\x01\x00\x00\x00\x05\x14"))
+	f.Add([]byte("garbage stream"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accesses, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(accesses) == 0 {
+			return // the writer emits nothing for an empty trace
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, a := range accesses {
+			if err := w.Append(a); err != nil {
+				t.Fatalf("re-serialize failed: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back) != len(accesses) {
+			t.Fatalf("roundtrip length %d vs %d", len(back), len(accesses))
+		}
+		for i := range back {
+			if back[i] != accesses[i] {
+				t.Fatalf("roundtrip record %d differs", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"errors"
+	"io"
+
+	"smores/internal/gpu"
+)
+
+// Recorder wraps a generator and tees every produced access into a trace
+// writer. It implements gpu.Generator.
+type Recorder struct {
+	gen gpu.Generator
+	w   *Writer
+	err error
+}
+
+// NewRecorder builds a recording pass-through.
+func NewRecorder(gen gpu.Generator, w *Writer) *Recorder {
+	return &Recorder{gen: gen, w: w}
+}
+
+// Next implements gpu.Generator. Recording errors end the stream and are
+// reported by Err.
+func (r *Recorder) Next() (gpu.Access, bool) {
+	if r.err != nil {
+		return gpu.Access{}, false
+	}
+	a, ok := r.gen.Next()
+	if !ok {
+		return a, false
+	}
+	if err := r.w.Append(a); err != nil {
+		r.err = err
+		return gpu.Access{}, false
+	}
+	return a, true
+}
+
+// Err returns the first recording error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Replayer replays a trace as a gpu.Generator.
+type Replayer struct {
+	r   *Reader
+	err error
+}
+
+// NewReplayer builds a replaying generator.
+func NewReplayer(r io.Reader) *Replayer {
+	return &Replayer{r: NewReader(r)}
+}
+
+// Next implements gpu.Generator.
+func (p *Replayer) Next() (gpu.Access, bool) {
+	if p.err != nil {
+		return gpu.Access{}, false
+	}
+	a, err := p.r.Next()
+	if errors.Is(err, io.EOF) {
+		return gpu.Access{}, false
+	}
+	if err != nil {
+		p.err = err
+		return gpu.Access{}, false
+	}
+	return a, true
+}
+
+// Err returns the first replay error (nil at a clean end of trace).
+func (p *Replayer) Err() error { return p.err }

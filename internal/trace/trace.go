@@ -1,0 +1,155 @@
+// Package trace provides a compact binary format for workload access
+// traces, so simulations can be recorded once and replayed bit-identically
+// (e.g. to compare encoding policies on exactly the same traffic, or to
+// archive a calibrated workload).
+//
+// Layout: an 8-byte header ("SMTR", u16 version, u16 reserved) followed by
+// one varint-encoded record per access:
+//
+//	think  uvarint — idle clocks before the access
+//	sector uvarint — 32-byte sector index, shifted left one bit with the
+//	                 write flag in bit 0
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"smores/internal/gpu"
+)
+
+// Magic identifies trace files.
+var Magic = [4]byte{'S', 'M', 'T', 'R'}
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// ErrBadHeader reports a stream that is not a trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Writer streams accesses to a trace.
+type Writer struct {
+	w       *bufio.Writer
+	n       int64
+	started bool
+}
+
+// NewWriter wraps w. The header is emitted lazily on the first Append so
+// an empty Writer writes nothing.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) writeHeader() error {
+	if _, err := tw.w.Write(Magic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], Version)
+	_, err := tw.w.Write(hdr[:])
+	return err
+}
+
+// Append writes one access record.
+func (tw *Writer) Append(a gpu.Access) error {
+	if a.Think < 0 {
+		return fmt.Errorf("trace: negative think time %d", a.Think)
+	}
+	if !tw.started {
+		if err := tw.writeHeader(); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(a.Think))
+	packed := a.Sector << 1
+	if a.Write {
+		packed |= 1
+	}
+	n += binary.PutUvarint(buf[n:], packed)
+	if _, err := tw.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the records appended so far.
+func (tw *Writer) Count() int64 { return tw.n }
+
+// Flush pushes buffered bytes to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams accesses from a trace.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (tr *Reader) readHeader() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return fmt.Errorf("%w: truncated", ErrBadHeader)
+		}
+		return err
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return fmt.Errorf("%w: magic %q", ErrBadHeader, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadHeader, v)
+	}
+	return nil
+}
+
+// Next returns the next access, or io.EOF at the end of the trace.
+func (tr *Reader) Next() (gpu.Access, error) {
+	if !tr.header {
+		if err := tr.readHeader(); err != nil {
+			return gpu.Access{}, err
+		}
+		tr.header = true
+	}
+	think, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return gpu.Access{}, io.EOF
+		}
+		return gpu.Access{}, fmt.Errorf("trace: corrupt record: %w", err)
+	}
+	packed, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return gpu.Access{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return gpu.Access{
+		Think:  int64(think),
+		Sector: packed >> 1,
+		Write:  packed&1 == 1,
+	}, nil
+}
+
+// ReadAll drains the trace into a slice (intended for tools and tests).
+func ReadAll(r io.Reader) ([]gpu.Access, error) {
+	tr := NewReader(r)
+	var out []gpu.Access
+	for {
+		a, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+}

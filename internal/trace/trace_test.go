@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"smores/internal/gpu"
+	"smores/internal/workload"
+)
+
+func sampleAccesses(n int) []gpu.Access {
+	p, _ := workload.ByName("bfs")
+	g, err := workload.NewGenerator(p, 5)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]gpu.Access, n)
+	for i := range out {
+		out[i], _ = g.Next()
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	accesses := sampleAccesses(5000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, a := range accesses {
+		if err := w.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(accesses) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(accesses))
+	}
+	for i := range got {
+		if got[i] != accesses[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], accesses[i])
+		}
+	}
+}
+
+func TestEmptyWriterWritesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty writer produced %d bytes", buf.Len())
+	}
+}
+
+func TestNegativeThinkRejected(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Append(gpu.Access{Think: -1}); err == nil {
+		t.Error("negative think must be rejected")
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("SMT"),
+		[]byte("XXXX\x01\x00\x00\x00"),
+		[]byte("SMTR\x63\x00\x00\x00"), // version 99
+	}
+	for i, c := range cases {
+		if _, err := ReadAll(bytes.NewReader(c)); !errors.Is(err, ErrBadHeader) {
+			t.Errorf("case %d: err = %v, want ErrBadHeader", i, err)
+		}
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(gpu.Access{Sector: 1 << 40, Think: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadAll(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated record must error")
+	}
+}
+
+func TestRecorderAndReplayer(t *testing.T) {
+	p, _ := workload.ByName("sssp")
+	gen, err := workload.NewGenerator(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := NewRecorder(&boundedGen{gen: gen, n: 2000}, w)
+	var original []gpu.Access
+	for {
+		a, ok := rec.Next()
+		if !ok {
+			break
+		}
+		original = append(original, a)
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := NewReplayer(bytes.NewReader(buf.Bytes()))
+	for i := 0; ; i++ {
+		a, ok := rep.Next()
+		if !ok {
+			if i != len(original) {
+				t.Fatalf("replay ended at %d, want %d", i, len(original))
+			}
+			break
+		}
+		if a != original[i] {
+			t.Fatalf("replay record %d mismatch", i)
+		}
+	}
+	if rep.Err() != nil {
+		t.Fatal(rep.Err())
+	}
+}
+
+func TestReplayerSurfacesCorruption(t *testing.T) {
+	rep := NewReplayer(bytes.NewReader([]byte("garbage!")))
+	if _, ok := rep.Next(); ok {
+		t.Fatal("corrupt stream replayed")
+	}
+	if rep.Err() == nil {
+		t.Error("corruption not surfaced")
+	}
+}
+
+func TestRecorderStopsOnWriteError(t *testing.T) {
+	p, _ := workload.ByName("bfs")
+	gen, _ := workload.NewGenerator(p, 1)
+	w := NewWriter(failAfter{n: 4})
+	rec := NewRecorder(gen, w)
+	count := 0
+	for count < 100000 {
+		if _, ok := rec.Next(); !ok {
+			break
+		}
+		count++
+	}
+	// The buffered writer absorbs some records before the failure hits.
+	if rec.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+type boundedGen struct {
+	gen gpu.Generator
+	n   int
+}
+
+func (b *boundedGen) Next() (gpu.Access, bool) {
+	if b.n <= 0 {
+		return gpu.Access{}, false
+	}
+	b.n--
+	return b.gen.Next()
+}
+
+type failAfter struct{ n int }
+
+func (f failAfter) Write(p []byte) (int, error) {
+	return 0, io.ErrClosedPipe
+}

@@ -1,0 +1,189 @@
+package verilog
+
+import (
+	"fmt"
+
+	"smores/internal/codec"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+// Symbol packing convention for all generated modules: symbol i of a
+// sequence occupies bits [2i+1:2i] of the symbol bus (first symbol on the
+// wire in the least-significant position), matching pam4.Seq's packing.
+
+// SparseEncoder generates the 4-bit→N-symbol encoder for a codebook.
+func SparseEncoder(book *codec.Codebook) *Module {
+	spec := book.Spec()
+	m := NewModule(
+		fmt.Sprintf("smores_enc_%db%ds_%d", spec.InputBits, spec.OutputSymbols, spec.Levels),
+		fmt.Sprintf("SMOREs %s encoder: %d-bit data to %d PAM4 symbols (2 bits each,\nsymbol 0 in the low bits). Generated from the Go codebook.",
+			spec.Name(), spec.InputBits, spec.OutputSymbols),
+	)
+	data := m.Input("data", spec.InputBits)
+	table := make(map[uint64]uint64, spec.Values())
+	for v, seq := range book.Codes() {
+		table[uint64(v)] = uint64(seq.Packed())
+	}
+	lut := m.Wire("symbols_q", Lookup{Sel: data, Table: table, Bits: 2 * spec.OutputSymbols})
+	m.Output("symbols", lut)
+	return m
+}
+
+// SparseDecoder generates the matching N-symbol→4-bit decoder with a
+// valid flag (low for sequences outside the codebook).
+func SparseDecoder(book *codec.Codebook) *Module {
+	spec := book.Spec()
+	m := NewModule(
+		fmt.Sprintf("smores_dec_%db%ds_%d", spec.InputBits, spec.OutputSymbols, spec.Levels),
+		fmt.Sprintf("SMOREs %s decoder: %d PAM4 symbols back to %d data bits.\nvalid goes low for sequences outside the codebook.",
+			spec.Name(), spec.OutputSymbols, spec.InputBits),
+	)
+	symbols := m.Input("symbols", 2*spec.OutputSymbols)
+	// Output packs {valid, data}.
+	table := make(map[uint64]uint64, spec.Values())
+	for v, seq := range book.Codes() {
+		table[uint64(seq.Packed())] = 1<<uint(spec.InputBits) | uint64(v)
+	}
+	lut := m.Wire("decoded_q", Lookup{Sel: symbols, Table: table, Bits: spec.InputBits + 1})
+	m.Output("data", m.Wire("data_w", Slice{X: lut, Lo: 0, Bits: spec.InputBits}))
+	m.Output("valid", m.Wire("valid_w", Slice{X: lut, Lo: spec.InputBits, Bits: 1}))
+	return m
+}
+
+// MTAEncoder generates the per-wire 7-bit→4-symbol MTA encoder with the
+// conditional sequence inversion (asserted when the wire's previous
+// transmitted symbol was L3). In the natural bit mapping, inverting a
+// level (l → 3−l) is a bitwise complement.
+func MTAEncoder(c *mta.Codec) *Module {
+	m := NewModule("mta_enc_wire",
+		"GDDR6X MTA per-wire encoder: 7 data bits to 4 PAM4 symbols with the\nL3-seam inversion stage. Generated from the canonical 128-entry table.")
+	data := m.Input("data", 7)
+	invert := m.Input("invert", 1)
+	table := make(map[uint64]uint64, mta.TableSize)
+	for v, seq := range c.Table() {
+		table[uint64(v)] = uint64(seq.Packed())
+	}
+	lut := m.Wire("upright_q", Lookup{Sel: data, Table: table, Bits: 8})
+	inv := m.Wire("inverted_w", Not{X: lut})
+	out := m.Wire("symbols_w", Mux{Sel: invert, A: inv, B: lut})
+	m.Output("symbols", out)
+	return m
+}
+
+// MTADecoder generates the per-wire MTA decoder (un-invert, then reverse
+// the table; valid goes low for the 128 codes' complement space).
+func MTADecoder(c *mta.Codec) *Module {
+	m := NewModule("mta_dec_wire",
+		"GDDR6X MTA per-wire decoder: 4 PAM4 symbols back to 7 data bits.\ninvert mirrors the encoder's seam state; valid flags table membership.")
+	symbols := m.Input("symbols", 8)
+	invert := m.Input("invert", 1)
+	upright := m.Wire("upright_w", Mux{Sel: invert, A: Not{X: symbols}, B: symbols})
+	table := make(map[uint64]uint64, mta.TableSize)
+	for v, seq := range c.Table() {
+		table[uint64(seq.Packed())] = 1<<7 | uint64(v)
+	}
+	lut := m.Wire("decoded_q", Lookup{Sel: upright, Table: table, Bits: 8})
+	m.Output("data", m.Wire("data_w", Slice{X: lut, Lo: 0, Bits: 7}))
+	m.Output("valid", m.Wire("valid_w", Slice{X: lut, Lo: 7, Bits: 1}))
+	return m
+}
+
+// DBIColumn generates the restricted-DBI level-swap unit for one UI
+// column: eight 2-bit symbols in, swapped symbols plus the 2-bit DBI
+// metadata symbol out. Swap L0↔L1 when more than four wires carry L1,
+// else L0↔L2 when more than four carry L2.
+func DBIColumn() *Module {
+	m := NewModule("smores_dbi_column",
+		"SMOREs restricted DBI for one UI column across eight data wires.\nd packs wire w's symbol at bits [2w+1:2w]; dbi is the metadata symbol.")
+	d := m.Input("d", 16)
+
+	sym := func(w int) Expr { return Slice{X: d, Lo: 2 * w, Bits: 2} }
+	countOf := func(level uint64, name string) Port {
+		var sum Expr = Const{Value: 0, Bits: 4}
+		for w := 0; w < 8; w++ {
+			eq := Binary{Op: OpEq, A: sym(w), B: Const{Value: level, Bits: 2}}
+			sum = Binary{Op: OpAdd, A: sum, B: Concat{Parts: []Expr{Const{Value: 0, Bits: 3}, eq}}}
+		}
+		return m.Wire(name, sum)
+	}
+	n1 := countOf(1, "count_l1")
+	n2 := countOf(2, "count_l2")
+	sel1 := m.Wire("swap_l1", Binary{Op: OpGt, A: n1, B: Const{Value: 4, Bits: 4}})
+	sel2Raw := Binary{Op: OpGt, A: n2, B: Const{Value: 4, Bits: 4}}
+	// L1 is tested first; both majorities cannot hold at once, but the
+	// priority keeps the logic and its Go model identical.
+	sel2 := m.Wire("swap_l2", Binary{Op: OpAnd, A: Not{X: Port{Name: sel1.Name, Bits: 1}}, B: sel2Raw})
+
+	var outSyms []Expr
+	for w := 7; w >= 0; w-- { // Concat is MSB-first
+		s := sym(w)
+		swap01 := Mux{
+			Sel: Binary{Op: OpEq, A: s, B: Const{Value: 0, Bits: 2}},
+			A:   Const{Value: 1, Bits: 2},
+			B:   Mux{Sel: Binary{Op: OpEq, A: s, B: Const{Value: 1, Bits: 2}}, A: Const{Value: 0, Bits: 2}, B: s},
+		}
+		swap02 := Mux{
+			Sel: Binary{Op: OpEq, A: s, B: Const{Value: 0, Bits: 2}},
+			A:   Const{Value: 2, Bits: 2},
+			B:   Mux{Sel: Binary{Op: OpEq, A: s, B: Const{Value: 2, Bits: 2}}, A: Const{Value: 0, Bits: 2}, B: s},
+		}
+		outSyms = append(outSyms, Mux{Sel: sel1, A: swap01, B: Mux{Sel: sel2, A: swap02, B: s}})
+	}
+	q := m.Wire("q_w", Concat{Parts: outSyms})
+	dbi := m.Wire("dbi_w", Mux{
+		Sel: sel1, A: Const{Value: 1, Bits: 2},
+		B: Mux{Sel: sel2, A: Const{Value: 2, Bits: 2}, B: Const{Value: 0, Bits: 2}},
+	})
+	m.Output("q", q)
+	m.Output("dbi", dbi)
+	return m
+}
+
+// LevelShifter generates the per-wire seam level shifter: a symbol
+// following an L3 is transmitted one level higher.
+func LevelShifter() *Module {
+	m := NewModule("smores_level_shift",
+		"SMOREs per-wire level shifter: shift the outgoing symbol up one\nlevel when the previously transmitted symbol was L3.")
+	sym := m.Input("sym", 2)
+	prev := m.Input("prev", 2)
+	// Saturating increment matches the Go model; sparse symbols never
+	// exceed L2 before shifting, so saturation is a defensive bound.
+	atMax := Binary{Op: OpEq, A: sym, B: Const{Value: 3, Bits: 2}}
+	shifted := Mux{Sel: atMax, A: Const{Value: 3, Bits: 2},
+		B: Binary{Op: OpAdd, A: sym, B: Const{Value: 1, Bits: 2}}}
+	wasL3 := Binary{Op: OpEq, A: prev, B: Const{Value: uint64(pam4.L3), Bits: 2}}
+	out := m.Wire("out_w", Mux{Sel: wasL3, A: shifted, B: sym})
+	m.Output("out", out)
+	return m
+}
+
+// LevelUnshifter generates the receiver side: subtract one level from any
+// symbol that followed an L3.
+func LevelUnshifter() *Module {
+	m := NewModule("smores_level_unshift",
+		"SMOREs per-wire level unshifter (receiver): subtract one level from\nany symbol received after an L3.")
+	sym := m.Input("sym", 2)
+	prev := m.Input("prev", 2)
+	atMin := Binary{Op: OpEq, A: sym, B: Const{Value: 0, Bits: 2}}
+	down := Mux{Sel: atMin, A: Const{Value: 0, Bits: 2},
+		B: Binary{Op: OpAdd, A: sym, B: Const{Value: 3, Bits: 2}}} // −1, saturating
+	wasL3 := Binary{Op: OpEq, A: prev, B: Const{Value: uint64(pam4.L3), Bits: 2}}
+	out := m.Wire("out_w", Mux{Sel: wasL3, A: down, B: sym})
+	m.Output("out", out)
+	return m
+}
+
+// StandardSet generates the full family the paper synthesizes: the MTA
+// encoder/decoder pair and the sparse encoder/decoder pairs for every
+// length in the family, plus the DBI column and level-shifter blocks.
+func StandardSet(c *mta.Codec, books []*codec.Codebook) []*Module {
+	mods := []*Module{
+		MTAEncoder(c), MTADecoder(c),
+		DBIColumn(), LevelShifter(), LevelUnshifter(),
+	}
+	for _, b := range books {
+		mods = append(mods, SparseEncoder(b), SparseDecoder(b))
+	}
+	return mods
+}

@@ -1,0 +1,30 @@
+package verilog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenLevelShifter pins the emitted Verilog of a small module so
+// accidental emission changes are visible in review. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/verilog -run Golden.
+func TestGoldenLevelShifter(t *testing.T) {
+	got := LevelShifter().Emit()
+	path := filepath.Join("testdata", "smores_level_shift.v.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("emission drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,128 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Module is a purely combinational design: inputs, named wires defined by
+// expressions, and outputs selected from those wires (or inputs).
+type Module struct {
+	Name    string
+	Comment string
+	inputs  []Port
+	outputs []Port
+	// wires are evaluated in definition order; later wires may reference
+	// earlier ones.
+	wireOrder []string
+	wires     map[string]Expr
+	outExpr   map[string]string // output name → wire/input name
+}
+
+// NewModule starts a module definition.
+func NewModule(name, comment string) *Module {
+	return &Module{
+		Name:    name,
+		Comment: comment,
+		wires:   make(map[string]Expr),
+		outExpr: make(map[string]string),
+	}
+}
+
+// Input declares an input port and returns a reference to it.
+func (m *Module) Input(name string, bits int) Port {
+	p := Port{Name: name, Bits: bits}
+	m.inputs = append(m.inputs, p)
+	return p
+}
+
+// Wire defines a named intermediate signal and returns a reference.
+func (m *Module) Wire(name string, e Expr) Port {
+	if _, dup := m.wires[name]; dup {
+		panic("verilog: duplicate wire " + name)
+	}
+	m.wires[name] = e
+	m.wireOrder = append(m.wireOrder, name)
+	return Port{Name: name, Bits: e.Width()}
+}
+
+// Output declares an output port driven by the named wire or input.
+func (m *Module) Output(name string, src Port) {
+	m.outputs = append(m.outputs, Port{Name: name, Bits: src.Bits})
+	m.outExpr[name] = src.Name
+}
+
+// Inputs returns the declared input ports.
+func (m *Module) Inputs() []Port { return append([]Port(nil), m.inputs...) }
+
+// Outputs returns the declared output ports.
+func (m *Module) Outputs() []Port { return append([]Port(nil), m.outputs...) }
+
+// Eval computes all outputs for the given input assignment.
+func (m *Module) Eval(inputs map[string]uint64) map[string]uint64 {
+	env := make(map[string]uint64, len(inputs)+len(m.wireOrder))
+	for _, in := range m.inputs {
+		v, ok := inputs[in.Name]
+		if !ok {
+			panic("verilog: missing input " + in.Name)
+		}
+		env[in.Name] = v & mask(in.Bits)
+	}
+	for _, w := range m.wireOrder {
+		env[w] = m.wires[w].Eval(env)
+	}
+	out := make(map[string]uint64, len(m.outputs))
+	for _, o := range m.outputs {
+		out[o.Name] = env[m.outExpr[o.Name]] & mask(o.Bits)
+	}
+	return out
+}
+
+// Emit renders the module as synthesizable Verilog-2001.
+func (m *Module) Emit() string {
+	var b strings.Builder
+	if m.Comment != "" {
+		for _, line := range strings.Split(m.Comment, "\n") {
+			fmt.Fprintf(&b, "// %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "module %s (\n", m.Name)
+	var ports []string
+	for _, in := range m.inputs {
+		ports = append(ports, "  input  wire "+rangeDecl(in.Bits)+in.Name)
+	}
+	for _, out := range m.outputs {
+		ports = append(ports, "  output wire "+rangeDecl(out.Bits)+out.Name)
+	}
+	b.WriteString(strings.Join(ports, ",\n"))
+	b.WriteString("\n);\n\n")
+
+	for _, w := range m.wireOrder {
+		e := m.wires[w]
+		if lu, ok := e.(Lookup); ok {
+			fmt.Fprintf(&b, "  reg %s%s;\n", rangeDecl(lu.Bits), w)
+			fmt.Fprintf(&b, "  always @(*) begin\n    case (%s)\n", lu.Sel.Emit())
+			for _, k := range lu.sortedKeys() {
+				fmt.Fprintf(&b, "      %d'd%d: %s = %d'd%d;\n",
+					lu.Sel.Width(), k, w, lu.Bits, lu.Table[k])
+			}
+			fmt.Fprintf(&b, "      default: %s = %d'd%d;\n", w, lu.Bits, lu.Default)
+			b.WriteString("    endcase\n  end\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  wire %s%s = %s;\n", rangeDecl(e.Width()), w, e.Emit())
+	}
+	b.WriteString("\n")
+	for _, o := range m.outputs {
+		fmt.Fprintf(&b, "  assign %s = %s;\n", o.Name, m.outExpr[o.Name])
+	}
+	fmt.Fprintf(&b, "\nendmodule // %s\n", m.Name)
+	return b.String()
+}
+
+func rangeDecl(bits int) string {
+	if bits == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", bits-1)
+}

@@ -1,0 +1,279 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"smores/internal/codec"
+	"smores/internal/core"
+	"smores/internal/mta"
+	"smores/internal/pam4"
+)
+
+func books(t *testing.T) []*codec.Codebook {
+	t.Helper()
+	fam, err := core.NewFamily(pam4.DefaultEnergyModel(), core.DefaultFamilyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*codec.Codebook
+	for _, n := range fam.Lengths() {
+		out = append(out, fam.ByLength(n).Book())
+	}
+	return out
+}
+
+// TestSparseEncoderEquivalence checks every generated sparse encoder
+// against the Go codebook on all 16 inputs.
+func TestSparseEncoderEquivalence(t *testing.T) {
+	for _, book := range books(t) {
+		m := SparseEncoder(book)
+		for v := uint64(0); v < 16; v++ {
+			out := m.Eval(map[string]uint64{"data": v})
+			want := uint64(book.Encode(uint8(v)).Packed())
+			if out["symbols"] != want {
+				t.Fatalf("%s: data %d → %#x, want %#x", m.Name, v, out["symbols"], want)
+			}
+		}
+	}
+}
+
+// TestSparseDecoderEquivalence checks the decoders exhaustively over the
+// full symbol space (valid and invalid sequences).
+func TestSparseDecoderEquivalence(t *testing.T) {
+	for _, book := range books(t) {
+		spec := book.Spec()
+		if spec.OutputSymbols > 7 {
+			continue // 4b8s covered by the sampled test below
+		}
+		m := SparseDecoder(book)
+		for s := uint64(0); s < 1<<uint(2*spec.OutputSymbols); s++ {
+			out := m.Eval(map[string]uint64{"symbols": s})
+			wantV, wantOK := book.Decode(pam4.SeqFromPacked(uint32(s), spec.OutputSymbols))
+			if (out["valid"] == 1) != wantOK {
+				t.Fatalf("%s: symbols %#x valid=%d, want %v", m.Name, s, out["valid"], wantOK)
+			}
+			if wantOK && out["data"] != uint64(wantV) {
+				t.Fatalf("%s: symbols %#x → %d, want %d", m.Name, s, out["data"], wantV)
+			}
+		}
+	}
+}
+
+func TestSparseDecoder8SampledEquivalence(t *testing.T) {
+	book := books(t)[5] // 4b8s
+	if book.Spec().OutputSymbols != 8 {
+		t.Fatal("unexpected family ordering")
+	}
+	m := SparseDecoder(book)
+	// All 16 codewords plus a stride of foreign sequences.
+	for v := 0; v < 16; v++ {
+		s := uint64(book.Encode(uint8(v)).Packed())
+		out := m.Eval(map[string]uint64{"symbols": s})
+		if out["valid"] != 1 || out["data"] != uint64(v) {
+			t.Fatalf("codeword %d misdecoded", v)
+		}
+	}
+	for s := uint64(0); s < 1<<16; s += 97 {
+		out := m.Eval(map[string]uint64{"symbols": s})
+		_, wantOK := book.Decode(pam4.SeqFromPacked(uint32(s), 8))
+		if (out["valid"] == 1) != wantOK {
+			t.Fatalf("symbols %#x validity mismatch", s)
+		}
+	}
+}
+
+// TestMTAEquivalence checks the MTA wire encoder/decoder pair against
+// the Go codec for every data value and both seam states.
+func TestMTAEquivalence(t *testing.T) {
+	c := mta.New(pam4.DefaultEnergyModel())
+	enc := MTAEncoder(c)
+	dec := MTADecoder(c)
+	for _, prev := range []pam4.Level{pam4.L0, pam4.L3} {
+		inv := uint64(0)
+		if prev == pam4.L3 {
+			inv = 1
+		}
+		for v := uint64(0); v < 128; v++ {
+			seq, _ := c.EncodeWire(uint8(v), prev)
+			got := enc.Eval(map[string]uint64{"data": v, "invert": inv})
+			if got["symbols"] != uint64(seq.Packed()) {
+				t.Fatalf("encoder: v=%d inv=%d → %#x, want %#x", v, inv, got["symbols"], seq.Packed())
+			}
+			back := dec.Eval(map[string]uint64{"symbols": got["symbols"], "invert": inv})
+			if back["valid"] != 1 || back["data"] != v {
+				t.Fatalf("decoder: v=%d inv=%d → %d (valid=%d)", v, inv, back["data"], back["valid"])
+			}
+		}
+	}
+	// Foreign sequences must be flagged invalid (exhaustive).
+	for s := uint64(0); s < 256; s++ {
+		for inv := uint64(0); inv < 2; inv++ {
+			prev := pam4.L0
+			if inv == 1 {
+				prev = pam4.L3
+			}
+			upright := pam4.SeqFromPacked(uint32(s), 4)
+			_, wantOK := c.DecodeWire(upright, prev)
+			got := dec.Eval(map[string]uint64{"symbols": s, "invert": inv})
+			if (got["valid"] == 1) != wantOK {
+				t.Fatalf("decoder validity mismatch at %#x inv=%d", s, inv)
+			}
+		}
+	}
+}
+
+// TestDBIColumnEquivalence checks the DBI unit against core.ApplyDBISwap
+// over every 3-level column (3^8 = 6561 cases).
+func TestDBIColumnEquivalence(t *testing.T) {
+	m := DBIColumn()
+	var col mta.Column
+	var rec func(w int)
+	cases := 0
+	rec = func(w int) {
+		if w == mta.GroupDataWires {
+			cases++
+			var packed uint64
+			for i := 0; i < mta.GroupDataWires; i++ {
+				packed |= uint64(col[i]) << uint(2*i)
+			}
+			out := m.Eval(map[string]uint64{"d": packed})
+			want := core.ApplyDBISwap(col)
+			var wantQ uint64
+			for i := 0; i < mta.GroupDataWires; i++ {
+				wantQ |= uint64(want[i]) << uint(2*i)
+			}
+			if out["q"] != wantQ || out["dbi"] != uint64(want[mta.DBIWire]) {
+				t.Fatalf("column %#x: q=%#x dbi=%d, want %#x/%d",
+					packed, out["q"], out["dbi"], wantQ, want[mta.DBIWire])
+			}
+			return
+		}
+		for l := pam4.L0; l <= pam4.L2; l++ {
+			col[w] = l
+			rec(w + 1)
+		}
+	}
+	rec(0)
+	if cases != 6561 {
+		t.Fatalf("covered %d cases, want 6561", cases)
+	}
+}
+
+func TestLevelShifterEquivalence(t *testing.T) {
+	up := LevelShifter()
+	down := LevelUnshifter()
+	for sym := uint64(0); sym < 4; sym++ {
+		for prev := uint64(0); prev < 4; prev++ {
+			got := up.Eval(map[string]uint64{"sym": sym, "prev": prev})["out"]
+			want := pam4.Level(sym)
+			if prev == uint64(pam4.L3) {
+				want = want.ShiftUp()
+			}
+			if got != uint64(want) {
+				t.Fatalf("shift sym=%d prev=%d → %d, want %d", sym, prev, got, want)
+			}
+			back := down.Eval(map[string]uint64{"sym": got, "prev": prev})["out"]
+			// Round trip holds for all reachable symbols (≤L2 pre-shift).
+			if sym <= 2 && back != sym {
+				t.Fatalf("unshift sym=%d prev=%d → %d", sym, prev, back)
+			}
+		}
+	}
+}
+
+func TestEmitWellFormed(t *testing.T) {
+	c := mta.New(pam4.DefaultEnergyModel())
+	mods := StandardSet(c, books(t))
+	if len(mods) != 5+2*6 {
+		t.Fatalf("standard set has %d modules", len(mods))
+	}
+	names := map[string]bool{}
+	for _, m := range mods {
+		src := m.Emit()
+		if names[m.Name] {
+			t.Errorf("duplicate module name %s", m.Name)
+		}
+		names[m.Name] = true
+		for _, want := range []string{"module " + m.Name, "endmodule", "input", "output"} {
+			if !strings.Contains(src, want) {
+				t.Errorf("%s: emitted source missing %q:\n%s", m.Name, want, src)
+			}
+		}
+		// Balanced case/endcase and begin/end.
+		if strings.Count(src, "case (") != strings.Count(src, "endcase") {
+			t.Errorf("%s: unbalanced case blocks", m.Name)
+		}
+		if strings.Contains(src, "%!") {
+			t.Errorf("%s: formatting artifact in output", m.Name)
+		}
+	}
+	// Spot-check a deterministic fragment of the 4b3s encoder.
+	enc := SparseEncoder(books(t)[0])
+	src := enc.Emit()
+	if !strings.Contains(src, "case (data)") || !strings.Contains(src, "4'd0:") {
+		t.Errorf("sparse encoder emission malformed:\n%s", src)
+	}
+	// Emission is deterministic.
+	if src != SparseEncoder(books(t)[0]).Emit() {
+		t.Error("emission not deterministic")
+	}
+}
+
+func TestIRBasics(t *testing.T) {
+	m := NewModule("t", "c")
+	a := m.Input("a", 4)
+	b := m.Input("b", 4)
+	sum := m.Wire("sum", Binary{Op: OpAdd, A: a, B: b})
+	hi := m.Wire("hi", Slice{X: sum, Lo: 2, Bits: 2})
+	cat := m.Wire("cat", Concat{Parts: []Expr{hi, Const{Value: 1, Bits: 1}}})
+	m.Output("o", cat)
+	out := m.Eval(map[string]uint64{"a": 7, "b": 6})
+	// sum = 13 (0b1101), hi = 0b11, cat = 0b111.
+	if out["o"] != 7 {
+		t.Errorf("o = %d, want 7", out["o"])
+	}
+	src := m.Emit()
+	if !strings.Contains(src, "wire [1:0] hi") || !strings.Contains(src, "// c") {
+		t.Errorf("emission missing declarations:\n%s", src)
+	}
+	// Width/overflow behavior.
+	if got := (Binary{Op: OpAdd, A: Const{15, 4}, B: Const{1, 4}}).Eval(nil); got != 0 {
+		t.Errorf("4-bit add overflow = %d", got)
+	}
+	if got := (Not{X: Const{0, 2}}).Eval(nil); got != 3 {
+		t.Errorf("2-bit not = %d", got)
+	}
+	if got := (Mux{Sel: Const{0, 1}, A: Const{1, 2}, B: Const{2, 2}}).Eval(nil); got != 2 {
+		t.Errorf("mux = %d", got)
+	}
+	if (Binary{Op: OpGt, A: Const{3, 4}, B: Const{2, 4}}).Eval(nil) != 1 {
+		t.Error("gt broken")
+	}
+	if (Binary{Op: OpEq, A: Const{3, 4}, B: Const{2, 4}}).Width() != 1 {
+		t.Error("comparison width should be 1")
+	}
+}
+
+func TestDuplicateWirePanics(t *testing.T) {
+	m := NewModule("d", "")
+	m.Wire("w", Const{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate wire must panic")
+		}
+	}()
+	m.Wire("w", Const{0, 1})
+}
+
+func TestMissingInputPanics(t *testing.T) {
+	m := NewModule("mi", "")
+	a := m.Input("a", 2)
+	m.Output("o", m.Wire("w", Not{X: a}))
+	defer func() {
+		if recover() == nil {
+			t.Error("missing input must panic")
+		}
+	}()
+	m.Eval(map[string]uint64{})
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+
+	"smores/internal/gpu"
+)
+
+// Phase is one segment of a phased workload: a traffic profile that runs
+// for a fixed number of accesses before the next phase takes over.
+type Phase struct {
+	Profile  Profile
+	Accesses int64
+}
+
+// PhasedGenerator cycles through phases — the shape of real applications
+// that alternate memory-bound sweeps with compute-bound stretches (the
+// paper's myocyte/MCB-style workloads). It implements gpu.Generator.
+type PhasedGenerator struct {
+	phases []Phase
+	gens   []*Generator
+	idx    int
+	left   int64
+}
+
+// NewPhasedGenerator builds a generator cycling through the given phases
+// forever. Each phase keeps its own address stream (its own RNG fork).
+func NewPhasedGenerator(phases []Phase, seed uint64) (*PhasedGenerator, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: phased generator needs at least one phase")
+	}
+	pg := &PhasedGenerator{phases: phases}
+	for i, ph := range phases {
+		if ph.Accesses <= 0 {
+			return nil, fmt.Errorf("workload: phase %d has non-positive length", i)
+		}
+		g, err := NewGenerator(ph.Profile, seed+uint64(i)*0x9e3779b9)
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		pg.gens = append(pg.gens, g)
+	}
+	pg.left = phases[0].Accesses
+	return pg, nil
+}
+
+// Phase returns the index of the currently active phase.
+func (pg *PhasedGenerator) Phase() int { return pg.idx }
+
+// Next implements gpu.Generator.
+func (pg *PhasedGenerator) Next() (gpu.Access, bool) {
+	if pg.left <= 0 {
+		pg.idx = (pg.idx + 1) % len(pg.phases)
+		pg.left = pg.phases[pg.idx].Accesses
+	}
+	pg.left--
+	return pg.gens[pg.idx].Next()
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestPhasedGeneratorCycles(t *testing.T) {
+	heavy, _ := ByName("bert")
+	light, _ := ByName("myocyte")
+	pg, err := NewPhasedGenerator([]Phase{
+		{Profile: heavy, Accesses: 100},
+		{Profile: light, Accesses: 50},
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseSeen := map[int]int{}
+	for i := 0; i < 450; i++ {
+		if _, ok := pg.Next(); !ok {
+			t.Fatal("phased generator ended")
+		}
+		phaseSeen[pg.Phase()]++
+	}
+	// 450 accesses = 3 full cycles: 300 in phase 0, 150 in phase 1.
+	if phaseSeen[0] != 300 || phaseSeen[1] != 150 {
+		t.Errorf("phase occupancy = %v, want 300/150", phaseSeen)
+	}
+}
+
+func TestPhasedGeneratorThinkContrast(t *testing.T) {
+	heavy, _ := ByName("bert")    // think ≈ 1
+	light, _ := ByName("myocyte") // think ≈ 160
+	pg, err := NewPhasedGenerator([]Phase{
+		{Profile: heavy, Accesses: 2000},
+		{Profile: light, Accesses: 2000},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var think [2]int64
+	var count [2]int64
+	for i := 0; i < 8000; i++ {
+		a, _ := pg.Next()
+		think[pg.Phase()] += a.Think
+		count[pg.Phase()]++
+	}
+	heavyRate := float64(think[0]) / float64(count[0])
+	lightRate := float64(think[1]) / float64(count[1])
+	if lightRate < heavyRate*5 {
+		t.Errorf("phase think contrast missing: heavy %.2f vs light %.2f", heavyRate, lightRate)
+	}
+}
+
+func TestPhasedGeneratorValidation(t *testing.T) {
+	p, _ := ByName("bert")
+	if _, err := NewPhasedGenerator(nil, 1); err == nil {
+		t.Error("empty phase list must error")
+	}
+	if _, err := NewPhasedGenerator([]Phase{{Profile: p, Accesses: 0}}, 1); err == nil {
+		t.Error("zero-length phase must error")
+	}
+	bad := p
+	bad.MSHRs = 0
+	if _, err := NewPhasedGenerator([]Phase{{Profile: bad, Accesses: 5}}, 1); err == nil {
+		t.Error("invalid profile must error")
+	}
+}

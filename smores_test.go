@@ -1,0 +1,134 @@
+package smores
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeBasics(t *testing.T) {
+	m := DefaultEnergyModel()
+	if math.Abs(m.PAM4PerBit()-528.75) > 0.1 {
+		t.Errorf("PAM4 per-bit = %g", m.PAM4PerBit())
+	}
+	if NewMTACodec(m) == nil || DefaultFamily() == nil || NewChannel() == nil {
+		t.Fatal("constructors returned nil")
+	}
+	if len(Fleet()) != 42 {
+		t.Errorf("fleet size = %d", len(Fleet()))
+	}
+	if _, ok := WorkloadByName("bert"); !ok {
+		t.Error("bert missing from fleet")
+	}
+	if len(PaperSchemes()) != 3 {
+		t.Error("paper schemes wrong")
+	}
+	if StaticCode == VariableCode || Exhaustive == Conservative {
+		t.Error("scheme constants collide")
+	}
+}
+
+func TestFacadeRunApp(t *testing.T) {
+	w, ok := WorkloadByName("sssp")
+	if !ok {
+		t.Fatal("sssp missing")
+	}
+	r, err := RunApp(w, RunSpec{Policy: BaselineMTA, Accesses: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerBit <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestBurstCodecRoundTripAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	enc := NewBurstCodec()
+	dec := NewBurstCodec()
+	lengths := []int{0, 3, 0, 4, 5, 0, 6, 7, 8, 0, 3, 3, 0}
+	for trial := 0; trial < 40; trial++ {
+		for _, n := range lengths {
+			data := make([]byte, BurstBytes)
+			rng.Read(data)
+			e, err := enc.Encode(data, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 && e.UIs() != 8 {
+				t.Errorf("MTA burst UIs = %d", e.UIs())
+			}
+			if n == 3 && e.UIs() != 12 {
+				t.Errorf("4b3s burst UIs = %d", e.UIs())
+			}
+			got, err := dec.Decode(e)
+			if err != nil {
+				t.Fatalf("decode length %d: %v", n, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("roundtrip mismatch at length %d", n)
+			}
+		}
+		// Exercise the idle/postamble seams in lockstep.
+		enc.Postamble()
+		dec.Postamble()
+		enc.Idle()
+		dec.Idle()
+	}
+}
+
+func TestBurstCodecEnergyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	codec := NewBurstCodec()
+	avg := func(n int) float64 {
+		codec.Idle()
+		var total float64
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			data := make([]byte, BurstBytes)
+			rng.Read(data)
+			e, err := codec.Encode(data, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += codec.PerBit(e)
+		}
+		return total / trials
+	}
+	mtaE := avg(0)
+	s3 := avg(3)
+	s8 := avg(8)
+	if !(s8 < s3 && s3 < mtaE) {
+		t.Errorf("energy ordering broken: MTA %.1f, 4b3s %.1f, 4b8s %.1f", mtaE, s3, s8)
+	}
+	// Wire-only values should be near the Table IV expectations.
+	if math.Abs(s3-425.3) > 12 {
+		t.Errorf("4b3s/DBI per-bit = %.1f, want ≈425", s3)
+	}
+	if math.Abs(mtaE-574.8) > 25 {
+		t.Errorf("MTA per-bit = %.1f, want ≈575", mtaE)
+	}
+}
+
+func TestBurstCodecErrors(t *testing.T) {
+	c := NewBurstCodec()
+	if _, err := c.Encode(make([]byte, 16), 0); err == nil {
+		t.Error("short burst must error")
+	}
+	if _, err := c.Encode(make([]byte, 32), 2); err == nil {
+		t.Error("unknown code length must error")
+	}
+	e, err := c.Encode(make([]byte, 32), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CodeLength = 9
+	if _, err := c.Decode(e); err == nil {
+		t.Error("bad decode length must error")
+	}
+	e.CodeLength = 0
+	if _, err := c.Decode(e); err == nil {
+		t.Error("column-count mismatch must error")
+	}
+}
