@@ -10,9 +10,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"smores/internal/obs"
 	"smores/internal/pam4"
 	"smores/internal/report"
 	"smores/internal/sweep"
+	"smores/internal/workload"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV/JSON artifacts to this directory")
 		accesses = flag.Int64("accesses", report.DefaultAccesses, "per-app workload length")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		workers  = flag.Int("j", 0, "concurrent app simulations per fleet (0 = GOMAXPROCS, 1 = sequential)")
+		listen   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /progress with ETA, pprof) on this address for the duration of the run")
 	)
 	flag.Parse()
 	if *sweeps {
@@ -49,10 +53,26 @@ func main() {
 
 	specs := report.PolicySpecs(*accesses, *seed, false)
 	labels := []string{"baseline", "optimized", "variable", "static", "conservative"}
+
+	// Live telemetry: per-app counters for the whole stack plus a
+	// /progress endpoint whose ETA covers all fleets.
+	opts := report.FleetOptions{Workers: *workers}
+	var srv *obs.Server
+	if *listen != "" {
+		opts.Obs = obs.NewRegistry()
+		opts.Progress = obs.NewProgress(int64(len(specs) * len(workload.Fleet())))
+		srv = obs.NewServer(opts.Obs, opts.Progress)
+		addr, err := srv.Start(*listen)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "smores-eval: telemetry on http://%s/metrics\n", addr)
+		defer srv.Close()
+	}
+
 	frs := make([]report.FleetResult, len(specs))
 	for i, s := range specs {
 		fmt.Fprintf(os.Stderr, "running fleet under %s...\n", labels[i])
-		fr, err := report.RunFleet(s)
+		opts.Progress.SetPhase("fleet: " + labels[i])
+		fr, err := report.RunFleetOpts(s, opts)
 		fail(err)
 		frs[i] = fr
 	}

@@ -8,7 +8,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"smores/internal/bus"
 	"smores/internal/core"
@@ -16,6 +18,7 @@ import (
 	"smores/internal/eyesim"
 	"smores/internal/memctrl"
 	"smores/internal/mta"
+	"smores/internal/obs"
 	"smores/internal/pam4"
 	"smores/internal/report"
 	"smores/internal/rng"
@@ -35,6 +38,9 @@ func main() {
 		scenario = flag.Bool("scenario", false, "play the Figure 4 timing scenarios instead")
 		eye      = flag.Bool("eye", false, "run the signal-integrity (crosstalk/eye) analysis instead")
 		channels = flag.Int("channels", 1, "number of interleaved GDDR6X channels")
+		listen   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /progress, pprof) on this address; keeps serving after the run until interrupted")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
+		traceCap = flag.Int("trace-depth", obs.DefaultTraceCapacity, "ring-buffer capacity of the tracer (most recent events kept)")
 	)
 	flag.Parse()
 
@@ -59,6 +65,31 @@ func main() {
 		fail(fmt.Errorf("unknown app %q (try -list)", *app))
 	}
 	rs := report.RunSpec{Accesses: *accesses, Seed: *seed, UseLLC: *useLLC}
+
+	// Observability: a live registry + progress when -listen is set, a
+	// cycle tracer when -trace is set. Both are nil otherwise, which keeps
+	// the simulator's hot path on its uninstrumented branch.
+	var (
+		reg  *obs.Registry
+		prog *obs.Progress
+		srv  *obs.Server
+	)
+	if *listen != "" {
+		reg = obs.NewRegistry()
+		prog = obs.NewProgress(1)
+		prog.SetPhase("run: " + p.Name)
+		srv = obs.NewServer(reg, prog)
+		addr, err := srv.Start(*listen)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "smores-sim: telemetry on http://%s/metrics\n", addr)
+		rs.Obs = reg
+		rs.ObsLabels = []obs.Label{obs.L("app", p.Name)}
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(*traceCap)
+		rs.Tracer = tracer
+	}
 	switch strings.ToLower(*policy) {
 	case "baseline":
 		rs.Policy = memctrl.BaselineMTA
@@ -94,6 +125,7 @@ func main() {
 			mr.Reads, mr.Writes, mr.Clocks, float64(mr.Reads+mr.Writes)*32/float64(mr.Clocks))
 		fmt.Printf("  energy:          %.1f fJ/bit aggregate\n", mr.PerBit)
 		fmt.Printf("  channel balance: %.3f (max/min bits)\n", mr.ChannelBalance())
+		finishTelemetry(tracer, *traceOut, prog, srv)
 		return
 	}
 
@@ -113,6 +145,31 @@ func main() {
 	fmt.Printf("  write gaps:      %v\n", r.WriteGaps)
 	fmt.Printf("  read latency:    %.1f clocks average\n", r.AvgReadLatency)
 	fmt.Printf("  idle frequency:  %.2f\n", r.IdleFrequency)
+	finishTelemetry(tracer, *traceOut, prog, srv)
+}
+
+// finishTelemetry writes the Chrome trace (when tracing), marks progress
+// complete, and — when a telemetry server is up — keeps serving /metrics
+// until interrupted so the final counters stay scrapeable.
+func finishTelemetry(tracer *obs.Tracer, traceOut string, prog *obs.Progress, srv *obs.Server) {
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		fail(err)
+		fail(tracer.WriteChromeTrace(f))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "smores-sim: wrote %d trace events to %s (%d dropped by ring)\n",
+			tracer.Len(), traceOut, tracer.Dropped())
+	}
+	if srv == nil {
+		return
+	}
+	prog.Step(1)
+	prog.SetPhase("done")
+	fmt.Fprintf(os.Stderr, "smores-sim: run complete; serving telemetry on http://%s/metrics until interrupted\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fail(srv.Close())
 }
 
 // playScenarios drives the channel model through the paper's Figure 4

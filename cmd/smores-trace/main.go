@@ -12,6 +12,7 @@ import (
 
 	"smores/internal/gpu"
 	"smores/internal/memctrl"
+	"smores/internal/obs"
 	"smores/internal/trace"
 	"smores/internal/workload"
 )
@@ -22,6 +23,7 @@ func main() {
 		out      = flag.String("out", "trace.smtr", "output trace path")
 		info     = flag.String("info", "", "summarize a trace file")
 		replay   = flag.String("replay", "", "replay a trace through the simulator")
+		chrome   = flag.String("chrome", "", "during -replay, also write a cycle-level Chrome trace-event JSON (Perfetto) to this file")
 		accesses = flag.Int64("n", 50000, "accesses to record")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 	)
@@ -33,7 +35,7 @@ func main() {
 	case *info != "":
 		fail(doInfo(*info))
 	case *replay != "":
-		fail(doReplay(*replay))
+		fail(doReplay(*replay, *chrome))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -106,14 +108,20 @@ func doInfo(path string) error {
 	return nil
 }
 
-func doReplay(path string) error {
+func doReplay(path, chrome string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	rep := trace.NewReplayer(f)
-	ctrl, err := memctrl.New(memctrl.Config{Policy: memctrl.BaselineMTA})
+	cfg := memctrl.Config{Policy: memctrl.BaselineMTA}
+	var tracer *obs.Tracer
+	if chrome != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Tracer = tracer
+	}
+	ctrl, err := memctrl.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -130,6 +138,21 @@ func doReplay(path string) error {
 	}
 	fmt.Printf("replayed %d accesses in %d clocks: %.1f fJ/bit, gaps %v\n",
 		res.Accesses, res.Clocks, ctrl.BusStats().PerBit(), ctrl.ReadGapHistogram())
+	if tracer != nil {
+		cf, err := os.Create(chrome)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (%d dropped by ring)\n",
+			tracer.Len(), chrome, tracer.Dropped())
+	}
 	return nil
 }
 

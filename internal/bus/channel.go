@@ -11,6 +11,7 @@ import (
 
 	"smores/internal/core"
 	"smores/internal/mta"
+	"smores/internal/obs"
 	"smores/internal/pam4"
 )
 
@@ -67,6 +68,12 @@ type Config struct {
 	// burst transitions to idle through a single level-shifted symbol on
 	// the wires that ended at L3 — far cheaper than the postamble.
 	LevelShiftedIdle bool
+	// Obs registers the channel's live counters (energy, bits, bursts
+	// by codec, occupancy) into the given registry; nil disables
+	// telemetry at zero hot-path cost beyond a nil check.
+	Obs *obs.Registry
+	// ObsLabels scope this channel's metric series (e.g. channel="3").
+	ObsLabels []obs.Label
 }
 
 // Stats accumulates channel activity. All energies are femtojoules.
@@ -122,6 +129,7 @@ type Channel struct {
 	recording bool
 	events    []Event
 	stats     Stats
+	m         *busMetrics
 }
 
 // New builds a channel, filling defaults for nil config fields.
@@ -150,6 +158,7 @@ func New(cfg Config) *Channel {
 		sparseLogic: cfg.SparseLogicPerBit,
 		shiftIdle:   cfg.LevelShiftedIdle,
 		recording:   cfg.Record,
+		m:           newBusMetrics(cfg.Obs, cfg.ObsLabels),
 	}
 	for g := range ch.states {
 		ch.states[g] = mta.IdleGroupState()
@@ -174,10 +183,36 @@ func (ch *Channel) SendBurst(data []byte, codeLength int) error {
 	if ch.recording {
 		ch.record(Event{Kind: EventBurst, CodeLength: codeLength, Data: append([]byte(nil), data...)})
 	}
-	if codeLength == 0 {
-		return ch.sendMTA(data)
+	var before Stats
+	if ch.m.on {
+		before = ch.stats
 	}
-	return ch.sendSparse(data, codeLength)
+	var err error
+	if codeLength == 0 {
+		err = ch.sendMTA(data)
+	} else {
+		err = ch.sendSparse(data, codeLength)
+	}
+	if ch.m.on && err == nil {
+		ch.mirrorDeltas(before)
+		ch.m.burst(codeLength)
+	}
+	return err
+}
+
+// mirrorDeltas publishes the difference between the current stats and a
+// prior snapshot into the obs registry — the counters are driven from
+// the identical accounting as Stats, keeping one source of truth.
+func (ch *Channel) mirrorDeltas(before Stats) {
+	d := ch.stats
+	ch.m.dataBits.Add(int64(d.DataBits - before.DataBits))
+	ch.m.busyUIs.Add(d.BusyUIs - before.BusyUIs)
+	ch.m.idleUIs.Add(d.IdleUIs - before.IdleUIs)
+	ch.m.wireEnergy.Add(d.WireEnergy - before.WireEnergy)
+	ch.m.postambleJ.Add(d.PostambleEnergy - before.PostambleEnergy)
+	ch.m.logicEnergy.Add(d.LogicEnergy - before.LogicEnergy)
+	ch.m.postambles.Add(d.Postambles - before.Postambles)
+	ch.m.violations.Add(d.Violations - before.Violations)
 }
 
 func (ch *Channel) sendMTA(data []byte) error {
@@ -250,6 +285,9 @@ func (ch *Channel) sendSparse(data []byte, codeLength int) error {
 // channel records the calibrated postamble drive energy.
 func (ch *Channel) Postamble() {
 	ch.record(Event{Kind: EventPostamble})
+	if ch.m.on {
+		defer ch.mirrorDeltas(ch.stats)
+	}
 	ch.stats.Postambles++
 	ch.mtaChain = 0
 	ch.lastMTA = false
@@ -281,6 +319,12 @@ func (ch *Channel) Idle(uis int64) {
 		return
 	}
 	ch.record(Event{Kind: EventIdle, IdleUIs: uis})
+	if ch.m.on {
+		if ch.shiftIdle && ch.lastMTA {
+			ch.m.seams.Inc()
+		}
+		defer ch.mirrorDeltas(ch.stats)
+	}
 	// Expected-mode level-shifted idle energy: one L1 symbol per wire
 	// expected to have ended at L3.
 	if ch.shiftIdle && ch.lastMTA && !ch.exact && ch.mtaChain > 0 {

@@ -1,0 +1,84 @@
+package bus
+
+// Live telemetry for the channel: the same quantities as Stats, driven
+// from the same accounting paths, but exported through the obs registry
+// so a running simulation can be scraped concurrently. All handles are
+// nil when Config.Obs is unset, and every obs instrument method is
+// nil-safe, so the uninstrumented hot path pays only predictable nil
+// checks.
+
+import (
+	"smores/internal/core"
+	"smores/internal/obs"
+)
+
+// busMetrics holds the channel's resolved instrument handles.
+type busMetrics struct {
+	// on gates the per-operation mirroring blocks so the disabled path
+	// costs one predictable branch.
+	on             bool
+	dataBits       *obs.Counter
+	wireEnergy     *obs.FloatCounter
+	postambleJ     *obs.FloatCounter
+	logicEnergy    *obs.FloatCounter
+	postambles     *obs.Counter
+	busyUIs        *obs.Counter
+	idleUIs        *obs.Counter
+	violations     *obs.Counter
+	seams          *obs.Counter
+	burstsByCode   [core.MaxSparseSymbols + 1]*obs.Counter
+	burstOverflows *obs.Counter
+}
+
+// newBusMetrics resolves every handle once; the hot path never touches
+// the registry again.
+func newBusMetrics(reg *obs.Registry, labels []obs.Label) *busMetrics {
+	if reg == nil {
+		return &busMetrics{}
+	}
+	m := &busMetrics{
+		on: true,
+		dataBits: reg.Counter("smores_bus_data_bits_total",
+			"Payload bits transferred over the channel.", labels...),
+		wireEnergy: reg.FloatCounter("smores_bus_wire_energy_femtojoules_total",
+			"Integrated wire drive energy.", labels...),
+		postambleJ: reg.FloatCounter("smores_bus_postamble_energy_femtojoules_total",
+			"Energy spent driving L1 postambles.", labels...),
+		logicEnergy: reg.FloatCounter("smores_bus_logic_energy_femtojoules_total",
+			"Encoder/decoder logic energy.", labels...),
+		postambles: reg.Counter("smores_bus_postambles_total",
+			"Driven L1 postambles.", labels...),
+		busyUIs: reg.Counter("smores_bus_busy_uis_total",
+			"Unit intervals the wires spent transferring or driving postambles.", labels...),
+		idleUIs: reg.Counter("smores_bus_idle_uis_total",
+			"Unit intervals the wires spent parked at L0.", labels...),
+		violations: reg.Counter("smores_bus_transition_violations_total",
+			"Observed transitions exceeding the 2-delta-V cap (invariant: 0).", labels...),
+		seams: reg.Counter("smores_bus_level_shift_seams_total",
+			"Level-shifted idle transitions (optimized-MTA seam handling).", labels...),
+		burstOverflows: reg.Counter("smores_bus_bursts_unknown_codec_total",
+			"Bursts whose code length fell outside the known family (invariant: 0).", labels...),
+	}
+	for n := range m.burstsByCode {
+		if n != 0 && n < core.MinSparseSymbols {
+			continue
+		}
+		ls := append(append([]obs.Label(nil), labels...),
+			obs.L("codec", core.CodecLabel(n)))
+		m.burstsByCode[n] = reg.Counter("smores_bus_bursts_total",
+			"Bursts transferred, labeled by codec.", ls...)
+	}
+	return m
+}
+
+// burst counts one burst of the given code length.
+func (m *busMetrics) burst(codeLength int) {
+	if m == nil {
+		return
+	}
+	if codeLength >= 0 && codeLength < len(m.burstsByCode) && m.burstsByCode[codeLength] != nil {
+		m.burstsByCode[codeLength].Inc()
+		return
+	}
+	m.burstOverflows.Inc()
+}

@@ -34,5 +34,19 @@ func (ch *Channel) record(e Event) {
 	ch.events = append(ch.events, e)
 }
 
-// Events returns the recorded sequence (nil unless Config.Record).
-func (ch *Channel) Events() []Event { return ch.events }
+// Events returns a deep snapshot of the recorded sequence (nil unless
+// Config.Record). Payload slices are copied, so callers may hold or
+// mutate the result while the channel keeps running.
+func (ch *Channel) Events() []Event {
+	if ch.events == nil {
+		return nil
+	}
+	out := make([]Event, len(ch.events))
+	copy(out, ch.events)
+	for i := range out {
+		if out[i].Data != nil {
+			out[i].Data = append([]byte(nil), out[i].Data...)
+		}
+	}
+	return out
+}

@@ -22,6 +22,10 @@ type Device struct {
 
 	// Counters for reporting.
 	acts, reads, writes, pres, refs int64
+
+	// m mirrors the counters into the obs registry when attached (nil
+	// otherwise; all methods on it are nil-safe).
+	m *deviceMetrics
 }
 
 type bank struct {
@@ -90,6 +94,9 @@ func (d *Device) Activate(b int, row uint32, now int64) error {
 	bk.preReady = now + d.t.TRAS
 	d.lastACT = now
 	d.acts++
+	if d.m != nil {
+		d.m.acts.Inc()
+	}
 	return nil
 }
 
@@ -136,6 +143,10 @@ func (d *Device) Read(addr Address, now int64) error {
 	d.lastColBG = d.t.BankGroup(addr.Bank)
 	d.anyCol = true
 	d.reads++
+	if d.m != nil {
+		d.m.reads.Inc()
+		d.m.column(d.lastColBG)
+	}
 	return nil
 }
 
@@ -160,6 +171,10 @@ func (d *Device) Write(addr Address, now int64) error {
 	d.lastColBG = d.t.BankGroup(addr.Bank)
 	d.anyCol = true
 	d.writes++
+	if d.m != nil {
+		d.m.writes.Inc()
+		d.m.column(d.lastColBG)
+	}
 	return nil
 }
 
@@ -178,6 +193,9 @@ func (d *Device) Precharge(b int, now int64) error {
 	bk.open = false
 	bk.actReady = now + d.t.TRP
 	d.pres++
+	if d.m != nil {
+		d.m.pres.Inc()
+	}
 	return nil
 }
 
@@ -212,6 +230,9 @@ func (d *Device) RefreshBank(b int, now int64) error {
 	d.refBankIdx = (d.refBankIdx + 1) % d.t.Banks
 	d.refDuePB += d.t.TREFI / int64(d.t.Banks)
 	d.refs++
+	if d.m != nil {
+		d.m.refs.Inc()
+	}
 	return nil
 }
 
@@ -241,6 +262,10 @@ func (d *Device) Refresh(now int64) error {
 	d.refBusyTill = end
 	d.refDue += d.t.TREFI
 	d.refs++
+	if d.m != nil {
+		d.m.refs.Inc()
+		d.m.refreshShadow.Add(d.t.TRFC)
+	}
 	return nil
 }
 

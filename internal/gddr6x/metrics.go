@@ -1,0 +1,78 @@
+package gddr6x
+
+// Observability for the device: command counters exported through the
+// obs registry, labeled by command mnemonic and bank group. Handles are
+// resolved once in AttachMetrics; the command hot paths then pay one
+// nil-safe atomic increment each.
+
+import (
+	"strconv"
+
+	"smores/internal/obs"
+)
+
+// Stats is a typed snapshot of the device's cumulative command counts —
+// the structured replacement for the positional Counters() tuple.
+type Stats struct {
+	Activates  int64
+	Reads      int64
+	Writes     int64
+	Precharges int64
+	Refreshes  int64
+}
+
+// Stats returns a snapshot of the device's command counts.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Activates:  d.acts,
+		Reads:      d.reads,
+		Writes:     d.writes,
+		Precharges: d.pres,
+		Refreshes:  d.refs,
+	}
+}
+
+// deviceMetrics holds the resolved instrument handles.
+type deviceMetrics struct {
+	acts, reads, writes, pres, refs *obs.Counter
+	bgColumns                       []*obs.Counter // column commands per bank group
+	refreshShadow                   *obs.Counter   // clocks spent under REFab shadow
+}
+
+// AttachMetrics registers the device's counters into reg. Call before
+// issuing commands; labels scope the series (e.g. channel="0").
+func (d *Device) AttachMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	cmd := func(name string) *obs.Counter {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("cmd", name))
+		return reg.Counter("smores_dram_commands_total",
+			"DRAM commands issued, labeled by mnemonic.", ls...)
+	}
+	m := &deviceMetrics{
+		acts:   cmd("act"),
+		reads:  cmd("rd"),
+		writes: cmd("wr"),
+		pres:   cmd("pre"),
+		refs:   cmd("ref"),
+		refreshShadow: reg.Counter("smores_dram_refresh_shadow_clocks_total",
+			"Command clocks the whole device spent blocked under REFab.", labels...),
+	}
+	m.bgColumns = make([]*obs.Counter, d.t.BankGroups)
+	for g := range m.bgColumns {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("bank_group", strconv.Itoa(g)))
+		m.bgColumns[g] = reg.Counter("smores_dram_bankgroup_columns_total",
+			"Column commands (RD+WR) issued per bank group.", ls...)
+	}
+	d.m = m
+}
+
+func (m *deviceMetrics) column(group int) {
+	if m == nil {
+		return
+	}
+	if group >= 0 && group < len(m.bgColumns) {
+		m.bgColumns[group].Inc()
+	}
+}

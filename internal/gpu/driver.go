@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smores/internal/memctrl"
+	"smores/internal/obs"
 )
 
 // Access is one memory operation offered by a workload: a 32-byte sector
@@ -34,6 +35,11 @@ type DriverConfig struct {
 	MaxAccesses int64
 	// MaxClocks aborts a wedged run.
 	MaxClocks int64
+	// Obs registers the driver's (and, when present, the LLC's) live
+	// counters into the given registry; nil disables telemetry.
+	Obs *obs.Registry
+	// ObsLabels scope the metric series (e.g. app="bfs").
+	ObsLabels []obs.Label
 }
 
 // RunResult summarizes a driver run.
@@ -69,6 +75,7 @@ type Driver struct {
 	thinkLeft  int64
 	reqID      uint64
 	res        RunResult
+	m          *driverMetrics // optional live telemetry (nil when unattached)
 }
 
 // NewDriver builds a driver. ctrl must be freshly constructed; the driver
@@ -81,11 +88,13 @@ func NewDriver(cfg DriverConfig, ctrl *memctrl.Controller, gen Generator) (*Driv
 		cfg.MaxClocks = 1 << 32
 	}
 	d := &Driver{cfg: cfg, ctrl: ctrl, gen: gen}
+	d.m = attachDriverMetrics(cfg.Obs, cfg.ObsLabels)
 	if cfg.LLC != nil {
 		llc, err := NewLLC(*cfg.LLC)
 		if err != nil {
 			return nil, err
 		}
+		llc.AttachMetrics(cfg.Obs, cfg.ObsLabels...)
 		d.llc = llc
 	}
 	ctrl.OnReadDone(func(*memctrl.Request) { d.inflight-- })
@@ -101,9 +110,16 @@ func (d *Driver) Run() (RunResult, error) {
 		if d.res.Clocks >= d.cfg.MaxClocks {
 			return d.res, fmt.Errorf("gpu: run exceeded %d clocks", d.cfg.MaxClocks)
 		}
+		var before RunResult
+		if d.m != nil {
+			before = d.res
+		}
 		progressed := d.step()
 		d.ctrl.Tick()
 		d.res.Clocks++
+		if d.m != nil {
+			d.mirror(before)
+		}
 		if !progressed && d.inflight == 0 && d.nextAccess == nil && d.pendingRd == nil &&
 			len(d.pendingWB) == 0 && d.generatorDone() {
 			break
@@ -117,6 +133,18 @@ func (d *Driver) Run() (RunResult, error) {
 		d.res.LLC = d.llc.Stats()
 	}
 	return d.res, nil
+}
+
+// mirror publishes per-clock deltas of the run counters into the obs
+// registry — identical accounting to RunResult, one source of truth.
+func (d *Driver) mirror(before RunResult) {
+	r := d.res
+	d.m.accesses.Add(r.Accesses - before.Accesses)
+	d.m.dramReads.Add(r.DRAMReads - before.DRAMReads)
+	d.m.dramWrites.Add(r.DRAMWrites - before.DRAMWrites)
+	d.m.stallClocks.Add(r.StallClocks - before.StallClocks)
+	d.m.clock.Set(r.Clocks)
+	d.m.inflight.Set(int64(d.inflight))
 }
 
 func (d *Driver) drained() bool {

@@ -1,0 +1,61 @@
+package gpu
+
+// Observability for the GPU front end: LLC hit/miss/writeback counters
+// and driver traffic/stall counters exported through the obs registry.
+// All handles are nil-safe; unattached modules pay one branch.
+
+import "smores/internal/obs"
+
+// llcMetrics holds the cache's resolved instrument handles.
+type llcMetrics struct {
+	reads, writes         *obs.Counter
+	readHits, writeHits   *obs.Counter
+	evictions, writebacks *obs.Counter
+}
+
+// AttachMetrics registers the cache's counters into reg.
+func (l *LLC) AttachMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	c := func(name, help string) *obs.Counter { return reg.Counter(name, help, labels...) }
+	l.m = &llcMetrics{
+		reads:      c("smores_llc_reads_total", "LLC read accesses."),
+		writes:     c("smores_llc_writes_total", "LLC write accesses."),
+		readHits:   c("smores_llc_read_hits_total", "LLC read hits (line and sector present)."),
+		writeHits:  c("smores_llc_write_hits_total", "LLC write hits."),
+		evictions:  c("smores_llc_evictions_total", "LLC line evictions."),
+		writebacks: c("smores_llc_writebacks_total", "Dirty sectors written back to DRAM."),
+	}
+}
+
+// driverMetrics holds the driver's resolved instrument handles.
+type driverMetrics struct {
+	accesses    *obs.Counter
+	dramReads   *obs.Counter
+	dramWrites  *obs.Counter
+	stallClocks *obs.Counter
+	clock       *obs.Gauge
+	inflight    *obs.Gauge
+}
+
+// attachDriverMetrics resolves the driver's handles.
+func attachDriverMetrics(reg *obs.Registry, labels []obs.Label) *driverMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &driverMetrics{
+		accesses: reg.Counter("smores_gpu_accesses_total",
+			"Workload accesses issued by the driver.", labels...),
+		dramReads: reg.Counter("smores_gpu_dram_reads_total",
+			"Read requests sent to the memory controller.", labels...),
+		dramWrites: reg.Counter("smores_gpu_dram_writes_total",
+			"Write requests sent to the memory controller.", labels...),
+		stallClocks: reg.Counter("smores_gpu_stall_clocks_total",
+			"Clocks the driver stalled on MSHRs or queue backpressure.", labels...),
+		clock: reg.Gauge("smores_gpu_clock",
+			"Current driver clock.", labels...),
+		inflight: reg.Gauge("smores_gpu_inflight_reads",
+			"Outstanding DRAM reads (MSHR occupancy).", labels...),
+	}
+}

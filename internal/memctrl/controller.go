@@ -6,6 +6,7 @@ import (
 	"smores/internal/bus"
 	"smores/internal/core"
 	"smores/internal/gddr6x"
+	"smores/internal/obs"
 	"smores/internal/rng"
 	"smores/internal/stats"
 )
@@ -70,6 +71,18 @@ type Controller struct {
 	readGaps  *stats.Histogram
 	writeGaps *stats.Histogram
 	st        Stats
+
+	// m holds live obs instrument handles (all nil when Config.Obs is
+	// unset; every method is nil-safe). tr is the cycle-level tracer (nil
+	// disables emission; call sites guard so the disabled path never
+	// constructs an event).
+	m      ctrlMetrics
+	tr     *obs.Tracer
+	chanID int32
+	// lastCodeLen/haveBurst track the codec class of the previous burst
+	// for EvCodecSwitch trace instants.
+	lastCodeLen int
+	haveBurst   bool
 }
 
 // xfer tracks one data transfer through decision and idle accounting.
@@ -97,12 +110,23 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Policy == OptimizedMTA {
 		cfg.Bus.LevelShiftedIdle = true
 	}
+	// Propagate observability into the owned submodules: the channel
+	// registers its energy counters and the device its command counters
+	// under the same label set as the controller's own series.
+	if cfg.Obs != nil {
+		cfg.Bus.Obs = cfg.Obs
+		cfg.Bus.ObsLabels = cfg.ObsLabels
+		dev.AttachMetrics(cfg.Obs, cfg.ObsLabels...)
+	}
 	c := &Controller{
 		cfg:       cfg,
 		dev:       dev,
 		ch:        bus.New(cfg.Bus),
 		readGaps:  stats.NewHistogram(cfg.GapHistBuckets),
 		writeGaps: stats.NewHistogram(cfg.GapHistBuckets),
+		m:         newCtrlMetrics(cfg.Obs, cfg.ObsLabels, cfg.GapHistBuckets),
+		tr:        cfg.Tracer,
+		chanID:    int32(cfg.Channel),
 	}
 	if cfg.Bus.ExactData {
 		c.payload = rng.New(0x5310_4E5)
@@ -127,12 +151,14 @@ func (c *Controller) BusStats() bus.Stats { return c.ch.Stats() }
 // Config.Bus.Record was set).
 func (c *Controller) BusEvents() []bus.Event { return c.ch.Events() }
 
-// ReadGapHistogram returns idle data-bus clocks observed after read
-// transfers (Fig. 5a).
-func (c *Controller) ReadGapHistogram() *stats.Histogram { return c.readGaps }
+// ReadGapHistogram returns a snapshot of idle data-bus clocks observed
+// after read transfers (Fig. 5a). The clone is independent of the
+// controller: further ticks do not mutate it.
+func (c *Controller) ReadGapHistogram() *stats.Histogram { return c.readGaps.Clone() }
 
-// WriteGapHistogram returns idle clocks after write transfers (Fig. 5b).
-func (c *Controller) WriteGapHistogram() *stats.Histogram { return c.writeGaps }
+// WriteGapHistogram returns a snapshot of idle clocks after write
+// transfers (Fig. 5b); see ReadGapHistogram for aliasing guarantees.
+func (c *Controller) WriteGapHistogram() *stats.Histogram { return c.writeGaps.Clone() }
 
 // QueueLens returns the current read and write queue depths.
 func (c *Controller) QueueLens() (reads, writes int) {
@@ -178,6 +204,10 @@ func (c *Controller) decisionDeadline() int64 {
 
 // Tick advances one command clock.
 func (c *Controller) Tick() {
+	c.st.Clock = c.clock
+	c.m.clock.Set(c.clock)
+	c.m.readQ.Set(int64(len(c.readQ)))
+	c.m.writeQ.Set(int64(len(c.writeQ)))
 	c.deliverCompletions()
 
 	// Encoding decision deadline for the pending transfer: no follow-up
@@ -279,12 +309,20 @@ func (c *Controller) issueForRefresh() bool {
 			panic("memctrl: " + err.Error())
 		}
 		c.refreshing = false
+		if c.tr != nil {
+			c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: c.cfg.Timing.TRFC,
+				Type: obs.EvREFab, Channel: c.chanID, Bank: -1})
+		}
 		return true
 	}
 	for b := 0; b < c.cfg.Timing.Banks; b++ {
 		if _, open := c.dev.OpenRow(b); open && c.dev.CanPrecharge(b, c.clock) {
 			if err := c.dev.Precharge(b, c.clock); err != nil {
 				panic("memctrl: " + err.Error())
+			}
+			if c.tr != nil {
+				c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: 1, Type: obs.EvPRE,
+					Channel: c.chanID, Bank: int32(b)})
 			}
 			return true
 		}
@@ -324,6 +362,14 @@ func (c *Controller) issueColumn() bool {
 		if err != nil {
 			panic("memctrl: " + err.Error())
 		}
+		if c.tr != nil {
+			ev := obs.EvRD
+			if r.Kind == Write {
+				ev = obs.EvWR
+			}
+			c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: 1, Type: ev,
+				Channel: c.chanID, Bank: int32(r.Addr.Bank), Arg: int64(r.Addr.Row)})
+		}
 		*q = append((*q)[:i], (*q)[i+1:]...)
 		c.placeTransfer(r)
 		return true
@@ -351,6 +397,10 @@ func (c *Controller) issuePrep(q *[]*Request) bool {
 				if err := c.dev.Precharge(r.Addr.Bank, c.clock); err != nil {
 					panic("memctrl: " + err.Error())
 				}
+				if c.tr != nil {
+					c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: 1, Type: obs.EvPRE,
+						Channel: c.chanID, Bank: int32(r.Addr.Bank)})
+				}
 				return true
 			}
 			continue
@@ -360,6 +410,10 @@ func (c *Controller) issuePrep(q *[]*Request) bool {
 				panic("memctrl: " + err.Error())
 			}
 			c.cmdBusyTill = c.clock + 2 // ACT is a two-clock command
+			if c.tr != nil {
+				c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: 2, Type: obs.EvACT,
+					Channel: c.chanID, Bank: int32(r.Addr.Bank), Arg: int64(r.Addr.Row)})
+			}
 			return true
 		}
 	}
@@ -379,6 +433,10 @@ func (c *Controller) issuePerBankRefresh() bool {
 			if err := c.dev.Precharge(b, c.clock); err != nil {
 				panic("memctrl: " + err.Error())
 			}
+			if c.tr != nil {
+				c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: 1, Type: obs.EvPRE,
+					Channel: c.chanID, Bank: int32(b)})
+			}
 			return true
 		}
 		return false
@@ -386,6 +444,10 @@ func (c *Controller) issuePerBankRefresh() bool {
 	if c.dev.CanRefreshBank(b, c.clock) {
 		if err := c.dev.RefreshBank(b, c.clock); err != nil {
 			panic("memctrl: " + err.Error())
+		}
+		if c.tr != nil {
+			c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: c.cfg.Timing.TRFCPB,
+				Type: obs.EvREFpb, Channel: c.chanID, Bank: int32(b)})
 		}
 		return true
 	}
@@ -420,6 +482,10 @@ func (c *Controller) issueClosePage() bool {
 		}
 		if err := c.dev.Precharge(b, c.clock); err != nil {
 			panic("memctrl: " + err.Error())
+		}
+		if c.tr != nil {
+			c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Dur: 1, Type: obs.EvPRE,
+				Channel: c.chanID, Bank: int32(b)})
 		}
 		return true
 	}
@@ -461,6 +527,11 @@ func (c *Controller) placeTransfer(r *Request) {
 	if end := x.dataStart + core.BurstSlotClocks; end > c.busReservedUntil {
 		c.busReservedUntil = end
 	}
+	if c.tr != nil {
+		c.tr.Emit(obs.TraceEvent{Cycle: c.clock, Type: obs.EvQueueDepth,
+			Channel: c.chanID, Bank: -1,
+			Arg: int64(len(c.readQ)), Arg2: int64(len(c.writeQ))})
+	}
 }
 
 // decidePending commits the pending transfer's encoding. gap is the idle
@@ -481,6 +552,7 @@ func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
 	// verify the mechanism's central invariant.
 	if mirror := c.mirrorDecision(gpuGap, known, nextKind, p.kind); mirror != codeLen {
 		c.st.DecisionMismatches++
+		c.m.mismatches.Inc()
 	}
 
 	p.decided = true
@@ -506,16 +578,41 @@ func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
 	if codeLen != 0 {
 		if p.kind == Read {
 			c.st.SparseReads++
+			c.m.sparseReads.Inc()
 		} else {
 			c.st.SparseWrites++
+			c.m.sparseWrites.Inc()
 		}
 	}
+
+	if c.tr != nil {
+		ev := obs.EvBurstMTA
+		if codeLen != 0 {
+			ev = obs.EvBurstSparse
+		}
+		c.tr.Emit(obs.TraceEvent{Cycle: p.dataStart,
+			Dur: int64(core.SlotClocks(codeLen)), Type: ev,
+			Channel: c.chanID, Bank: int32(p.req.Addr.Bank), Arg: int64(codeLen)})
+		if p.postamble {
+			c.tr.Emit(obs.TraceEvent{
+				Cycle: p.dataStart + core.BurstSlotClocks, Dur: 1,
+				Type: obs.EvPostamble, Channel: c.chanID, Bank: -1})
+		}
+		if c.haveBurst && (codeLen == 0) != (c.lastCodeLen == 0) {
+			c.tr.Emit(obs.TraceEvent{Cycle: p.dataStart, Type: obs.EvCodecSwitch,
+				Channel: c.chanID, Bank: -1,
+				Arg: int64(c.lastCodeLen), Arg2: int64(codeLen)})
+		}
+	}
+	c.lastCodeLen = codeLen
+	c.haveBurst = true
 
 	if p.kind == Read {
 		p.req.Done = p.dataStart + int64(core.SlotClocks(codeLen))
 		c.scheduleCompletion(p.req)
 	} else {
 		c.st.WritesServed++
+		c.m.writesServed.Inc()
 	}
 }
 
@@ -537,6 +634,7 @@ func (c *Controller) accountIdle(prev, next *xfer) {
 	span := next.dataStart - denseEnd
 	if span < 0 {
 		c.st.BusConflicts++
+		c.m.conflicts.Inc()
 		return
 	}
 	used := int64(0)
@@ -548,17 +646,32 @@ func (c *Controller) accountIdle(prev, next *xfer) {
 	if span > c.st.MaxGapClocks {
 		c.st.MaxGapClocks = span
 	}
+	c.m.maxGap.SetMax(span)
 	idle := span - used
 	if idle < 0 {
 		c.st.BusConflicts++
+		c.m.conflicts.Inc()
 		idle = 0
 	}
 	c.ch.Idle(idle * bus.UIsPerClock)
+	if c.tr != nil && idle > 0 {
+		c.tr.Emit(obs.TraceEvent{Cycle: denseEnd + used, Dur: idle,
+			Type: obs.EvGap, Channel: c.chanID, Bank: -1, Arg: span})
+		if c.cfg.Bus.LevelShiftedIdle || prev.codeLen > 0 {
+			// The line parks via a level-shifting seam instead of a driven
+			// postamble (optimized-MTA idle or a sparse code's built-in
+			// return to mid-level).
+			c.tr.Emit(obs.TraceEvent{Cycle: denseEnd + used, Type: obs.EvSeam,
+				Channel: c.chanID, Bank: -1})
+		}
+	}
 	if prev.kind == next.kind {
 		if prev.kind == Read {
 			c.readGaps.Add(int(span))
+			c.m.readGaps.Observe(float64(span))
 		} else {
 			c.writeGaps.Add(int(span))
+			c.m.writeGaps.Observe(float64(span))
 		}
 	}
 }
@@ -581,6 +694,8 @@ func (c *Controller) deliverCompletions() {
 		c.completions = c.completions[1:]
 		c.st.ReadsServed++
 		c.st.ReadLatencySum += r.Done - r.Arrive
+		c.m.readsServed.Inc()
+		c.m.readLatency.Add(r.Done - r.Arrive)
 		if c.onReadDone != nil {
 			c.onReadDone(r)
 		}

@@ -1,0 +1,71 @@
+package memctrl
+
+// Observability for the controller: the same quantities as Stats plus
+// the Fig. 5 gap histograms, exported live through the obs registry, and
+// cycle-level trace emission hooks. All instrument handles are nil when
+// Config.Obs is unset; every obs method is nil-safe, so the
+// uninstrumented hot path pays only predictable nil checks.
+
+import (
+	"smores/internal/obs"
+)
+
+// ctrlMetrics holds the controller's resolved instrument handles.
+type ctrlMetrics struct {
+	readsServed   *obs.Counter
+	writesServed  *obs.Counter
+	readLatency   *obs.Counter // sum of read latencies, clocks
+	sparseReads   *obs.Counter
+	sparseWrites  *obs.Counter
+	mismatches    *obs.Counter
+	conflicts     *obs.Counter
+	clock         *obs.Gauge
+	maxGap        *obs.Gauge
+	readQ, writeQ *obs.Gauge
+	readGaps      *obs.Histogram
+	writeGaps     *obs.Histogram
+}
+
+// newCtrlMetrics resolves every handle once against the registry; the
+// tick path never takes a lock afterwards.
+func newCtrlMetrics(reg *obs.Registry, labels []obs.Label, gapBuckets int) ctrlMetrics {
+	if reg == nil {
+		return ctrlMetrics{}
+	}
+	dir := func(d string) []obs.Label {
+		return append(append([]obs.Label(nil), labels...), obs.L("dir", d))
+	}
+	gapBounds := obs.LinearBounds(0, 1, gapBuckets)
+	return ctrlMetrics{
+		readsServed: reg.Counter("smores_ctrl_reads_served_total",
+			"Read requests completed (data decoded at the GPU).", labels...),
+		writesServed: reg.Counter("smores_ctrl_writes_served_total",
+			"Write requests committed to the device.", labels...),
+		readLatency: reg.Counter("smores_ctrl_read_latency_clocks_total",
+			"Sum of read latencies (arrive to decode), command clocks.", labels...),
+		sparseReads: reg.Counter("smores_ctrl_sparse_transfers_total",
+			"Transfers that committed to a sparse encoding, by direction.",
+			dir("read")...),
+		sparseWrites: reg.Counter("smores_ctrl_sparse_transfers_total",
+			"Transfers that committed to a sparse encoding, by direction.",
+			dir("write")...),
+		mismatches: reg.Counter("smores_ctrl_decision_mismatches_total",
+			"DRAM/GPU codec decision disagreements (invariant: 0).", labels...),
+		conflicts: reg.Counter("smores_ctrl_bus_conflicts_total",
+			"Data-slot overlaps on the bus (invariant: 0).", labels...),
+		clock: reg.Gauge("smores_ctrl_clock",
+			"Current controller command clock.", labels...),
+		maxGap: reg.Gauge("smores_ctrl_max_gap_clocks",
+			"Largest idle span observed between transfers.", labels...),
+		readQ: reg.Gauge("smores_ctrl_queue_depth",
+			"Current request queue depth, by direction.", dir("read")...),
+		writeQ: reg.Gauge("smores_ctrl_queue_depth",
+			"Current request queue depth, by direction.", dir("write")...),
+		readGaps: reg.Histogram("smores_ctrl_gap_clocks",
+			"Idle data-bus clocks between same-direction transfers (Fig. 5).",
+			gapBounds, dir("read")...),
+		writeGaps: reg.Histogram("smores_ctrl_gap_clocks",
+			"Idle data-bus clocks between same-direction transfers (Fig. 5).",
+			gapBounds, dir("write")...),
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, escaped label values,
+// cumulative histogram buckets with le edges plus _sum and _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if f.Kind == KindHistogram {
+				if err := writePromHistogram(w, f.Name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, promLabels(s.Labels, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s SeriesPoint) error {
+	var cum int64
+	for i, b := range s.Hist.Bounds {
+		cum += s.Hist.Counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, promLabels(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Hist.Inf
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, promLabels(s.Labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, promLabels(s.Labels, "", ""), formatValue(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		name, promLabels(s.Labels, "", ""), s.Hist.Count)
+	return err
+}
+
+// promLabels renders a {k="v",...} block; extraKey/extraVal append one
+// more pair (the histogram le). Returns "" when there are no labels.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, specials as +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonSeries mirrors SeriesPoint for JSON export.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *jsonHist         `json:"histogram,omitempty"`
+}
+
+type jsonHist struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Inf    int64     `json:"inf"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Kind   string       `json:"kind"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders the registry as a JSON document: an array of
+// families, each with its labeled series.
+func WriteJSON(w io.Writer, r *Registry) error {
+	fams := r.Gather()
+	out := make([]jsonFamily, 0, len(fams))
+	for _, f := range fams {
+		jf := jsonFamily{Name: f.Name, Help: f.Help, Kind: f.Kind.String()}
+		for _, s := range f.Series {
+			js := jsonSeries{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					js.Labels[l.Key] = l.Value
+				}
+			}
+			if f.Kind == KindHistogram {
+				js.Hist = &jsonHist{
+					Bounds: s.Hist.Bounds, Counts: s.Hist.Counts,
+					Inf: s.Hist.Inf, Sum: s.Hist.Sum, Count: s.Hist.Count,
+				}
+				if js.Hist.Bounds == nil {
+					js.Hist.Bounds = []float64{}
+				}
+				if js.Hist.Counts == nil {
+					js.Hist.Counts = []int64{}
+				}
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry with one instrument of each
+// kind, deterministically, for the export goldens.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.FloatCounter("test_bits_total", "Float bits.").Add(2.5)
+	r.Counter("test_counter_total", "Counts things.").Add(3)
+	r.Gauge("test_gauge", "A gauge.", L("a", "x")).Set(7)
+	h := r.Histogram("test_hist", "A histogram.", LinearBounds(0, 1, 3))
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, buildTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_bits_total Float bits.
+# TYPE test_bits_total counter
+test_bits_total 2.5
+# HELP test_counter_total Counts things.
+# TYPE test_counter_total counter
+test_counter_total 3
+# HELP test_gauge A gauge.
+# TYPE test_gauge gauge
+test_gauge{a="x"} 7
+# HELP test_hist A histogram.
+# TYPE test_hist histogram
+test_hist_bucket{le="0"} 1
+test_hist_bucket{le="1"} 2
+test_hist_bucket{le="2"} 2
+test_hist_bucket{le="+Inf"} 3
+test_hist_sum 6
+test_hist_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus export mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSON(&b, buildTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+			Hist   *struct {
+				Bounds []float64 `json:"bounds"`
+				Counts []int64   `json:"counts"`
+				Inf    int64     `json:"inf"`
+				Sum    float64   `json:"sum"`
+				Count  int64     `json:"count"`
+			} `json:"histogram"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &fams); err != nil {
+		t.Fatalf("JSON export must parse: %v\n%s", err, b.String())
+	}
+	if len(fams) != 4 {
+		t.Fatalf("got %d families, want 4", len(fams))
+	}
+	if fams[0].Name != "test_bits_total" || *fams[0].Series[0].Value != 2.5 {
+		t.Fatalf("float counter family wrong: %+v", fams[0])
+	}
+	if fams[2].Name != "test_gauge" || fams[2].Series[0].Labels["a"] != "x" {
+		t.Fatalf("gauge labels wrong: %+v", fams[2])
+	}
+	h := fams[3].Series[0].Hist
+	if h == nil || h.Count != 3 || h.Sum != 6 || h.Inf != 1 {
+		t.Fatalf("histogram wrong: %+v", h)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("k", "a\"b\\c\nd")).Inc()
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}

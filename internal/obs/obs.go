@@ -1,0 +1,62 @@
+// Package obs is the simulator's unified observability layer: a
+// dependency-free metrics registry (typed atomic counters, gauges, and
+// histograms), a cycle-level event tracer with Chrome trace-event JSON
+// export, and a live telemetry HTTP server (Prometheus text format,
+// health, progress/ETA, pprof).
+//
+// Design rules:
+//
+//   - Hot-path friendly. Every instrument method is safe on a nil
+//     receiver and does nothing, so modules instrument unconditionally
+//     and pay only a predictable nil-check when observability is off.
+//     When on, updates are single atomic operations (no locks, no
+//     allocation).
+//   - Concurrency-safe. Instruments may be shared across goroutines
+//     (the fleet runner's workers all feed the same registry); exports
+//     read atomically.
+//   - One source of truth. Modules drive obs instruments from the same
+//     code paths that feed their report-facing Stats snapshots; the
+//     integration tests in the report package assert the two views are
+//     numerically identical.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one key=value metric dimension (e.g. channel="0",
+// codec="4b3s", cmd="act").
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelSignature renders a deterministic series key from labels, sorting
+// by key so {a,b} and {b,a} are the same series.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// sortedLabels returns a sorted copy of labels.
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes live telemetry over HTTP:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  the same registry as structured JSON
+//	/healthz       liveness: 200 "ok" (or the registered check's error)
+//	/progress      JSON progress snapshot with rate and ETA
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Start with an addr of ":0" to bind an ephemeral port; Addr reports
+// the bound address.
+type Server struct {
+	reg    *Registry
+	prog   *Progress
+	health func() error
+
+	srv  *http.Server
+	lis  net.Listener
+	done chan struct{}
+}
+
+// NewServer builds a telemetry server over a registry and an optional
+// progress tracker (nil is fine for both).
+func NewServer(reg *Registry, prog *Progress) *Server {
+	return &Server{reg: reg, prog: prog}
+}
+
+// SetHealthCheck installs a liveness probe; a non-nil error turns
+// /healthz into a 503 carrying the error text.
+func (s *Server) SetHealthCheck(f func() error) { s.health = f }
+
+// Handler returns the telemetry mux (usable without Start, e.g. in
+// tests or when embedding into an existing server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, s.reg); err != nil {
+			// Headers are gone; nothing recoverable.
+			return
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, s.reg)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.health != nil {
+			if err := s.health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.prog.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr and serves in a background goroutine, returning the
+// bound address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(lis)
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_hits_total", "Hits.").Add(5)
+	prog := NewProgress(10)
+	prog.SetPhase("warmup")
+	prog.Step(4)
+
+	s := NewServer(reg, prog)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "test_hits_total 5") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/metrics.json"); code != http.StatusOK ||
+		!strings.Contains(body, `"test_hits_total"`) {
+		t.Fatalf("/metrics.json = %d:\n%s", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	s.SetHealthCheck(func() error { return errors.New("wedged") })
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("failing /healthz = %d, want 503", code)
+	}
+	code, body := get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress must be JSON: %v", err)
+	}
+	if snap.Phase != "warmup" || snap.Done != 4 || snap.Total != 10 {
+		t.Fatalf("progress snapshot = %+v", snap)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+func TestServerStartAndClose(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || s.Addr() == "" {
+		t.Fatalf("Start must report the bound address")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET bound server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on live server = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestProgressMath(t *testing.T) {
+	p := NewProgress(8)
+	p.Step(2)
+	s := p.Snapshot()
+	if s.Fraction != 0.25 {
+		t.Fatalf("fraction = %v, want 0.25", s.Fraction)
+	}
+	if s.RatePerSecond <= 0 || s.ETASeconds <= 0 {
+		t.Fatalf("rate/eta must be positive once work completed: %+v", s)
+	}
+}

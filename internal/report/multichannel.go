@@ -37,7 +37,11 @@ func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiRe
 	}
 	ctrls := make([]*memctrl.Controller, channels)
 	for i := range ctrls {
-		ctrls[i], err = memctrl.New(spec.controllerConfig())
+		// Each controller gets its own channel id so telemetry series and
+		// trace tracks stay distinguishable (channel="0"..N-1, pid=i).
+		chSpec := spec
+		chSpec.Channel = i
+		ctrls[i], err = memctrl.New(chSpec.controllerConfig())
 		if err != nil {
 			return MultiResult{}, err
 		}

@@ -5,12 +5,16 @@ package report
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
 
 	"smores/internal/bus"
 	"smores/internal/core"
 	"smores/internal/gddr6x"
 	"smores/internal/gpu"
 	"smores/internal/memctrl"
+	"smores/internal/obs"
 	"smores/internal/stats"
 	"smores/internal/workload"
 )
@@ -36,6 +40,17 @@ type RunSpec struct {
 	Timing *gddr6x.Timing
 	// Pages selects the row-buffer policy ablation.
 	Pages memctrl.PagePolicy
+
+	// Obs, when non-nil, registers live counters for the whole stack
+	// (controller, device, channel, LLC, driver) into the registry; the
+	// series are scoped by ObsLabels. Nil disables telemetry.
+	Obs       *obs.Registry
+	ObsLabels []obs.Label
+	// Tracer records cycle-level events for Chrome-trace export (nil
+	// disables tracing).
+	Tracer *obs.Tracer
+	// Channel identifies the controller in traces and default labels.
+	Channel int
 }
 
 // controllerConfig assembles the memctrl configuration for a spec.
@@ -49,6 +64,10 @@ func (s RunSpec) controllerConfig() memctrl.Config {
 		Scheme:            scheme,
 		Pages:             s.Pages,
 		ExtraCodecLatency: s.ExtraCodecLatency,
+		Obs:               s.Obs,
+		ObsLabels:         s.ObsLabels,
+		Tracer:            s.Tracer,
+		Channel:           s.Channel,
 	}
 	if s.Timing != nil {
 		cfg.Timing = *s.Timing
@@ -93,6 +112,8 @@ func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
 	dcfg := gpu.DriverConfig{
 		MSHRs:       p.MSHRs,
 		MaxAccesses: spec.Accesses,
+		Obs:         spec.Obs,
+		ObsLabels:   spec.ObsLabels,
 	}
 	if spec.UseLLC {
 		llc := gpu.DefaultLLCConfig()
@@ -155,21 +176,109 @@ type FleetResult struct {
 	Results []AppResult
 }
 
-// RunFleet simulates all 42 applications under one spec.
+// RunFleet simulates all 42 applications under one spec, sequentially.
+// Use RunFleetOpts for the worker-pool variant.
 func RunFleet(spec RunSpec) (FleetResult, error) {
-	fr := FleetResult{Spec: spec}
-	for i, p := range workload.Fleet() {
-		// Per-app seeds derive from the spec seed so different policies
-		// replay identical traffic per app.
-		appSpec := spec
-		appSpec.Seed = spec.Seed + uint64(i)*1000003
-		r, err := RunApp(p, appSpec)
-		if err != nil {
-			return fr, err
-		}
-		fr.Results = append(fr.Results, r)
-		fr.Label = r.Label
+	return RunFleetOpts(spec, FleetOptions{Workers: 1})
+}
+
+// FleetOptions tunes a fleet run.
+type FleetOptions struct {
+	// Workers bounds concurrent app simulations. 0 selects GOMAXPROCS;
+	// 1 runs sequentially with no goroutines (the benchmarked path).
+	Workers int
+	// Obs, when non-nil, registers per-worker fleet counters and scopes
+	// every app's stack metrics with an app=<name> label (in addition to
+	// any labels already on the spec).
+	Obs *obs.Registry
+	// Progress, when non-nil, is stepped once per completed app —
+	// feeding the /progress telemetry endpoint's ETA.
+	Progress *obs.Progress
+}
+
+// appSeed derives the per-app seed: it depends only on the spec seed and
+// the app's fleet position, never on worker count or completion order,
+// so parallel runs replay exactly the sequential traffic.
+func appSeed(seed uint64, i int) uint64 { return seed + uint64(i)*1000003 }
+
+// fleetAppSpec builds the per-app spec: deterministic seed plus
+// app-scoped observability labels when a registry is attached.
+func fleetAppSpec(spec RunSpec, opts FleetOptions, i int, p workload.Profile) RunSpec {
+	appSpec := spec
+	appSpec.Seed = appSeed(spec.Seed, i)
+	if opts.Obs != nil {
+		appSpec.Obs = opts.Obs
+		appSpec.ObsLabels = append(append([]obs.Label(nil), spec.ObsLabels...),
+			obs.L("app", p.Name))
 	}
+	return appSpec
+}
+
+// RunFleetOpts simulates all 42 applications under one spec using a
+// bounded worker pool. Results are ordered by fleet position regardless
+// of worker count or completion order; on error the lowest-indexed
+// failure is reported (again independent of scheduling).
+func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
+	fleet := workload.Fleet()
+	fr := FleetResult{Spec: spec}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fleet) {
+		workers = len(fleet)
+	}
+
+	if workers == 1 {
+		// Sequential fast path: identical to the historical loop — no
+		// goroutines, no channels — so benchmarks measure the simulator.
+		for i, p := range fleet {
+			r, err := RunApp(p, fleetAppSpec(spec, opts, i, p))
+			if err != nil {
+				return fr, err
+			}
+			fr.Results = append(fr.Results, r)
+			fr.Label = r.Label
+			opts.Progress.Step(1)
+		}
+		return fr, nil
+	}
+
+	results := make([]AppResult, len(fleet))
+	errs := make([]error, len(fleet))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var done *obs.Counter
+			if opts.Obs != nil {
+				done = opts.Obs.Counter("smores_fleet_worker_apps_total",
+					"Apps completed, by fleet worker.",
+					obs.L("worker", strconv.Itoa(worker)))
+			}
+			for i := range idx {
+				p := fleet[i]
+				results[i], errs[i] = RunApp(p, fleetAppSpec(spec, opts, i, p))
+				done.Inc()
+				opts.Progress.Step(1)
+			}
+		}(w)
+	}
+	for i := range fleet {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fr, fmt.Errorf("report: fleet app %d: %w", i, err)
+		}
+	}
+	fr.Results = results
+	fr.Label = results[len(results)-1].Label
 	return fr, nil
 }
 

@@ -95,6 +95,18 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
+// Clone returns an independent deep copy of the histogram. Accessors
+// that expose a histogram beyond the owning module's lifetime should
+// return a clone so later mutation cannot alias into the snapshot.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		counts:   append([]int64(nil), h.counts...),
+		overflow: h.overflow,
+		total:    h.total,
+		sum:      h.sum,
+	}
+}
+
 // Merge adds another histogram's samples into h. Histograms must have the
 // same bucket count.
 func (h *Histogram) Merge(o *Histogram) error {
