@@ -25,9 +25,11 @@ func main() {
 		table5   = flag.Bool("table5", false, "print the scheme comparison (Table V)")
 		perf     = flag.Bool("perf", false, "print the performance impact")
 		power    = flag.Bool("power", false, "print the total-DRAM-power context")
+		wfall    = flag.Bool("waterfall", false, "print the energy-savings waterfall with the profiler's phase decomposition")
 		all      = flag.Bool("all", false, "print everything")
 		sweeps   = flag.Bool("sweep", false, "run the window/latency sensitivity sweeps instead")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV/JSON artifacts to this directory")
+		jsonOut  = flag.String("json", "", "write the full machine-readable evaluation (per-app rows, per-worker counters) to this file ('-' for stdout)")
 		accesses = flag.Int64("accesses", report.DefaultAccesses, "per-app workload length")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		workers  = flag.Int("j", 0, "concurrent app simulations per fleet (0 = GOMAXPROCS, 1 = sequential)")
@@ -47,25 +49,35 @@ func main() {
 		fmt.Println(sweep.Render("Read-latency sensitivity (exhaustive/static)", "RL clocks", pts))
 		return
 	}
-	if !(*fig5 || *fig8a || *fig8b || *table5 || *perf || *power) {
+	if !(*fig5 || *fig8a || *fig8b || *table5 || *perf || *power || *wfall) {
 		*all = true
 	}
 
 	specs := report.PolicySpecs(*accesses, *seed, false)
 	labels := []string{"baseline", "optimized", "variable", "static", "conservative"}
 
+	// Energy attribution for the waterfall's phase decomposition: the
+	// profiler rides the variable-SMOREs fleet (specs[2]) so its cells
+	// reconcile with exactly that fleet's bus totals.
+	prof := obs.NewProfile()
+	specs[2].Profile = prof
+
 	// Live telemetry: per-app counters for the whole stack plus a
-	// /progress endpoint whose ETA covers all fleets.
+	// /progress endpoint whose ETA covers all fleets. A registry is also
+	// needed (without the server) for -json's per-worker counters.
 	opts := report.FleetOptions{Workers: *workers}
 	var srv *obs.Server
 	if *listen != "" {
 		opts.Obs = obs.NewRegistry()
 		opts.Progress = obs.NewProgress(int64(len(specs) * len(workload.Fleet())))
 		srv = obs.NewServer(opts.Obs, opts.Progress)
+		srv.AttachProfile(prof)
 		addr, err := srv.Start(*listen)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "smores-eval: telemetry on http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "smores-eval: telemetry on http://%s/metrics (energy attribution at /profile)\n", addr)
 		defer srv.Close()
+	} else if *jsonOut != "" {
+		opts.Obs = obs.NewRegistry()
 	}
 
 	frs := make([]report.FleetResult, len(specs))
@@ -100,6 +112,25 @@ func main() {
 	}
 	if *all || *power {
 		fmt.Println(report.TotalPowerContext(base, variable))
+	}
+	if *all || *wfall {
+		fail(report.ReconcileProfile(prof, variable))
+		w, err := report.BuildWaterfall(base, opt, variable, prof)
+		fail(err)
+		fmt.Println(report.RenderWaterfall(w))
+	}
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			fail(err)
+			defer f.Close()
+			out = f
+		}
+		fail(report.ExportEvalJSON(out, frs, opts.Obs))
+		if *jsonOut != "-" {
+			fmt.Fprintf(os.Stderr, "wrote evaluation JSON to %s\n", *jsonOut)
+		}
 	}
 	if *csvDir != "" {
 		fail(os.MkdirAll(*csvDir, 0o755))

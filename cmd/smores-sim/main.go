@@ -27,20 +27,21 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "bfs", "workload name (see -list)")
-		list     = flag.Bool("list", false, "list the 42 workloads and exit")
-		policy   = flag.String("policy", "smores", "baseline | optimized | smores")
-		spec     = flag.String("spec", "static", "static | variable (SMOREs code specification)")
-		detect   = flag.String("detect", "exhaustive", "exhaustive | conservative (gap detection)")
-		accesses = flag.Int64("accesses", report.DefaultAccesses, "workload length in accesses")
-		seed     = flag.Uint64("seed", 1, "deterministic seed")
-		useLLC   = flag.Bool("llc", false, "interpose the 6MB sectored LLC")
-		scenario = flag.Bool("scenario", false, "play the Figure 4 timing scenarios instead")
-		eye      = flag.Bool("eye", false, "run the signal-integrity (crosstalk/eye) analysis instead")
-		channels = flag.Int("channels", 1, "number of interleaved GDDR6X channels")
-		listen   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /progress, pprof) on this address; keeps serving after the run until interrupted")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
-		traceCap = flag.Int("trace-depth", obs.DefaultTraceCapacity, "ring-buffer capacity of the tracer (most recent events kept)")
+		app       = flag.String("app", "bfs", "workload name (see -list)")
+		list      = flag.Bool("list", false, "list the 42 workloads and exit")
+		policy    = flag.String("policy", "smores", "baseline | optimized | smores")
+		spec      = flag.String("spec", "static", "static | variable (SMOREs code specification)")
+		detect    = flag.String("detect", "exhaustive", "exhaustive | conservative (gap detection)")
+		accesses  = flag.Int64("accesses", report.DefaultAccesses, "workload length in accesses")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		useLLC    = flag.Bool("llc", false, "interpose the 6MB sectored LLC")
+		scenario  = flag.Bool("scenario", false, "play the Figure 4 timing scenarios instead")
+		eye       = flag.Bool("eye", false, "run the signal-integrity (crosstalk/eye) analysis instead")
+		channels  = flag.Int("channels", 1, "number of interleaved GDDR6X channels")
+		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /progress, pprof) on this address; keeps serving after the run until interrupted")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
+		traceCap  = flag.Int("trace-depth", obs.DefaultTraceCapacity, "ring-buffer capacity of the tracer (most recent events kept)")
+		foldedOut = flag.String("folded", "", "write the energy-attribution profile as folded stacks (flamegraph.pl input) to this file")
 	)
 	flag.Parse()
 
@@ -73,15 +74,23 @@ func main() {
 		reg  *obs.Registry
 		prog *obs.Progress
 		srv  *obs.Server
+		prof *obs.Profile
 	)
+	if *listen != "" || *foldedOut != "" {
+		// The energy-attribution profiler feeds the /profile endpoint and
+		// the folded-stack flamegraph export.
+		prof = obs.NewProfile()
+		rs.Profile = prof
+	}
 	if *listen != "" {
 		reg = obs.NewRegistry()
 		prog = obs.NewProgress(1)
 		prog.SetPhase("run: " + p.Name)
 		srv = obs.NewServer(reg, prog)
+		srv.AttachProfile(prof)
 		addr, err := srv.Start(*listen)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "smores-sim: telemetry on http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "smores-sim: telemetry on http://%s/metrics (energy attribution at http://%s/profile)\n", addr, addr)
 		rs.Obs = reg
 		rs.ObsLabels = []obs.Label{obs.L("app", p.Name)}
 	}
@@ -125,7 +134,7 @@ func main() {
 			mr.Reads, mr.Writes, mr.Clocks, float64(mr.Reads+mr.Writes)*32/float64(mr.Clocks))
 		fmt.Printf("  energy:          %.1f fJ/bit aggregate\n", mr.PerBit)
 		fmt.Printf("  channel balance: %.3f (max/min bits)\n", mr.ChannelBalance())
-		finishTelemetry(tracer, *traceOut, prog, srv)
+		finishTelemetry(tracer, *traceOut, prof, *foldedOut, prog, srv)
 		return
 	}
 
@@ -145,13 +154,14 @@ func main() {
 	fmt.Printf("  write gaps:      %v\n", r.WriteGaps)
 	fmt.Printf("  read latency:    %.1f clocks average\n", r.AvgReadLatency)
 	fmt.Printf("  idle frequency:  %.2f\n", r.IdleFrequency)
-	finishTelemetry(tracer, *traceOut, prog, srv)
+	finishTelemetry(tracer, *traceOut, prof, *foldedOut, prog, srv)
 }
 
-// finishTelemetry writes the Chrome trace (when tracing), marks progress
-// complete, and — when a telemetry server is up — keeps serving /metrics
-// until interrupted so the final counters stay scrapeable.
-func finishTelemetry(tracer *obs.Tracer, traceOut string, prog *obs.Progress, srv *obs.Server) {
+// finishTelemetry writes the Chrome trace (when tracing) and the folded
+// energy-attribution stacks (when profiling), marks progress complete,
+// and — when a telemetry server is up — keeps serving /metrics until
+// interrupted so the final counters stay scrapeable.
+func finishTelemetry(tracer *obs.Tracer, traceOut string, prof *obs.Profile, foldedOut string, prog *obs.Progress, srv *obs.Server) {
 	if tracer != nil {
 		f, err := os.Create(traceOut)
 		fail(err)
@@ -159,6 +169,14 @@ func finishTelemetry(tracer *obs.Tracer, traceOut string, prog *obs.Progress, sr
 		fail(f.Close())
 		fmt.Fprintf(os.Stderr, "smores-sim: wrote %d trace events to %s (%d dropped by ring)\n",
 			tracer.Len(), traceOut, tracer.Dropped())
+	}
+	if prof != nil && foldedOut != "" {
+		f, err := os.Create(foldedOut)
+		fail(err)
+		fail(obs.WriteProfileFolded(f, prof.Snapshot()))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "smores-sim: wrote folded energy stacks to %s (flamegraph.pl %s > energy.svg)\n",
+			foldedOut, foldedOut)
 	}
 	if srv == nil {
 		return

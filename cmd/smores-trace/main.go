@@ -24,6 +24,8 @@ func main() {
 		info     = flag.String("info", "", "summarize a trace file")
 		replay   = flag.String("replay", "", "replay a trace through the simulator")
 		chrome   = flag.String("chrome", "", "during -replay, also write a cycle-level Chrome trace-event JSON (Perfetto) to this file")
+		folded   = flag.String("folded", "", "during -replay, write the energy-attribution profile as folded stacks (flamegraph.pl input) to this file")
+		profJSON = flag.String("profile", "", "during -replay, write the energy-attribution profile snapshot as JSON to this file")
 		accesses = flag.Int64("n", 50000, "accesses to record")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 	)
@@ -35,7 +37,7 @@ func main() {
 	case *info != "":
 		fail(doInfo(*info))
 	case *replay != "":
-		fail(doReplay(*replay, *chrome))
+		fail(doReplay(*replay, *chrome, *folded, *profJSON))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -108,7 +110,7 @@ func doInfo(path string) error {
 	return nil
 }
 
-func doReplay(path, chrome string) error {
+func doReplay(path, chrome, folded, profJSON string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -120,6 +122,11 @@ func doReplay(path, chrome string) error {
 	if chrome != "" {
 		tracer = obs.NewTracer(0)
 		cfg.Tracer = tracer
+	}
+	var prof *obs.Profile
+	if folded != "" || profJSON != "" {
+		prof = obs.NewProfile()
+		cfg.Bus.Profile = prof
 	}
 	ctrl, err := memctrl.New(cfg)
 	if err != nil {
@@ -152,6 +159,34 @@ func doReplay(path, chrome string) error {
 		}
 		fmt.Printf("wrote %d trace events to %s (%d dropped by ring)\n",
 			tracer.Len(), chrome, tracer.Dropped())
+	}
+	if prof != nil {
+		s := prof.Snapshot()
+		write := func(path string, emit func(io.Writer) error) error {
+			if path == "" {
+				return nil
+			}
+			pf, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := emit(pf); err != nil {
+				pf.Close()
+				return err
+			}
+			if err := pf.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote energy attribution (%.4g fJ over %d symbols) to %s\n",
+				prof.TotalEnergy(), prof.TotalSymbols(), path)
+			return nil
+		}
+		if err := write(folded, func(w io.Writer) error { return obs.WriteProfileFolded(w, s) }); err != nil {
+			return err
+		}
+		if err := write(profJSON, func(w io.Writer) error { return obs.WriteProfileJSON(w, s) }); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -74,6 +74,14 @@ type Config struct {
 	Obs *obs.Registry
 	// ObsLabels scope this channel's metric series (e.g. channel="3").
 	ObsLabels []obs.Label
+	// Profile attributes every femtojoule the channel accounts into the
+	// energy profiler, keyed by (phase × codec × wire × level ×
+	// transition class). In exact-data mode each transmitted symbol is
+	// attributed individually; in expected mode the closed-form energies
+	// land in aggregate cells. The profiler's total reconciles with
+	// Stats.TotalEnergy (test-enforced). Nil disables attribution; the
+	// hot path then pays one nil check per accounting block.
+	Profile *obs.Profile
 }
 
 // Stats accumulates channel activity. All energies are femtojoules.
@@ -130,6 +138,18 @@ type Channel struct {
 	events    []Event
 	stats     Stats
 	m         *busMetrics
+	prof      *obs.Profile
+	// expCache memoizes per-codec expected burst energies: expected mode
+	// otherwise recomputes the DBI multinomial on every burst, and the
+	// values are per-codec constants for a fixed family and model.
+	expCache [core.MaxSparseSymbols + 1]*expSparseEnergy
+}
+
+// expSparseEnergy caches one sparse codec's closed-form group-burst
+// energies (identical floats to calling the codec directly).
+type expSparseEnergy struct {
+	total float64 // ExpectedBurstEnergy(GroupBurstBytes)
+	dbi   float64 // ExpectedBurstDBIEnergy(GroupBurstBytes)
 }
 
 // New builds a channel, filling defaults for nil config fields.
@@ -159,6 +179,7 @@ func New(cfg Config) *Channel {
 		shiftIdle:   cfg.LevelShiftedIdle,
 		recording:   cfg.Record,
 		m:           newBusMetrics(cfg.Obs, cfg.ObsLabels),
+		prof:        cfg.Profile,
 	}
 	for g := range ch.states {
 		ch.states[g] = mta.IdleGroupState()
@@ -219,13 +240,22 @@ func (ch *Channel) sendMTA(data []byte) error {
 	ch.stats.MTABursts++
 	ch.stats.DataBits += BurstBytes * 8
 	ch.stats.BusyUIs += BurstUIs
-	ch.stats.LogicEnergy += BurstBytes * 8 * ch.mtaLogic
+	logic := BurstBytes * 8 * ch.mtaLogic
+	ch.stats.LogicEnergy += logic
+	ch.prof.AddAggregate(obs.PhaseLogic, obs.ProfileCodecMTA, logic, 0)
 	ch.lastMTA = true
 	if !ch.exact {
 		// 2 groups × 2 beats, with the inversion chain warming up from
 		// the last seam reset.
 		for beat := 0; beat < 2; beat++ {
 			ch.stats.WireEnergy += Groups * ch.mtaCodec.ExpectedBeatEnergyAt(ch.mtaChain)
+			if ch.prof.On() {
+				payload, dbi := ch.mtaCodec.ExpectedBeatEnergySplitAt(ch.mtaChain)
+				ch.prof.AddAggregate(obs.PhaseMTAPayload, obs.ProfileCodecMTA,
+					Groups*payload, Groups*mta.GroupDataWires*mta.SeqSymbols)
+				ch.prof.AddAggregate(obs.PhaseDBIWire, obs.ProfileCodecMTA,
+					Groups*dbi, Groups*mta.SeqSymbols)
+			}
 			ch.mtaChain++
 		}
 		return nil
@@ -240,7 +270,7 @@ func (ch *Channel) sendMTA(data []byte) error {
 			prev := ch.states[g]
 			b := ch.mtaCodec.EncodeGroupBeat(bytes8, &ch.states[g])
 			for _, col := range b.Columns() {
-				ch.accountColumn(g, &prev, col)
+				ch.accountColumn(g, &prev, col, obs.PhaseMTAPayload, obs.ProfileCodecMTA)
 			}
 		}
 	}
@@ -257,11 +287,22 @@ func (ch *Channel) sendSparse(data []byte, codeLength int) error {
 	// Both groups transmit in parallel, so wall-clock occupancy is one
 	// group's burst length.
 	ch.stats.BusyUIs += int64(sc.BurstUIs(GroupBurstBytes))
-	ch.stats.LogicEnergy += BurstBytes * 8 * ch.sparseLogic
+	logic := BurstBytes * 8 * ch.sparseLogic
+	ch.stats.LogicEnergy += logic
+	codecIdx := obs.ProfileCodecIndex(codeLength)
+	ch.prof.AddAggregate(obs.PhaseLogic, codecIdx, logic, 0)
 	ch.lastMTA = false
 	ch.mtaChain = 0 // sparse bursts end at ≤L2: the inversion chain resets
 	if !ch.exact {
-		ch.stats.WireEnergy += Groups * sc.ExpectedBurstEnergy(GroupBurstBytes)
+		e := ch.expectedSparse(sc, codeLength)
+		ch.stats.WireEnergy += Groups * e.total
+		if ch.prof.On() {
+			cols := int64(sc.BurstUIs(GroupBurstBytes))
+			ch.prof.AddAggregate(obs.PhaseSparsePayload, codecIdx,
+				Groups*(e.total-e.dbi), Groups*cols*mta.GroupDataWires)
+			ch.prof.AddAggregate(obs.PhaseDBIWire, codecIdx,
+				Groups*e.dbi, Groups*cols)
+		}
 		return nil
 	}
 	if len(data) != BurstBytes {
@@ -274,10 +315,29 @@ func (ch *Channel) sendSparse(data []byte, codeLength int) error {
 			return err
 		}
 		for _, col := range cols {
-			ch.accountColumn(g, &prev, col)
+			ch.accountColumn(g, &prev, col, obs.PhaseSparsePayload, codecIdx)
 		}
 	}
 	return nil
+}
+
+// expectedSparse returns the memoized closed-form group-burst energies
+// for a sparse codec (identical floats to calling the codec directly —
+// the cache is a pure speedup for expected mode).
+func (ch *Channel) expectedSparse(sc *core.SparseGroupCodec, codeLength int) expSparseEnergy {
+	if codeLength >= 0 && codeLength < len(ch.expCache) {
+		if c := ch.expCache[codeLength]; c != nil {
+			return *c
+		}
+	}
+	e := expSparseEnergy{
+		total: sc.ExpectedBurstEnergy(GroupBurstBytes),
+		dbi:   sc.ExpectedBurstDBIEnergy(GroupBurstBytes),
+	}
+	if codeLength >= 0 && codeLength < len(ch.expCache) {
+		ch.expCache[codeLength] = &e
+	}
+	return e
 }
 
 // Postamble drives the one-command-clock L1 postamble on all wires. The
@@ -292,10 +352,20 @@ func (ch *Channel) Postamble() {
 	ch.mtaChain = 0
 	ch.lastMTA = false
 	ch.stats.BusyUIs += PostambleUIs()
-	ch.stats.PostambleEnergy += float64(Groups*mta.GroupWires) * float64(PostambleUIs()) *
+	postE := float64(Groups*mta.GroupWires) * float64(PostambleUIs()) *
 		ch.model.PostambleWireUIEnergy()
+	ch.stats.PostambleEnergy += postE
+	if ch.prof.On() && !ch.exact {
+		// Expected mode carries no trailing wire state, so the drive is
+		// attributed in aggregate; exact mode attributes per wire below.
+		ch.prof.AddAggregate(obs.PhasePostamble, obs.ProfileCodecMTA,
+			postE, Groups*mta.GroupWires*PostambleUIs())
+	}
 	for g := 0; g < Groups; g++ {
 		if ch.exact {
+			if ch.prof.On() {
+				ch.profilePostamble(g, &ch.states[g])
+			}
 			prev := ch.states[g]
 			col := mta.PostambleColumn()
 			for ui := 0; ui < int(PostambleUIs()); ui++ {
@@ -330,7 +400,9 @@ func (ch *Channel) Idle(uis int64) {
 	if ch.shiftIdle && ch.lastMTA && !ch.exact && ch.mtaChain > 0 {
 		pEnd := ch.mtaCodec.EndL3ProbAt(ch.mtaChain - 1)
 		wires := Groups * (mta.GroupDataWires*pEnd + 0.25) // DBI wire's last symbol is uniform
-		ch.stats.WireEnergy += wires * ch.model.SymbolEnergy(pam4.L1)
+		shiftE := wires * ch.model.SymbolEnergy(pam4.L1)
+		ch.stats.WireEnergy += shiftE
+		ch.prof.AddAggregate(obs.PhaseIdleShift, obs.ProfileCodecMTA, shiftE, 0)
 	}
 	ch.stats.IdleUIs += uis
 	ch.mtaChain = 0
@@ -349,7 +421,7 @@ func (ch *Channel) Idle(uis int64) {
 					}
 				}
 				if needed {
-					ch.accountColumn(g, &prev, step)
+					ch.accountColumn(g, &prev, step, obs.PhaseIdleShift, obs.ProfileCodecMTA)
 				}
 			}
 			ch.checkColumn(g, &prev, mta.IdleColumn())
@@ -364,10 +436,14 @@ func (ch *Channel) Idle(uis int64) {
 // L3, and L3→L0 would be a 3ΔV swing); sparse bursts end at ≤L2.
 func (ch *Channel) NeedsPostamble() bool { return ch.lastMTA }
 
-// accountColumn integrates one transmitted column's energy and validates
-// its transitions. prev tracks the previous column (seeded with the
-// pre-burst trailing state).
-func (ch *Channel) accountColumn(g int, prev *mta.GroupState, col mta.Column) {
+// accountColumn integrates one transmitted column's energy, attributes
+// it to the profiler, and validates transitions. prev tracks the
+// previous column (seeded with the pre-burst trailing state); ph and
+// codec give the profiler the attribution context of the burst.
+func (ch *Channel) accountColumn(g int, prev *mta.GroupState, col mta.Column, ph obs.Phase, codec int) {
+	if ch.prof.On() {
+		ch.profileColumn(g, prev, col, ph, codec)
+	}
 	for _, l := range col {
 		ch.stats.WireEnergy += ch.model.SymbolEnergy(l)
 	}

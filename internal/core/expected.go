@@ -51,6 +51,38 @@ func (c *SparseGroupCodec) ExpectedColumnEnergy(p int) float64 {
 	return total
 }
 
+// ExpectedColumnDBIEnergy returns the DBI-wire share of
+// ExpectedColumnEnergy at code position p: the expected energy of the
+// swap-metadata flag symbol (0 for non-DBI codecs, whose ninth wire
+// parks at the free L0). The energy-attribution profiler uses it to
+// split expected-mode sparse bursts into payload and DBI-wire phases.
+func (c *SparseGroupCodec) ExpectedColumnDBIEnergy(p int) float64 {
+	if !c.dbi {
+		return 0
+	}
+	d := c.book.PositionLevelDistribution(p)
+	e1 := c.model.SymbolEnergy(pam4.L1)
+	e2 := c.model.SymbolEnergy(pam4.L2)
+	p0, p1, p2 := d[pam4.L0], d[pam4.L1], d[pam4.L2]
+	var total float64
+	for n1 := 0; n1 <= mta.GroupDataWires; n1++ {
+		for n2 := 0; n2+n1 <= mta.GroupDataWires; n2++ {
+			n0 := mta.GroupDataWires - n1 - n2
+			prob := multinomial8(n0, n1, n2) * pow(p0, n0) * pow(p1, n1) * pow(p2, n2)
+			if prob == 0 {
+				continue
+			}
+			switch {
+			case n1 > dbiThreshold:
+				total += prob * e1
+			case n2 > dbiThreshold:
+				total += prob * e2
+			}
+		}
+	}
+	return total
+}
+
 // ExpectedPerBit returns the expected fJ per data bit of the sparse group
 // codec on uniform random data, including the DBI wire (metadata symbols
 // when DBI is on, a parked L0 wire when off).
@@ -68,6 +100,24 @@ func (c *SparseGroupCodec) ExpectedPerBit() float64 {
 // through one group.
 func (c *SparseGroupCodec) ExpectedBurstEnergy(dataBytes int) float64 {
 	return c.ExpectedPerBit() * float64(dataBytes) * 8
+}
+
+// ExpectedBurstDBIEnergy returns the DBI-wire share of
+// ExpectedBurstEnergy: the expected fJ of the swap-metadata flag symbols
+// while moving dataBytes bytes through one group (0 for non-DBI codecs).
+// It follows the same computation shape as ExpectedBurstEnergy, so
+// payload energy is ExpectedBurstEnergy − ExpectedBurstDBIEnergy to
+// float round-off.
+func (c *SparseGroupCodec) ExpectedBurstDBIEnergy(dataBytes int) float64 {
+	if !c.dbi {
+		return 0
+	}
+	n := c.book.Spec().OutputSymbols
+	var colSum float64
+	for p := 0; p < n; p++ {
+		colSum += c.ExpectedColumnDBIEnergy(p)
+	}
+	return colSum / (mta.GroupDataWires * NibbleBits) * float64(dataBytes) * 8
 }
 
 func pow(x float64, n int) float64 {

@@ -219,7 +219,17 @@ func (c *Codec) ExpectedSeqEnergyAt(k int) float64 {
 // ExpectedBeatEnergyAt returns the mean fJ of the k-th 9-wire group beat
 // after a seam reset.
 func (c *Codec) ExpectedBeatEnergyAt(k int) float64 {
-	return c.ExpectedSeqEnergyAt(k)*GroupDataWires + float64(SeqSymbols)*c.model.MeanSymbolEnergy()
+	payload, dbi := c.ExpectedBeatEnergySplitAt(k)
+	return payload + dbi
+}
+
+// ExpectedBeatEnergySplitAt decomposes ExpectedBeatEnergyAt into the
+// eight MTA-encoded data wires (payload) and the DBI wire carrying plain
+// PAM4 MSBs — the split the energy-attribution profiler records. The two
+// parts always sum to ExpectedBeatEnergyAt(k) exactly.
+func (c *Codec) ExpectedBeatEnergySplitAt(k int) (payload, dbi float64) {
+	return c.ExpectedSeqEnergyAt(k) * GroupDataWires,
+		float64(SeqSymbols) * c.model.MeanSymbolEnergy()
 }
 
 // EndL3ProbAt returns the probability that the k-th transmitted sequence

@@ -57,7 +57,38 @@ func writePromHistogram(w io.Writer, name string, s SeriesPoint) error {
 		name, promLabels(s.Labels, "", ""), formatValue(s.Hist.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		name, promLabels(s.Labels, "", ""), s.Hist.Count); err != nil {
+		return err
+	}
+	return writePromQuantiles(w, name, s)
+}
+
+// ExportQuantiles are the quantiles rendered for every histogram family
+// (as a companion <name>_summary summary family and in JSON exports).
+var ExportQuantiles = []float64{0.5, 0.95, 0.99}
+
+// writePromQuantiles renders the companion summary series for one
+// histogram series: p50/p95/p99 estimated from the bucket snapshot.
+// They live under <name>_summary so the histogram family itself stays a
+// well-formed Prometheus histogram.
+func writePromQuantiles(w io.Writer, name string, s SeriesPoint) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s_summary summary\n", name); err != nil {
+		return err
+	}
+	for _, q := range ExportQuantiles {
+		le := strconv.FormatFloat(q, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_summary%s %s\n",
+			name, promLabels(s.Labels, "quantile", le),
+			formatValue(s.Hist.Quantile(q))); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_summary_sum%s %s\n",
+		name, promLabels(s.Labels, "", ""), formatValue(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_summary_count%s %d\n",
 		name, promLabels(s.Labels, "", ""), s.Hist.Count)
 	return err
 }
@@ -132,6 +163,9 @@ type jsonHist struct {
 	Inf    int64     `json:"inf"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	// Quantiles carries the estimated p50/p95/p99 (keys "p50", "p95",
+	// "p99"); omitted for empty histograms.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 type jsonFamily struct {
@@ -166,6 +200,13 @@ func WriteJSON(w io.Writer, r *Registry) error {
 				}
 				if js.Hist.Counts == nil {
 					js.Hist.Counts = []int64{}
+				}
+				if s.Hist.Count > 0 {
+					js.Hist.Quantiles = map[string]float64{}
+					for _, q := range ExportQuantiles {
+						key := fmt.Sprintf("p%g", q*100)
+						js.Hist.Quantiles[key] = s.Hist.Quantile(q)
+					}
 				}
 			} else {
 				v := s.Value

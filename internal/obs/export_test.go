@@ -43,6 +43,12 @@ test_hist_bucket{le="2"} 2
 test_hist_bucket{le="+Inf"} 3
 test_hist_sum 6
 test_hist_count 3
+# TYPE test_hist_summary summary
+test_hist_summary{quantile="0.5"} 1
+test_hist_summary{quantile="0.95"} 2
+test_hist_summary{quantile="0.99"} 2
+test_hist_summary_sum 6
+test_hist_summary_count 3
 `
 	if got := b.String(); got != want {
 		t.Fatalf("prometheus export mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
@@ -61,11 +67,12 @@ func TestWriteJSONGolden(t *testing.T) {
 			Labels map[string]string `json:"labels"`
 			Value  *float64          `json:"value"`
 			Hist   *struct {
-				Bounds []float64 `json:"bounds"`
-				Counts []int64   `json:"counts"`
-				Inf    int64     `json:"inf"`
-				Sum    float64   `json:"sum"`
-				Count  int64     `json:"count"`
+				Bounds    []float64          `json:"bounds"`
+				Counts    []int64            `json:"counts"`
+				Inf       int64              `json:"inf"`
+				Sum       float64            `json:"sum"`
+				Count     int64              `json:"count"`
+				Quantiles map[string]float64 `json:"quantiles"`
 			} `json:"histogram"`
 		} `json:"series"`
 	}
@@ -84,6 +91,9 @@ func TestWriteJSONGolden(t *testing.T) {
 	h := fams[3].Series[0].Hist
 	if h == nil || h.Count != 3 || h.Sum != 6 || h.Inf != 1 {
 		t.Fatalf("histogram wrong: %+v", h)
+	}
+	if h.Quantiles["p50"] != 1 || h.Quantiles["p95"] != 2 || h.Quantiles["p99"] != 2 {
+		t.Fatalf("histogram quantiles wrong: %+v", h.Quantiles)
 	}
 }
 

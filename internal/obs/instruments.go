@@ -233,7 +233,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	s := h.Snapshot()
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-th quantile from an already-captured
+// snapshot — the form the exporters use, so /metrics and JSON scrapes
+// derive p50/p95/p99 from one consistent capture.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
 	}

@@ -22,6 +22,7 @@ import (
 type Server struct {
 	reg    *Registry
 	prog   *Progress
+	prof   *Profile
 	health func() error
 
 	srv  *http.Server
@@ -39,6 +40,11 @@ func NewServer(reg *Registry, prog *Progress) *Server {
 // /healthz into a 503 carrying the error text.
 func (s *Server) SetHealthCheck(f func() error) { s.health = f }
 
+// AttachProfile serves the energy-attribution profile at /profile
+// (text roll-up by default; ?format=folded|json|prom|chrome selects the
+// machine formats). Call before Handler/Start.
+func (s *Server) AttachProfile(p *Profile) { s.prof = p }
+
 // Handler returns the telemetry mux (usable without Start, e.g. in
 // tests or when embedding into an existing server).
 func (s *Server) Handler() http.Handler {
@@ -48,6 +54,9 @@ func (s *Server) Handler() http.Handler {
 		if err := WritePrometheus(w, s.reg); err != nil {
 			// Headers are gone; nothing recoverable.
 			return
+		}
+		if s.prof != nil {
+			_ = WriteProfilePrometheus(w, s.prof.Snapshot())
 		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
@@ -70,6 +79,40 @@ func (s *Server) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.prog.Snapshot())
 	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		if s.prof == nil {
+			http.Error(w, "no energy profile attached (run with profiling enabled)",
+				http.StatusNotFound)
+			return
+		}
+		snap := s.prof.Snapshot()
+		switch r.URL.Query().Get("format") {
+		case "folded":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = WriteProfileFolded(w, snap)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteProfileJSON(w, snap)
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = WriteProfilePrometheus(w, snap)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteProfileChrome(w, snap)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, RenderProfile(snap, 0))
+			fmt.Fprintln(w, "\nformats: /profile?format=folded|json|prom|chrome")
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, indexPage)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -77,6 +120,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// indexPage is the landing page served at "/", linking every endpoint.
+const indexPage = `<!doctype html><html><head><title>smores telemetry</title></head><body>
+<h1>smores telemetry</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/metrics.json">/metrics.json</a> — registry as JSON</li>
+<li><a href="/profile">/profile</a> — energy-attribution profile (add <code>?format=folded|json|prom|chrome</code>)</li>
+<li><a href="/progress">/progress</a> — run progress with rate and ETA</li>
+<li><a href="/healthz">/healthz</a> — liveness</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiling</li>
+</ul></body></html>
+`
 
 // Start binds addr and serves in a background goroutine, returning the
 // bound address (useful with ":0").

@@ -62,6 +62,60 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerProfileEndpoint covers the /profile endpoint in every
+// format, the 404 before a profile is attached, and the index page.
+func TestServerProfileEndpoint(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/profile"); code != http.StatusNotFound {
+		t.Fatalf("/profile without a profile = %d, want 404", code)
+	}
+	if code, body := get("/"); code != http.StatusOK ||
+		!strings.Contains(body, "/profile") || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page = %d:\n%s", code, body)
+	}
+	if code, _ := get("/nosuch"); code != http.StatusNotFound {
+		t.Fatalf("unknown path must 404")
+	}
+
+	p := NewProfile()
+	p.Add(PhaseSparsePayload, ProfileCodecIndex(3), 2, 1, Trans1DV, 123.5, 4)
+	s.AttachProfile(p)
+
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{"/profile", "4b3s"},
+		{"/profile?format=folded", "sparse-payload;4b3s"},
+		{"/profile?format=json", `"total_fj"`},
+		{"/profile?format=prom", "smores_profile_energy_femtojoules_total"},
+		{"/profile?format=chrome", `"traceEvents"`},
+	} {
+		code, body := get(tc.path)
+		if code != http.StatusOK || !strings.Contains(body, tc.want) {
+			t.Errorf("%s = %d, missing %q:\n%s", tc.path, code, tc.want, body)
+		}
+	}
+	// The profile also rides the main Prometheus scrape.
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "smores_profile_energy_femtojoules_total") {
+		t.Errorf("/metrics = %d, missing profile family:\n%s", code, body)
+	}
+}
+
 func TestServerStartAndClose(t *testing.T) {
 	s := NewServer(NewRegistry(), nil)
 	addr, err := s.Start("127.0.0.1:0")

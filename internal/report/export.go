@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 
+	"smores/internal/obs"
 	"smores/internal/pam4"
 )
 
@@ -98,3 +99,82 @@ func ExportTable4JSON(w io.Writer, m *pam4.EnergyModel) error {
 }
 
 func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// EvalAppJSON is one application row in the machine-readable evaluation.
+type EvalAppJSON struct {
+	App            string  `json:"app"`
+	Suite          string  `json:"suite"`
+	PerBitFJ       float64 `json:"perbit_fj"`
+	IdleFrequency  float64 `json:"idle_frequency"`
+	Reads          int64   `json:"reads"`
+	Writes         int64   `json:"writes"`
+	Clocks         int64   `json:"clocks"`
+	AvgReadLatency float64 `json:"avg_read_latency"`
+	MTABursts      int64   `json:"mta_bursts"`
+	SparseBursts   int64   `json:"sparse_bursts"`
+	Postambles     int64   `json:"postambles"`
+}
+
+// EvalFleetJSON is one fleet (policy × scheme) in the evaluation.
+type EvalFleetJSON struct {
+	Label        string        `json:"label"`
+	MeanPerBitFJ float64       `json:"mean_perbit_fj"`
+	Apps         []EvalAppJSON `json:"apps"`
+}
+
+// EvalWorkerJSON reports one fleet worker's completed-app counter
+// (series smores_fleet_worker_apps_total).
+type EvalWorkerJSON struct {
+	Worker string `json:"worker"`
+	Apps   int64  `json:"apps_completed"`
+}
+
+// EvalJSON is the machine-readable smores-eval output.
+type EvalJSON struct {
+	Accesses int64            `json:"accesses"`
+	Seed     uint64           `json:"seed"`
+	Fleets   []EvalFleetJSON  `json:"fleets"`
+	Workers  []EvalWorkerJSON `json:"workers,omitempty"`
+}
+
+// ExportEvalJSON writes the full evaluation — every fleet's per-app
+// results plus, when a registry observed the run, the per-worker
+// completion counters — as indented JSON.
+func ExportEvalJSON(w io.Writer, frs []FleetResult, reg *obs.Registry) error {
+	var out EvalJSON
+	if len(frs) > 0 {
+		out.Accesses = frs[0].Spec.Accesses
+		out.Seed = frs[0].Spec.Seed
+	}
+	for _, fr := range frs {
+		fj := EvalFleetJSON{Label: fr.Label, MeanPerBitFJ: fr.MeanPerBit()}
+		for _, r := range fr.Results {
+			fj.Apps = append(fj.Apps, EvalAppJSON{
+				App: r.App.Name, Suite: r.App.Suite,
+				PerBitFJ: r.PerBit, IdleFrequency: r.IdleFrequency,
+				Reads: r.Reads, Writes: r.Writes, Clocks: r.Clocks,
+				AvgReadLatency: r.AvgReadLatency,
+				MTABursts:      r.Bus.MTABursts, SparseBursts: r.Bus.SparseBursts,
+				Postambles: r.Bus.Postambles,
+			})
+		}
+		out.Fleets = append(out.Fleets, fj)
+	}
+	for _, fam := range reg.Gather() {
+		if fam.Name != "smores_fleet_worker_apps_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			wj := EvalWorkerJSON{Apps: int64(s.Value)}
+			for _, l := range s.Labels {
+				if l.Key == "worker" {
+					wj.Worker = l.Value
+				}
+			}
+			out.Workers = append(out.Workers, wj)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -49,6 +49,12 @@ type RunSpec struct {
 	// Tracer records cycle-level events for Chrome-trace export (nil
 	// disables tracing).
 	Tracer *obs.Tracer
+	// Profile attributes every femtojoule of bus energy into the energy
+	// profiler (phase × codec × wire × level × transition class). The
+	// profiler is lock-free and may be shared across parallel fleet
+	// workers; its total reconciles with the summed bus.Stats of every
+	// run that fed it. Nil disables attribution.
+	Profile *obs.Profile
 	// Channel identifies the controller in traces and default labels.
 	Channel int
 }
@@ -69,6 +75,7 @@ func (s RunSpec) controllerConfig() memctrl.Config {
 		Tracer:            s.Tracer,
 		Channel:           s.Channel,
 	}
+	cfg.Bus.Profile = s.Profile
 	if s.Timing != nil {
 		cfg.Timing = *s.Timing
 	}

@@ -1,0 +1,220 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"smores/internal/obs"
+	"smores/internal/pam4"
+)
+
+// The savings waterfall decomposes where SMOREs' energy reduction comes
+// from, per workload: starting from hypothetical unconstrained PAM4,
+// through today's MTA+postamble baseline and the optimized (level-
+// shifted idle) MTA, down to the full SMOREs scheme — whose remaining
+// energy the attribution profiler then splits by phase (MTA payload,
+// DBI wire, sparse payload, postamble, idle-shift seams, codec logic).
+//
+// Every simulated rung's total is the exact bus.Stats.TotalEnergy of
+// that run — the waterfall never re-derives energy — and the phase
+// decomposition reconciles against the summed stats to float round-off
+// (ReconcileProfile, test-enforced).
+
+// WaterfallStep is one rung of an energy waterfall.
+type WaterfallStep struct {
+	// Label names the rung ("pam4", "mta+postamble", ...).
+	Label string
+	// TotalFJ is the rung's total transfer energy. For simulated rungs
+	// this is exactly that run's bus.Stats.TotalEnergy().
+	TotalFJ float64
+	// PerBit is TotalFJ over the workload's data bits.
+	PerBit float64
+	// SavedFJ is the energy saved versus the previous rung (negative
+	// when a rung costs more, e.g. PAM4 → MTA).
+	SavedFJ float64
+	// SavedPct is SavedFJ as a share of the MTA+postamble baseline rung.
+	SavedPct float64
+}
+
+// AppWaterfall is one workload's waterfall.
+type AppWaterfall struct {
+	App      string
+	Suite    string
+	DataBits float64
+	Steps    []WaterfallStep
+}
+
+// Waterfall is the full savings-waterfall report.
+type Waterfall struct {
+	// Apps holds one waterfall per workload, in fleet order.
+	Apps []AppWaterfall
+	// Fleet aggregates the rungs over all workloads (summed energies).
+	Fleet []WaterfallStep
+	// PhaseFJ decomposes the final rung (the SMOREs runs) by profiler
+	// phase; empty when no profiler was attached.
+	PhaseFJ map[string]float64
+	// ProfileTotalFJ and StatsTotalFJ are the two sides of the
+	// reconciliation: the profiler's cell sum and the summed SMOREs
+	// bus.Stats totals.
+	ProfileTotalFJ float64
+	StatsTotalFJ   float64
+}
+
+// waterfallBaselineIndex is the rung savings percentages are normalized
+// to: the MTA+postamble baseline (rung 1, after the PAM4 reference).
+const waterfallBaselineIndex = 1
+
+// BuildWaterfall assembles the savings waterfall from three matched
+// runs of the same traffic (identical seeds and accesses): the
+// MTA+postamble baseline, the optimized (level-shifted idle) MTA, and a
+// SMOREs scheme. prof is the profiler that was attached to the SMOREs
+// run's spec (nil skips the phase decomposition).
+func BuildWaterfall(baseline, optimized, smores FleetResult, prof *obs.Profile) (Waterfall, error) {
+	if len(baseline.Results) != len(optimized.Results) ||
+		len(baseline.Results) != len(smores.Results) {
+		return Waterfall{}, fmt.Errorf(
+			"report: waterfall needs matched fleets, got %d/%d/%d apps",
+			len(baseline.Results), len(optimized.Results), len(smores.Results))
+	}
+	if len(baseline.Results) == 0 {
+		return Waterfall{}, fmt.Errorf("report: waterfall needs at least one app")
+	}
+	pam4PerBit := pam4.DefaultEnergyModel().PAM4PerBit()
+	smoresLabel := "smores"
+	if smores.Label != "" {
+		smoresLabel = smores.Label
+	}
+
+	var w Waterfall
+	fleetTotals := make([]float64, 4)
+	var fleetBits float64
+	for i, b := range baseline.Results {
+		o, s := optimized.Results[i], smores.Results[i]
+		if b.Bus.DataBits != o.Bus.DataBits || b.Bus.DataBits != s.Bus.DataBits {
+			return Waterfall{}, fmt.Errorf(
+				"report: waterfall app %s moved different data under each policy (%g/%g/%g bits); use matched seeds",
+				b.App.Name, b.Bus.DataBits, o.Bus.DataBits, s.Bus.DataBits)
+		}
+		bits := b.Bus.DataBits
+		totals := []float64{
+			bits * pam4PerBit, // hypothetical unconstrained PAM4
+			b.Bus.TotalEnergy(),
+			o.Bus.TotalEnergy(),
+			s.Bus.TotalEnergy(),
+		}
+		aw := AppWaterfall{App: b.App.Name, Suite: b.App.Suite, DataBits: bits}
+		aw.Steps = buildSteps(totals, bits, []string{
+			"pam4 (unconstrained)", "mta+postamble", "+level-shift idle", smoresLabel,
+		})
+		w.Apps = append(w.Apps, aw)
+		for j, t := range totals {
+			fleetTotals[j] += t
+		}
+		fleetBits += bits
+	}
+	w.Fleet = buildSteps(fleetTotals, fleetBits, []string{
+		"pam4 (unconstrained)", "mta+postamble", "+level-shift idle", smoresLabel,
+	})
+
+	if prof != nil {
+		w.PhaseFJ = make(map[string]float64, obs.NumPhases)
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			if e := prof.PhaseEnergy(ph); e != 0 {
+				w.PhaseFJ[ph.String()] = e
+			}
+		}
+		w.ProfileTotalFJ = prof.TotalEnergy()
+		w.StatsTotalFJ = fleetTotals[len(fleetTotals)-1]
+	}
+	return w, nil
+}
+
+// buildSteps derives the per-rung deltas from absolute totals.
+func buildSteps(totals []float64, bits float64, labels []string) []WaterfallStep {
+	base := totals[waterfallBaselineIndex]
+	steps := make([]WaterfallStep, len(totals))
+	for i, t := range totals {
+		steps[i] = WaterfallStep{Label: labels[i], TotalFJ: t}
+		if bits > 0 {
+			steps[i].PerBit = t / bits
+		}
+		if i > 0 {
+			steps[i].SavedFJ = totals[i-1] - t
+			if base > 0 {
+				steps[i].SavedPct = steps[i].SavedFJ / base * 100
+			}
+		}
+	}
+	return steps
+}
+
+// ReconcileProfile verifies the attribution profiler accounts for
+// exactly the energy the fed runs' bus statistics report. The bound is
+// float round-off over the accumulation (the two sides sum identical
+// samples in different orders), scaled to the total magnitude.
+func ReconcileProfile(p *obs.Profile, fed ...FleetResult) error {
+	if p == nil {
+		return fmt.Errorf("report: no profile to reconcile")
+	}
+	var want float64
+	var runs int
+	for _, fr := range fed {
+		for _, r := range fr.Results {
+			want += r.Bus.TotalEnergy()
+			runs++
+		}
+	}
+	got := p.TotalEnergy()
+	tol := 1e-9 * math.Max(math.Abs(want), 1)
+	if math.Abs(got-want) > tol {
+		return fmt.Errorf(
+			"report: profile accounts %.6g fJ but %d runs' bus stats total %.6g fJ (diff %g, tol %g)",
+			got, runs, want, got-want, tol)
+	}
+	return nil
+}
+
+// RenderWaterfall renders the report: the fleet-level waterfall, the
+// profiler's phase decomposition of the final rung, and per-app rows.
+func RenderWaterfall(w Waterfall) string {
+	var b strings.Builder
+	b.WriteString("Energy savings waterfall (fleet aggregate)\n")
+	fmt.Fprintf(&b, "  %-24s %12s %14s %10s\n", "rung", "fJ/bit", "saved(fJ)", "saved")
+	for i, s := range w.Fleet {
+		if i == 0 {
+			fmt.Fprintf(&b, "  %-24s %12.1f %14s %10s\n", s.Label, s.PerBit, "--", "--")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-24s %12.1f %14.4g %9.1f%%\n", s.Label, s.PerBit, s.SavedFJ, s.SavedPct)
+	}
+	if len(w.PhaseFJ) > 0 {
+		fmt.Fprintf(&b, "final rung by phase (profiler; reconciles to %.6g fJ):\n", w.StatsTotalFJ)
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			e, ok := w.PhaseFJ[ph.String()]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-16s %14.4g fJ %6.1f%%\n", ph.String(), e, share(e, w.ProfileTotalFJ))
+		}
+	}
+	b.WriteString("per-app savings vs mta+postamble (optimized-mta | smores):\n")
+	for _, a := range w.Apps {
+		if len(a.Steps) < 4 {
+			continue
+		}
+		opt := a.Steps[2]
+		sm := a.Steps[3]
+		fmt.Fprintf(&b, "  %-16s %-10s %8.1f fJ/bit %8.1f%% | %8.1f%%\n",
+			a.App, a.Suite, a.Steps[1].PerBit, opt.SavedPct, opt.SavedPct+sm.SavedPct)
+	}
+	return b.String()
+}
+
+// share returns part as a percentage of whole (0 when whole is 0).
+func share(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return part / whole * 100
+}

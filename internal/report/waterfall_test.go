@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/memctrl"
+	"smores/internal/obs"
+	"smores/internal/workload"
+)
+
+// miniFleet runs a handful of apps under one spec, feeding prof, and
+// wraps them as a FleetResult (matched seeds across calls so the
+// waterfall sees identical traffic per policy).
+func miniFleet(t *testing.T, pol memctrl.EncodingPolicy, sch core.Scheme, prof *obs.Profile) FleetResult {
+	t.Helper()
+	fr := FleetResult{}
+	for i, name := range []string{"bfs", "lulesh"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown app %s", name)
+		}
+		r, err := RunApp(p, RunSpec{
+			Policy: pol, Scheme: sch, Accesses: 1500,
+			Seed: uint64(100 + i), Profile: prof,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Results = append(fr.Results, r)
+		fr.Label = r.Label
+	}
+	return fr
+}
+
+func TestWaterfallReconciles(t *testing.T) {
+	smoresScheme := core.Scheme{Specification: core.VariableCode, Detection: core.Exhaustive}
+	prof := obs.NewProfile()
+	base := miniFleet(t, memctrl.BaselineMTA, core.Scheme{}, nil)
+	opt := miniFleet(t, memctrl.OptimizedMTA, core.Scheme{}, nil)
+	smores := miniFleet(t, memctrl.SMOREs, smoresScheme, prof)
+
+	if err := ReconcileProfile(prof, smores); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := BuildWaterfall(base, opt, smores, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Apps) != 2 || len(w.Fleet) != 4 {
+		t.Fatalf("waterfall shape wrong: %d apps, %d fleet rungs", len(w.Apps), len(w.Fleet))
+	}
+	// Simulated rungs must be the exact bus totals — no re-derivation.
+	if w.Fleet[1].TotalFJ != base.Results[0].Bus.TotalEnergy()+base.Results[1].Bus.TotalEnergy() {
+		t.Error("baseline rung is not the exact summed bus total")
+	}
+	if w.Fleet[3].TotalFJ != smores.Results[0].Bus.TotalEnergy()+smores.Results[1].Bus.TotalEnergy() {
+		t.Error("smores rung is not the exact summed bus total")
+	}
+	// The ladder must descend from the MTA+postamble baseline.
+	if !(w.Fleet[1].TotalFJ > w.Fleet[2].TotalFJ && w.Fleet[2].TotalFJ > w.Fleet[3].TotalFJ) {
+		t.Errorf("waterfall not monotone: %.4g > %.4g > %.4g wanted",
+			w.Fleet[1].TotalFJ, w.Fleet[2].TotalFJ, w.Fleet[3].TotalFJ)
+	}
+	// Savings percentages are relative to the baseline rung and the
+	// cumulative saving equals baseline − smores.
+	cum := w.Fleet[2].SavedFJ + w.Fleet[3].SavedFJ
+	if diff := cum - (w.Fleet[1].TotalFJ - w.Fleet[3].TotalFJ); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("cumulative saving mismatch: %g", diff)
+	}
+	// The phase decomposition must cover the SMOREs total.
+	var phases float64
+	for _, e := range w.PhaseFJ {
+		phases += e
+	}
+	if rel := (phases - w.StatsTotalFJ) / w.StatsTotalFJ; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("phase decomposition %.9g vs stats %.9g (rel %g)", phases, w.StatsTotalFJ, rel)
+	}
+
+	text := RenderWaterfall(w)
+	for _, want := range []string{
+		"Energy savings waterfall", "pam4 (unconstrained)", "mta+postamble",
+		"+level-shift idle", "smores", "by phase", "sparse-payload", "per-app",
+		"bfs", "lulesh",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered waterfall missing %q", want)
+		}
+	}
+}
+
+func TestWaterfallRejectsMismatchedFleets(t *testing.T) {
+	a := FleetResult{Results: make([]AppResult, 2)}
+	b := FleetResult{Results: make([]AppResult, 1)}
+	if _, err := BuildWaterfall(a, b, a, nil); err == nil {
+		t.Fatal("mismatched fleet sizes must be rejected")
+	}
+	if _, err := BuildWaterfall(FleetResult{}, FleetResult{}, FleetResult{}, nil); err == nil {
+		t.Fatal("empty fleets must be rejected")
+	}
+}
+
+// TestReconcileProfileAllPolicies runs the full policy matrix at small
+// scale, one shared profiler per spec, and demands conservation for
+// every policy × scheme (the report-level face of the bus and memctrl
+// conservation tests).
+func TestReconcileProfileAllPolicies(t *testing.T) {
+	p, _ := workload.ByName("xsbench")
+	for _, spec := range PolicySpecs(1200, 3, false) {
+		prof := obs.NewProfile()
+		spec.Profile = prof
+		r, err := RunApp(p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := FleetResult{Results: []AppResult{r}, Label: r.Label}
+		if err := ReconcileProfile(prof, fr); err != nil {
+			t.Errorf("%s: %v", r.Label, err)
+		}
+	}
+	if err := ReconcileProfile(nil); err == nil {
+		t.Error("nil profile must not reconcile")
+	}
+}
