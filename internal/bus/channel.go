@@ -8,6 +8,7 @@ package bus
 
 import (
 	"fmt"
+	"sync"
 
 	"smores/internal/core"
 	"smores/internal/mta"
@@ -143,6 +144,13 @@ type Channel struct {
 	// otherwise recomputes the DBI multinomial on every burst, and the
 	// values are per-codec constants for a fixed family and model.
 	expCache [core.MaxSparseSymbols + 1]*expSparseEnergy
+	// levelE caches the model's per-level symbol energies: exact mode
+	// integrates energy symbol by symbol and a direct array load beats a
+	// method call with a validity check in the innermost loop.
+	levelE [pam4.NumLevels]float64
+	// colScratch is the reusable column buffer for exact-mode sparse
+	// bursts, eliminating the per-group slice allocation in steady state.
+	colScratch []mta.Column
 }
 
 // expSparseEnergy caches one sparse codec's closed-form group-burst
@@ -152,13 +160,26 @@ type expSparseEnergy struct {
 	dbi   float64 // ExpectedBurstDBIEnergy(GroupBurstBytes)
 }
 
+// defaultMTACodec memoizes the standard MTA codec under the default
+// energy model: the codec is immutable and its construction (sequence
+// enumeration plus an energy sort) dominates channel setup, so fleet runs
+// share one instance. pam4.DefaultEnergyModel returns a stable pointer,
+// making the nil-fill check in New exact.
+var defaultMTACodec = sync.OnceValue(func() *mta.Codec {
+	return mta.New(pam4.DefaultEnergyModel())
+})
+
 // New builds a channel, filling defaults for nil config fields.
 func New(cfg Config) *Channel {
 	if cfg.Model == nil {
 		cfg.Model = pam4.DefaultEnergyModel()
 	}
 	if cfg.MTACodec == nil {
-		cfg.MTACodec = mta.New(cfg.Model)
+		if cfg.Model == pam4.DefaultEnergyModel() {
+			cfg.MTACodec = defaultMTACodec()
+		} else {
+			cfg.MTACodec = mta.New(cfg.Model)
+		}
 	}
 	if cfg.Family == nil {
 		cfg.Family = core.DefaultFamily()
@@ -180,6 +201,7 @@ func New(cfg Config) *Channel {
 		recording:   cfg.Record,
 		m:           newBusMetrics(cfg.Obs, cfg.ObsLabels),
 		prof:        cfg.Profile,
+		levelE:      cfg.Model.LevelEnergies(),
 	}
 	for g := range ch.states {
 		ch.states[g] = mta.IdleGroupState()
@@ -310,10 +332,11 @@ func (ch *Channel) sendSparse(data []byte, codeLength int) error {
 	}
 	for g := 0; g < Groups; g++ {
 		prev := ch.states[g]
-		cols, err := sc.EncodeGroupBurst(data[g*GroupBurstBytes:(g+1)*GroupBurstBytes], &ch.states[g])
+		cols, err := sc.AppendGroupBurst(ch.colScratch[:0], data[g*GroupBurstBytes:(g+1)*GroupBurstBytes], &ch.states[g])
 		if err != nil {
 			return err
 		}
+		ch.colScratch = cols // keep the (possibly grown) buffer
 		for _, col := range cols {
 			ch.accountColumn(g, &prev, col, obs.PhaseSparsePayload, codecIdx)
 		}
@@ -321,18 +344,34 @@ func (ch *Channel) sendSparse(data []byte, codeLength int) error {
 	return nil
 }
 
+// expShared memoizes closed-form group-burst energies across channels,
+// keyed by codec identity. Fleet runs construct one channel per app per
+// policy over the same (memoized) family, so the codec pointers are
+// stable and the DBI multinomials — per-codec constants — are computed
+// once per process instead of once per channel. sync.Map because fleet
+// workers build and drive channels concurrently.
+var expShared sync.Map // *core.SparseGroupCodec → expSparseEnergy
+
 // expectedSparse returns the memoized closed-form group-burst energies
 // for a sparse codec (identical floats to calling the codec directly —
-// the cache is a pure speedup for expected mode).
+// the caches are a pure speedup for expected mode). The per-channel
+// array is the contention-free fast path; the process-wide map shares
+// the one-time computation across the fleet.
 func (ch *Channel) expectedSparse(sc *core.SparseGroupCodec, codeLength int) expSparseEnergy {
 	if codeLength >= 0 && codeLength < len(ch.expCache) {
 		if c := ch.expCache[codeLength]; c != nil {
 			return *c
 		}
 	}
-	e := expSparseEnergy{
-		total: sc.ExpectedBurstEnergy(GroupBurstBytes),
-		dbi:   sc.ExpectedBurstDBIEnergy(GroupBurstBytes),
+	var e expSparseEnergy
+	if v, ok := expShared.Load(sc); ok {
+		e = v.(expSparseEnergy)
+	} else {
+		e = expSparseEnergy{
+			total: sc.ExpectedBurstEnergy(GroupBurstBytes),
+			dbi:   sc.ExpectedBurstDBIEnergy(GroupBurstBytes),
+		}
+		expShared.Store(sc, e)
 	}
 	if codeLength >= 0 && codeLength < len(ch.expCache) {
 		ch.expCache[codeLength] = &e
@@ -445,7 +484,7 @@ func (ch *Channel) accountColumn(g int, prev *mta.GroupState, col mta.Column, ph
 		ch.profileColumn(g, prev, col, ph, codec)
 	}
 	for _, l := range col {
-		ch.stats.WireEnergy += ch.model.SymbolEnergy(l)
+		ch.stats.WireEnergy += ch.levelE[l]
 	}
 	ch.checkColumn(g, prev, col)
 }

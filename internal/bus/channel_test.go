@@ -272,3 +272,65 @@ func TestPostambleEnergyValue(t *testing.T) {
 	want := float64(Groups*mta.GroupWires) * float64(PostambleUIs()) * m.PostambleWireUIEnergy()
 	approx(t, "postamble energy", ch.Stats().PostambleEnergy, want, 1e-9)
 }
+
+// TestExactSteadyStateAllocFree pins the zero-alloc property of the
+// exact-data hot path: after warm-up (scratch buffer grown, caches
+// filled), sending bursts and idling must not allocate. This is what
+// keeps exact-mode fleet runs off the garbage collector.
+func TestExactSteadyStateAllocFree(t *testing.T) {
+	ch := New(Config{ExactData: true})
+	rng := rand.New(rand.NewSource(7))
+	data := randomSector(rng)
+	n := ch.Family().Lengths()[0]
+	// Warm up: grow the column scratch buffer and touch every path once.
+	for i := 0; i < 4; i++ {
+		if err := ch.SendBurst(data, core.MaxSparseSymbols); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.SendBurst(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		ch.Postamble()
+		ch.Idle(8)
+	}
+	for name, fn := range map[string]func(){
+		"sparse": func() {
+			if err := ch.SendBurst(data, n); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"mta":  func() { _ = ch.SendBurst(data, 0) },
+		"idle": func() { ch.Postamble(); ch.Idle(4) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s path allocates %.1f times per op in steady state", name, allocs)
+		}
+	}
+}
+
+// TestSharedDefaultsAreStable pins the construction memoization: the
+// default model, family, and MTA codec are immutable, so New must hand
+// every channel the same instances instead of rebuilding codebooks.
+func TestSharedDefaultsAreStable(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	if a.MTACodec() != b.MTACodec() {
+		t.Error("default MTA codec not shared between channels")
+	}
+	if a.Family() != b.Family() {
+		t.Error("default family not shared between channels")
+	}
+	if pam4.DefaultEnergyModel() != pam4.DefaultEnergyModel() {
+		t.Error("default energy model not memoized")
+	}
+	if core.DefaultFamily() != core.DefaultFamily() {
+		t.Error("default family not memoized")
+	}
+	// A custom model must still get its own codec, not the shared one.
+	m, err := pam4.NewEnergyModel(pam4.DefaultDriver(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := New(Config{Model: m}); c.MTACodec() == a.MTACodec() {
+		t.Error("custom-model channel reused the default-model codec")
+	}
+}

@@ -48,7 +48,7 @@ func (ch *Channel) profileColumn(g int, prev *mta.GroupState, col mta.Column, ph
 		if seamPhase && prev[w] == pam4.L3 {
 			tc = obs.TransSeam
 		}
-		ch.prof.AddSymbol(wph, codec, base+w, int(l), tc, ch.model.SymbolEnergy(l))
+		ch.prof.AddSymbol(wph, codec, base+w, int(l), tc, ch.levelE[l])
 	}
 }
 

@@ -15,6 +15,15 @@ import (
 // the eight data wires carry the level.
 const dbiThreshold = mta.GroupDataWires / 2
 
+// Level-permutation tables for the two legal swaps, indexed by level. The
+// hot path applies a swap as one table load per wire instead of a
+// three-way switch; L3 maps to itself (pre-shift sparse columns never
+// carry it, but the exported helpers accept arbitrary columns).
+var (
+	swap01 = [pam4.NumLevels]pam4.Level{pam4.L1, pam4.L0, pam4.L2, pam4.L3}
+	swap02 = [pam4.NumLevels]pam4.Level{pam4.L2, pam4.L1, pam4.L0, pam4.L3}
+)
+
 // ApplyDBISwap implements the paper's rule on a pre-shift column:
 //
 //	swap L0↔L1 and set DBI=L1 if N_L1 > 4
@@ -36,10 +45,10 @@ func ApplyDBISwap(col mta.Column) mta.Column {
 	}
 	switch {
 	case n1 > dbiThreshold:
-		col = swapLevels(col, pam4.L0, pam4.L1)
+		col = permuteLevels(col, &swap01)
 		col[mta.DBIWire] = pam4.L1
 	case n2 > dbiThreshold:
-		col = swapLevels(col, pam4.L0, pam4.L2)
+		col = permuteLevels(col, &swap02)
 		col[mta.DBIWire] = pam4.L2
 	default:
 		col[mta.DBIWire] = pam4.L0
@@ -54,24 +63,19 @@ func UndoDBISwap(col mta.Column) (mta.Column, bool) {
 	case pam4.L0:
 		return col, true
 	case pam4.L1:
-		return swapLevels(col, pam4.L0, pam4.L1), true
+		return permuteLevels(col, &swap01), true
 	case pam4.L2:
-		return swapLevels(col, pam4.L0, pam4.L2), true
+		return permuteLevels(col, &swap02), true
 	default:
 		return col, false
 	}
 }
 
-// swapLevels exchanges two levels on the data wires (the DBI wire is left
-// alone).
-func swapLevels(col mta.Column, a, b pam4.Level) mta.Column {
+// permuteLevels remaps the data wires through a level-permutation table
+// (the DBI wire is left alone).
+func permuteLevels(col mta.Column, m *[pam4.NumLevels]pam4.Level) mta.Column {
 	for w := 0; w < mta.GroupDataWires; w++ {
-		switch col[w] {
-		case a:
-			col[w] = b
-		case b:
-			col[w] = a
-		}
+		col[w] = m[col[w]]
 	}
 	return col
 }

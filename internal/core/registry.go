@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"smores/internal/codec"
 	"smores/internal/pam4"
@@ -85,13 +86,20 @@ func NewFamily(m *pam4.EnergyModel, cfg FamilyConfig) (*Family, error) {
 
 // DefaultFamily builds the paper's preferred family under the default
 // energy model. Construction from built-in tables cannot fail.
-func DefaultFamily() *Family {
+//
+// Families are immutable after construction and codebook generation is
+// deterministic, so the same instance is shared by every caller; fleet
+// runs would otherwise re-enumerate and re-sort the sparse codebooks for
+// every one of hundreds of channels.
+func DefaultFamily() *Family { return defaultFamily() }
+
+var defaultFamily = sync.OnceValue(func() *Family {
 	f, err := NewFamily(pam4.DefaultEnergyModel(), DefaultFamilyConfig())
 	if err != nil {
 		panic("core: default family: " + err.Error())
 	}
 	return f
-}
+})
 
 // Config returns the family's configuration.
 func (f *Family) Config() FamilyConfig { return f.cfg }

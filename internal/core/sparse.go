@@ -32,6 +32,11 @@ type SparseGroupCodec struct {
 	book  *codec.Codebook
 	dbi   bool
 	model *pam4.EnergyModel
+	// lut flattens the codebook into direct level loads for the encode hot
+	// path: lut[nibble][ui] is code symbol ui of that nibble's code word.
+	// It replaces a Codebook.Encode call plus a Seq.At shift/mask per
+	// transmitted symbol in exact-data mode.
+	lut [1 << NibbleBits][MaxSparseSymbols]pam4.Level
 }
 
 // NewSparseGroupCodec wraps a 4-bit codebook. withDBI enables the
@@ -41,7 +46,18 @@ func NewSparseGroupCodec(book *codec.Codebook, withDBI bool, m *pam4.EnergyModel
 		return nil, fmt.Errorf("core: sparse group codec needs a %d-bit codebook, got %d",
 			NibbleBits, book.Spec().InputBits)
 	}
-	return &SparseGroupCodec{book: book, dbi: withDBI, model: m}, nil
+	c := &SparseGroupCodec{book: book, dbi: withDBI, model: m}
+	n := book.Spec().OutputSymbols
+	if n > MaxSparseSymbols {
+		return nil, fmt.Errorf("core: codebook output length %d exceeds %d", n, MaxSparseSymbols)
+	}
+	for nib := 0; nib < 1<<NibbleBits; nib++ {
+		s := book.Encode(uint8(nib))
+		for ui := 0; ui < n; ui++ {
+			c.lut[nib][ui] = s.At(ui)
+		}
+	}
+	return c, nil
 }
 
 // Book returns the underlying codebook.
@@ -75,31 +91,38 @@ func (c *SparseGroupCodec) BurstUIs(dataBytes int) int {
 // DBI swap per UI column (if enabled), then apply level shifting to the
 // already-swapped symbols.
 func (c *SparseGroupCodec) EncodeGroupBurst(data []byte, state *mta.GroupState) ([]mta.Column, error) {
+	return c.AppendGroupBurst(nil, data, state)
+}
+
+// AppendGroupBurst is EncodeGroupBurst writing into dst (grown as needed)
+// so steady-state callers can reuse one scratch buffer across bursts: the
+// simulator's exact-data hot path calls this once per group per sparse
+// burst and would otherwise allocate the column slice every time.
+func (c *SparseGroupCodec) AppendGroupBurst(dst []mta.Column, data []byte, state *mta.GroupState) ([]mta.Column, error) {
 	if len(data) == 0 || len(data)%BytesPerSlot != 0 {
 		return nil, fmt.Errorf("core: burst length %d is not a positive multiple of %d", len(data), BytesPerSlot)
 	}
 	n := c.book.Spec().OutputSymbols
 	codesPerWire := len(data) / BytesPerSlot * 2
-	cols := make([]mta.Column, 0, codesPerWire*n)
+	if need := len(dst) + codesPerWire*n; cap(dst) < need {
+		grown := make([]mta.Column, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 
 	// Expand each wire's nibble stream into its code sequence, one code
 	// slot at a time so DBI sees aligned columns.
 	for slot := 0; slot < codesPerWire; slot++ {
 		byteIdx := slot / 2 * BytesPerSlot
-		loNibble := slot%2 == 0
-		var wireCodes [mta.GroupDataWires]pam4.Seq
+		shift := uint(slot % 2 * NibbleBits) // low nibble first
+		var wireCodes [mta.GroupDataWires]*[MaxSparseSymbols]pam4.Level
 		for w := 0; w < mta.GroupDataWires; w++ {
-			b := data[byteIdx+w]
-			nib := b & 0x0f
-			if !loNibble {
-				nib = b >> 4
-			}
-			wireCodes[w] = c.book.Encode(nib)
+			wireCodes[w] = &c.lut[data[byteIdx+w]>>shift&0x0f]
 		}
 		for ui := 0; ui < n; ui++ {
 			var col mta.Column
 			for w := 0; w < mta.GroupDataWires; w++ {
-				col[w] = wireCodes[w].At(ui)
+				col[w] = wireCodes[w][ui]
 			}
 			col[mta.DBIWire] = pam4.L0
 			if c.dbi {
@@ -112,10 +135,10 @@ func (c *SparseGroupCodec) EncodeGroupBurst(data []byte, state *mta.GroupState) 
 				}
 				state[w] = col[w]
 			}
-			cols = append(cols, col)
+			dst = append(dst, col)
 		}
 	}
-	return cols, nil
+	return dst, nil
 }
 
 // DecodeGroupBurst reverses EncodeGroupBurst. state must hold the same

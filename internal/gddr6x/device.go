@@ -273,3 +273,135 @@ func (d *Device) Refresh(now int64) error {
 func (d *Device) Counters() (acts, reads, writes, pres, refs int64) {
 	return d.acts, d.reads, d.writes, d.pres, d.refs
 }
+
+// Next-event queries for the controller's event-skipping tick loop.
+//
+// Between commands the device's state is static: every Can* predicate is
+// a conjunction of "now >= <precomputed clock>" terms, so the first clock
+// at which it can become true is the max of those terms. The controller
+// uses these to advance directly to the next actionable clock; any command
+// issued in between invalidates the answer, so callers must re-query after
+// every issued command (the controller recomputes per skip).
+//
+// Each *ReadyAt method returns the exact first clock t such that the
+// matching Can* predicate holds at t given no intervening state change,
+// or -1 when the predicate cannot become true by time alone (e.g. an
+// ACTIVATE to an already-open bank needs a PRECHARGE first).
+
+// BusyUntil returns the clock through which the device is inside an
+// all-bank refresh cycle (commands resume at the returned clock).
+func (d *Device) BusyUntil() int64 { return d.refBusyTill }
+
+// LastColumnAt returns the clock of the most recent column command (a
+// large negative sentinel before the first). The controller uses it as an
+// O(1) streaming detector: while columns land every tCCD, computing a
+// skip costs more than the one or two clocks it could save.
+func (d *Device) LastColumnAt() int64 {
+	if !d.anyCol {
+		return -1 << 40
+	}
+	return d.lastCol
+}
+
+// RefreshDueAt returns the clock at which the next all-bank refresh
+// becomes due.
+func (d *Device) RefreshDueAt() int64 { return d.refDue }
+
+// PerBankRefreshDueAt returns the clock at which the next round-robin
+// per-bank refresh becomes due.
+func (d *Device) PerBankRefreshDueAt() int64 { return d.refDuePB }
+
+// ColumnReadyAt returns the first clock at which a column command to addr
+// could issue, or -1 when the bank is closed or holds a different row
+// (an ACT/PRE must happen first — itself an event).
+func (d *Device) ColumnReadyAt(addr Address, write bool) int64 {
+	bk := &d.banks[addr.Bank]
+	if !bk.open || bk.row != addr.Row {
+		return -1
+	}
+	t := bk.colReady
+	if d.anyCol {
+		ccd := d.t.TCCD
+		if d.t.BankGroup(addr.Bank) == d.lastColBG && d.t.TCCDL > ccd {
+			ccd = d.t.TCCDL
+		}
+		if s := d.lastCol + ccd; s > t {
+			t = s
+		}
+		if write && !d.lastColWr {
+			if s := d.lastCol + d.t.TRTW; s > t {
+				t = s
+			}
+		}
+		if !write && d.lastColWr {
+			if s := d.lastCol + d.t.TWTR; s > t {
+				t = s
+			}
+		}
+	}
+	if d.refBusyTill > t {
+		t = d.refBusyTill
+	}
+	return t
+}
+
+// ActivateReadyAt returns the first clock at which ACT(b) could issue, or
+// -1 when the bank is open (it needs a precharge first).
+func (d *Device) ActivateReadyAt(b int) int64 {
+	bk := &d.banks[b]
+	if bk.open {
+		return -1
+	}
+	t := bk.actReady
+	if s := d.lastACT + d.t.TRRD; s > t {
+		t = s
+	}
+	if d.refBusyTill > t {
+		t = d.refBusyTill
+	}
+	return t
+}
+
+// PrechargeReadyAt returns the first clock at which PRE(b) could issue,
+// or -1 when the bank is already closed.
+func (d *Device) PrechargeReadyAt(b int) int64 {
+	bk := &d.banks[b]
+	if !bk.open {
+		return -1
+	}
+	t := bk.preReady
+	if d.refBusyTill > t {
+		t = d.refBusyTill
+	}
+	return t
+}
+
+// RefreshReadyAt returns the first clock at which REFab could issue, or
+// -1 while any bank is open (precharges must land first; those are events
+// of their own).
+func (d *Device) RefreshReadyAt() int64 {
+	t := d.refBusyTill
+	for i := range d.banks {
+		if d.banks[i].open {
+			return -1
+		}
+		if d.banks[i].actReady > t {
+			t = d.banks[i].actReady
+		}
+	}
+	return t
+}
+
+// RefreshBankReadyAt returns the first clock at which REFpb could issue
+// for bank b, or -1 while the bank is open.
+func (d *Device) RefreshBankReadyAt(b int) int64 {
+	bk := &d.banks[b]
+	if bk.open {
+		return -1
+	}
+	t := bk.actReady
+	if d.refBusyTill > t {
+		t = d.refBusyTill
+	}
+	return t
+}

@@ -92,6 +92,8 @@ func (t Timing) Validate() error {
 		return fmt.Errorf("gddr6x: bank timings must be positive")
 	case t.Banks <= 0 || t.BankGroups <= 0 || t.Banks%t.BankGroups != 0:
 		return fmt.Errorf("gddr6x: banks (%d) must be a positive multiple of bank groups (%d)", t.Banks, t.BankGroups)
+	case t.Banks > 64:
+		return fmt.Errorf("gddr6x: banks (%d) exceed 64 (controllers track banks in one machine word)", t.Banks)
 	case t.RowSectors <= 0 || t.ChunkSectors <= 0 || t.RowSectors%t.ChunkSectors != 0:
 		return fmt.Errorf("gddr6x: row sectors (%d) must be a positive multiple of chunk sectors (%d)", t.RowSectors, t.ChunkSectors)
 	case t.TRTW < t.RL-t.WL+t.TCCD:

@@ -103,12 +103,16 @@ func NewDriver(cfg DriverConfig, ctrl *memctrl.Controller, gen Generator) (*Driv
 
 // Run drives the workload to completion and returns the result.
 func (d *Driver) Run() (RunResult, error) {
+	skip := d.ctrl.EventSkipEnabled()
 	for {
 		if d.cfg.MaxAccesses > 0 && d.res.Accesses >= d.cfg.MaxAccesses && d.drained() {
 			break
 		}
 		if d.res.Clocks >= d.cfg.MaxClocks {
 			return d.res, fmt.Errorf("gpu: run exceeded %d clocks", d.cfg.MaxClocks)
+		}
+		if skip {
+			d.fastForward()
 		}
 		var before RunResult
 		if d.m != nil {
@@ -133,6 +137,87 @@ func (d *Driver) Run() (RunResult, error) {
 		d.res.LLC = d.llc.Stats()
 	}
 	return d.res, nil
+}
+
+// fastForward advances the driver and its controller together across
+// clocks that are provably inert on both sides: the driver is stalled
+// (backpressure or exhausted MSHRs), burning think time, or waiting for
+// in-flight reads to drain, and the controller reports no event before
+// the skip target. Per-clock accounting (StallClocks, the live clock
+// gauge) is applied for the skipped span exactly as the skipped
+// iterations would have, so results are bit-identical to the legacy
+// one-clock loop.
+func (d *Driver) fastForward() {
+	horizon, stall, think := d.idleHorizon()
+	if horizon <= 0 {
+		return
+	}
+	now := d.ctrl.Clock()
+	target := d.ctrl.NextEventClock()
+	if target <= now {
+		return
+	}
+	n := target - now
+	if n > horizon {
+		n = horizon
+	}
+	// Never skip past the wedge detector: the legacy loop errors out at
+	// exactly MaxClocks.
+	if left := d.cfg.MaxClocks - d.res.Clocks; n > left {
+		n = left
+	}
+	if n <= 0 {
+		return
+	}
+	d.ctrl.SkipTo(now + n)
+	d.res.Clocks += n
+	if stall {
+		d.res.StallClocks += n
+	}
+	if think {
+		d.thinkLeft -= n // horizon ≤ thinkLeft in the think case
+	}
+	if d.m != nil {
+		// The per-iteration mirror snapshots d.res after this call, so the
+		// skipped span's deltas must be published here.
+		if stall {
+			d.m.stallClocks.Add(n)
+		}
+		d.m.clock.Set(d.res.Clocks)
+	}
+}
+
+// idleHorizon reports how many clocks step() would provably spend doing
+// nothing but fixed per-clock accounting, whether each such clock counts
+// as a stall, and whether it burns think time. Zero means "not skippable
+// this clock". The horizon only bounds the driver side; the caller
+// intersects it with the controller's next event.
+func (d *Driver) idleHorizon() (n int64, stall, think bool) {
+	const unbounded = int64(1) << 62
+	if len(d.pendingWB) > 0 {
+		// A backpressured writeback retries (and stalls) every clock until
+		// the controller drains a write — a controller event.
+		if d.ctrl.WriteQueueFull() {
+			return unbounded, true, false
+		}
+		return 0, false, false
+	}
+	if d.pendingRd != nil {
+		// A backpressured read retries until an MSHR frees (a completion)
+		// or the read queue drains (an issue) — both controller events.
+		if d.inflight >= d.cfg.MSHRs || d.ctrl.ReadQueueFull() {
+			return unbounded, true, false
+		}
+		return 0, false, false
+	}
+	if d.thinkLeft > 0 {
+		return d.thinkLeft, false, true
+	}
+	if d.nextAccess == nil && d.generatorDone() && d.inflight > 0 {
+		// End-of-workload drain: only completions advance state.
+		return unbounded, false, false
+	}
+	return 0, false, false
 }
 
 // mirror publishes per-clock deltas of the run counters into the obs

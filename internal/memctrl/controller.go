@@ -53,9 +53,12 @@ type Controller struct {
 	// source of one-clock data-bus gaps.
 	cmdBusyTill int64
 
-	// pending is the most recently placed transfer; its encoding may still
-	// be undecided and its trailing idle unaccounted.
-	pending *xfer
+	// pending is the most recently placed transfer (valid when hasPending);
+	// its encoding may still be undecided and its trailing idle
+	// unaccounted. Held by value so the steady-state tick path allocates
+	// nothing per transfer.
+	pending    xfer
+	hasPending bool
 
 	dramTracker core.GapTracker
 	gpuTracker  core.GapTracker
@@ -214,7 +217,7 @@ func (c *Controller) Tick() {
 	// command has arrived, so both sides know the gap is at least the
 	// deadline and commit on that basis (conservative detection instead
 	// falls back to MTA here).
-	if c.pending != nil && !c.pending.decided && c.clock-c.pending.cmdAt > c.decisionDeadline() {
+	if c.hasPending && !c.pending.decided && c.clock-c.pending.cmdAt > c.decisionDeadline() {
 		proxy := int(c.decisionDeadline()) - core.BurstSlotClocks
 		c.decidePending(proxy, proxy, false, c.pending.kind)
 	}
@@ -262,17 +265,48 @@ func (c *Controller) Tick() {
 }
 
 // Drain runs the controller until all queued and in-flight work has
-// completed or maxClocks elapse; it returns false on timeout.
+// completed or maxClocks elapse; it returns false on timeout. No new
+// requests arrive during a drain, so the inert clocks between events are
+// skipped (unless Config.NoEventSkip pins the legacy per-clock loop).
 func (c *Controller) Drain(maxClocks int64) bool {
 	deadline := c.clock + maxClocks
 	for (len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.completions) > 0) && c.clock < deadline {
-		c.Tick()
+		if !c.skipThenTick(deadline) {
+			break
+		}
 	}
-	// Let the final pending decision and completions flush.
-	for i := int64(0); i < c.cfg.Timing.RL+int64(core.MaxSparseSymbols)+c.decisionDeadline()+4 && c.clock < deadline; i++ {
-		c.Tick()
+	// Let the final pending decision and completions flush. The legacy
+	// loop ticked a fixed count; each Tick advances the clock by exactly
+	// one, so the clock-targeted form is identical.
+	target := c.clock + c.cfg.Timing.RL + int64(core.MaxSparseSymbols) + c.decisionDeadline() + 4
+	if target > deadline {
+		target = deadline
+	}
+	for c.clock < target {
+		if !c.skipThenTick(target) {
+			break
+		}
 	}
 	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.completions) == 0
+}
+
+// skipThenTick advances to the next event (when skipping is enabled) and
+// runs one Tick. It reports false when the skip alone reached limit, in
+// which case no Tick ran.
+func (c *Controller) skipThenTick(limit int64) bool {
+	if !c.cfg.NoEventSkip {
+		if t := c.NextEventClock(); t > c.clock {
+			if t > limit {
+				t = limit
+			}
+			c.SkipTo(t)
+			if c.clock >= limit {
+				return false
+			}
+		}
+	}
+	c.Tick()
+	return true
 }
 
 func (c *Controller) activeQueue() *[]*Request {
@@ -383,12 +417,15 @@ func (c *Controller) issueColumn() bool {
 // prioritize activates to sustain bank-level parallelism, and those stolen
 // command slots are the dominant source of one-clock data-bus gaps.
 func (c *Controller) issuePrep(q *[]*Request) bool {
-	prepped := make(map[int]bool, 4)
+	// Per-bank dedup via a bitmask: banks are ≤ 64 (validated), and the
+	// mask keeps this per-tick path allocation-free (it used to build a
+	// map here — the single hottest allocation site in a fleet run).
+	var prepped uint64
 	for _, r := range *q {
-		if prepped[r.Addr.Bank] {
+		if prepped&(1<<uint(r.Addr.Bank)) != 0 {
 			continue
 		}
-		prepped[r.Addr.Bank] = true
+		prepped |= 1 << uint(r.Addr.Bank)
 		if c.dev.RowHit(r.Addr) {
 			continue
 		}
@@ -501,7 +538,7 @@ func (c *Controller) placeTransfer(r *Request) {
 		lat = c.cfg.Timing.WL
 	}
 	lat += c.cfg.ExtraCodecLatency
-	x := &xfer{req: r, cmdAt: c.clock, dataStart: c.clock + lat, kind: r.Kind}
+	x := xfer{req: r, cmdAt: c.clock, dataStart: c.clock + lat, kind: r.Kind}
 	r.IssuedAt = c.clock
 	r.DataStart = x.dataStart
 
@@ -510,7 +547,7 @@ func (c *Controller) placeTransfer(r *Request) {
 	gapDRAM := c.dramTracker.Observe(c.clock)
 	gapGPU := c.gpuTracker.Observe(c.clock)
 
-	if c.pending != nil {
+	if c.hasPending {
 		if !c.pending.decided {
 			delta := c.clock - c.pending.cmdAt
 			known := true
@@ -520,10 +557,11 @@ func (c *Controller) placeTransfer(r *Request) {
 			c.decidePending(gapDRAM, gapGPU, known, r.Kind)
 		}
 		if !c.pending.accounted {
-			c.accountIdle(c.pending, x)
+			c.accountIdle(&c.pending, x.dataStart, x.kind)
 		}
 	}
 	c.pending = x
+	c.hasPending = true
 	if end := x.dataStart + core.BurstSlotClocks; end > c.busReservedUntil {
 		c.busReservedUntil = end
 	}
@@ -542,7 +580,7 @@ func (c *Controller) placeTransfer(r *Request) {
 // a direction switch has turnaround dead time instead of an exploitable
 // gap).
 func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
-	p := c.pending
+	p := &c.pending
 	codeLen := 0
 	if c.cfg.Policy == SMOREs && nextKind == p.kind {
 		codeLen = c.cfg.Scheme.SelectLength(gap, known)
@@ -627,11 +665,11 @@ func (c *Controller) mirrorDecision(gap int, known bool, nextKind, kind Kind) in
 }
 
 // accountIdle charges the bus for the idle span between prev's slot and
-// next's data start, and records the gap histograms.
-func (c *Controller) accountIdle(prev, next *xfer) {
+// the next transfer's data start, and records the gap histograms.
+func (c *Controller) accountIdle(prev *xfer, nextStart int64, nextKind Kind) {
 	prev.accounted = true
 	denseEnd := prev.dataStart + core.BurstSlotClocks
-	span := next.dataStart - denseEnd
+	span := nextStart - denseEnd
 	if span < 0 {
 		c.st.BusConflicts++
 		c.m.conflicts.Inc()
@@ -665,7 +703,7 @@ func (c *Controller) accountIdle(prev, next *xfer) {
 				Channel: c.chanID, Bank: -1})
 		}
 	}
-	if prev.kind == next.kind {
+	if prev.kind == nextKind {
 		if prev.kind == Read {
 			c.readGaps.Add(int(span))
 			c.m.readGaps.Observe(float64(span))
@@ -706,7 +744,7 @@ func (c *Controller) deliverCompletions() {
 // afterwards) and delivers outstanding completions. Call once after the
 // workload ends.
 func (c *Controller) Finish() {
-	if c.pending != nil && !c.pending.decided {
+	if c.hasPending && !c.pending.decided {
 		// End of trace: an arbitrarily long gap follows.
 		gap := int(c.decisionDeadline()) - core.BurstSlotClocks
 		if gap < 1 {

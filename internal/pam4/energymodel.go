@@ -1,6 +1,9 @@
 package pam4
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Paper-published calibration anchors (all in femtojoules).
 const (
@@ -60,13 +63,19 @@ func NewEnergyModel(driver DriverConfig, meanSymbolFJ float64) (*EnergyModel, er
 // DefaultEnergyModel returns the paper-calibrated GDDR6X PAM4 energy model.
 // It panics only if the built-in constants are inconsistent, which is
 // covered by tests.
-func DefaultEnergyModel() *EnergyModel {
+//
+// The model is immutable, so the same instance is shared by every caller:
+// fleet runs construct hundreds of channels and the calibration solve is
+// pure, making memoization bit-identical to per-call construction.
+func DefaultEnergyModel() *EnergyModel { return defaultModel() }
+
+var defaultModel = sync.OnceValue(func() *EnergyModel {
 	m, err := NewEnergyModel(DefaultDriver(), CalibratedMeanSymbolEnergy)
 	if err != nil {
 		panic("pam4: default energy model: " + err.Error())
 	}
 	return m
-}
+})
 
 // SymbolEnergy returns the energy in fJ to drive one symbol of the given
 // level for one unit interval.

@@ -184,8 +184,11 @@ func ParseTolerance(s string) (float64, error) {
 	if pct {
 		v /= 100
 	}
-	if v < 0 || v >= 1 {
-		return 0, fmt.Errorf("bench: tolerance %q outside [0,1)", s)
+	// Inclusive upper bound: "100%" (accept any regression up to 2×) is a
+	// legitimate way to effectively disable a gate, e.g. energy-only runs
+	// on loaded hosts where wall time is meaningless.
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("bench: tolerance %q outside [0,1]", s)
 	}
 	return v, nil
 }

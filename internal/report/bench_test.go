@@ -142,8 +142,15 @@ func TestParseTolerance(t *testing.T) {
 		{"0.05", 0.05, true},
 		{" 30% ", 0.30, true},
 		{"0", 0, true},
+		{"0%", 0, true},
+		// Both edges of [0,1] are inclusive: "100%" disables a gate.
+		{"100%", 1, true},
+		{"1", 1, true},
+		{"1.0", 1, true},
+		{"100.0001%", 0, false},
 		{"105%", 0, false},
 		{"-1%", 0, false},
+		{"-0.0001", 0, false},
 		{"zap", 0, false},
 	} {
 		got, err := ParseTolerance(tc.in)

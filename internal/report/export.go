@@ -46,22 +46,31 @@ func ExportFleetCSV(w io.Writer, fr FleetResult) error {
 }
 
 // ExportGapsCSV writes the aggregate gap histogram (Figure 5) as
-// (gap, read_fraction, write_fraction) rows, with ">16" as the final row.
+// (gap, read_fraction, write_fraction) rows, with the overflow tail
+// (">N-1" for N buckets; ">16" at the default sizing) as the final row.
 func ExportGapsCSV(w io.Writer, fr FleetResult) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"gap_clocks", "read_fraction", "write_fraction"}); err != nil {
 		return err
 	}
-	reads := fr.AggregateGaps(true)
-	writes := fr.AggregateGaps(false)
-	for g := 0; g < 17; g++ {
+	reads, err := fr.AggregateGaps(true)
+	if err != nil {
+		return err
+	}
+	writes, err := fr.AggregateGaps(false)
+	if err != nil {
+		return err
+	}
+	buckets := reads.Buckets()
+	for g := 0; g < buckets; g++ {
 		if err := cw.Write([]string{
 			strconv.Itoa(g), f(reads.Fraction(g)), f(writes.Fraction(g)),
 		}); err != nil {
 			return err
 		}
 	}
-	if err := cw.Write([]string{">16", f(reads.OverflowFraction()), f(writes.OverflowFraction())}); err != nil {
+	if err := cw.Write([]string{">" + strconv.Itoa(buckets-1),
+		f(reads.OverflowFraction()), f(writes.OverflowFraction())}); err != nil {
 		return err
 	}
 	cw.Flush()

@@ -57,6 +57,10 @@ type RunSpec struct {
 	Profile *obs.Profile
 	// Channel identifies the controller in traces and default labels.
 	Channel int
+	// NoEventSkip pins the legacy one-clock-at-a-time tick loop instead of
+	// next-event skipping; the two are bit-identical (enforced by the
+	// differential test in this package). For A/B testing and debugging.
+	NoEventSkip bool
 }
 
 // controllerConfig assembles the memctrl configuration for a spec.
@@ -74,6 +78,7 @@ func (s RunSpec) controllerConfig() memctrl.Config {
 		ObsLabels:         s.ObsLabels,
 		Tracer:            s.Tracer,
 		Channel:           s.Channel,
+		NoEventSkip:       s.NoEventSkip,
 	}
 	cfg.Bus.Profile = s.Profile
 	if s.Timing != nil {
@@ -224,9 +229,18 @@ func fleetAppSpec(spec RunSpec, opts FleetOptions, i int, p workload.Profile) Ru
 // RunFleetOpts simulates all 42 applications under one spec using a
 // bounded worker pool. Results are ordered by fleet position regardless
 // of worker count or completion order; on error the lowest-indexed
-// failure is reported (again independent of scheduling).
+// failure is reported (again independent of scheduling), the successfully
+// completed results are preserved in fleet order, and the label comes
+// from the last successful result — identical contracts for the
+// sequential and parallel paths. An empty fleet yields an empty result,
+// not a panic.
 func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
-	fleet := workload.Fleet()
+	return runFleet(workload.Fleet(), spec, opts)
+}
+
+// runFleet is RunFleetOpts over an explicit application list (the tests
+// exercise the empty-fleet and partial-failure contracts directly).
+func runFleet(fleet []workload.Profile, spec RunSpec, opts FleetOptions) (FleetResult, error) {
 	fr := FleetResult{Spec: spec}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -236,13 +250,13 @@ func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
 		workers = len(fleet)
 	}
 
-	if workers == 1 {
+	if workers <= 1 {
 		// Sequential fast path: identical to the historical loop — no
 		// goroutines, no channels — so benchmarks measure the simulator.
 		for i, p := range fleet {
 			r, err := RunApp(p, fleetAppSpec(spec, opts, i, p))
 			if err != nil {
-				return fr, err
+				return fr, fmt.Errorf("report: fleet app %d: %w", i, err)
 			}
 			fr.Results = append(fr.Results, r)
 			fr.Label = r.Label
@@ -279,13 +293,23 @@ func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
 	close(idx)
 	wg.Wait()
 
+	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			return fr, fmt.Errorf("report: fleet app %d: %w", i, err)
+			firstErr = fmt.Errorf("report: fleet app %d: %w", i, err)
+			break
 		}
 	}
-	fr.Results = results
-	fr.Label = results[len(results)-1].Label
+	for i, r := range results {
+		if errs[i] != nil {
+			continue
+		}
+		fr.Results = append(fr.Results, r)
+		fr.Label = r.Label
+	}
+	if firstErr != nil {
+		return fr, firstErr
+	}
 	return fr, nil
 }
 
@@ -298,17 +322,28 @@ func (fr FleetResult) MeanPerBit() float64 {
 	return stats.Mean(xs)
 }
 
-// AggregateGaps merges the per-app gap histograms (reads or writes).
-func (fr FleetResult) AggregateGaps(reads bool) *stats.Histogram {
-	agg := stats.NewHistogram(17)
-	for _, r := range fr.Results {
-		h := r.ReadGaps
-		if !reads {
-			h = r.WriteGaps
+// AggregateGaps merges the per-app gap histograms (reads or writes). The
+// aggregate is sized from the first result's histogram, so fleets run
+// with a non-default memctrl.Config.GapHistBuckets aggregate correctly;
+// a bucket-count mismatch between results surfaces as an error rather
+// than a panic. An empty fleet yields an empty default-sized histogram.
+func (fr FleetResult) AggregateGaps(reads bool) (*stats.Histogram, error) {
+	pick := func(r AppResult) *stats.Histogram {
+		if reads {
+			return r.ReadGaps
 		}
-		if err := agg.Merge(h); err != nil {
-			panic("report: " + err.Error())
+		return r.WriteGaps
+	}
+	buckets := 17
+	if len(fr.Results) > 0 {
+		buckets = pick(fr.Results[0]).Buckets()
+	}
+	agg := stats.NewHistogram(buckets)
+	for i, r := range fr.Results {
+		if err := agg.Merge(pick(r)); err != nil {
+			return nil, fmt.Errorf("report: aggregating gaps of app %d (%s): %w",
+				i, r.App.Name, err)
 		}
 	}
-	return agg
+	return agg, nil
 }

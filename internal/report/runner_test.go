@@ -1,10 +1,12 @@
 package report
 
 import (
+	"strings"
 	"testing"
 
 	"smores/internal/core"
 	"smores/internal/memctrl"
+	"smores/internal/stats"
 	"smores/internal/workload"
 )
 
@@ -81,7 +83,10 @@ func TestFleetCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gaps := base.AggregateGaps(true)
+	gaps, err := base.AggregateGaps(true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g0 := gaps.Fraction(0); g0 < 0.45 || g0 > 0.70 {
 		t.Errorf("read gap-0 fraction = %.2f, paper reports 0.592", g0)
 	}
@@ -91,7 +96,10 @@ func TestFleetCalibration(t *testing.T) {
 	if tail := gaps.OverflowFraction(); tail < 0.02 || tail > 0.12 {
 		t.Errorf("read >16 fraction = %.2f, paper reports 0.069", tail)
 	}
-	wgaps := base.AggregateGaps(false)
+	wgaps, err := base.AggregateGaps(false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g0 := wgaps.Fraction(0); g0 < 0.40 || g0 > 0.75 {
 		t.Errorf("write gap-0 fraction = %.2f, paper reports 0.591", g0)
 	}
@@ -149,12 +157,108 @@ func TestAggregateGapsMergesAllApps(t *testing.T) {
 	if len(fr.Results) != 42 {
 		t.Fatalf("fleet results = %d", len(fr.Results))
 	}
-	agg := fr.AggregateGaps(true)
+	agg, err := fr.AggregateGaps(true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var total int64
 	for _, r := range fr.Results {
 		total += r.ReadGaps.Total()
 	}
 	if agg.Total() != total {
 		t.Errorf("aggregate total %d != sum %d", agg.Total(), total)
+	}
+}
+
+// TestRunFleetEmptyFleet pins the empty-fleet contract: an empty
+// application list yields an empty result and no error on both the
+// sequential and parallel paths (this used to panic indexing
+// results[len(results)-1] for the label).
+func TestRunFleetEmptyFleet(t *testing.T) {
+	spec := RunSpec{Policy: memctrl.BaselineMTA, Accesses: 100, Seed: 1}
+	for _, workers := range []int{1, 4} {
+		fr, err := runFleet(nil, spec, FleetOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(fr.Results) != 0 || fr.Label != "" {
+			t.Errorf("workers=%d: empty fleet produced results=%d label=%q",
+				workers, len(fr.Results), fr.Label)
+		}
+		if agg, err := fr.AggregateGaps(true); err != nil || agg.Total() != 0 {
+			t.Errorf("workers=%d: empty aggregate: total=%v err=%v", workers, agg.Total(), err)
+		}
+	}
+}
+
+// TestRunFleetPartialFailure pins the unified error contract of the
+// sequential and parallel paths: the reported failure is the
+// lowest-indexed one regardless of scheduling, successfully completed
+// results are preserved in fleet order, and the label comes from the
+// last successful result.
+func TestRunFleetPartialFailure(t *testing.T) {
+	good1, _ := workload.ByName("bfs")
+	good2, _ := workload.ByName("lulesh")
+	bad := good1
+	bad.Name = "broken"
+	bad.MSHRs = 0 // fails Profile.Validate inside RunApp
+	fleet := []workload.Profile{good1, bad, good2}
+	spec := RunSpec{Policy: memctrl.BaselineMTA, Accesses: 200, Seed: 3}
+	for _, workers := range []int{1, 3} {
+		fr, err := runFleet(fleet, spec, FleetOptions{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error from app 1", workers)
+		}
+		if !strings.Contains(err.Error(), "fleet app 1") {
+			t.Errorf("workers=%d: error %q does not name fleet app 1", workers, err)
+		}
+		for i, r := range fr.Results {
+			if r.Reads == 0 {
+				t.Errorf("workers=%d: partial result %d (%s) has no traffic", workers, i, r.App.Name)
+			}
+			if r.App.Name == "broken" {
+				t.Errorf("workers=%d: failed app leaked into results", workers)
+			}
+		}
+		if len(fr.Results) > 0 && fr.Label != fr.Results[len(fr.Results)-1].Label {
+			t.Errorf("workers=%d: label %q not from last successful result", workers, fr.Label)
+		}
+	}
+	// The parallel path preserves successes after the failure too.
+	fr, _ := runFleet(fleet, spec, FleetOptions{Workers: 3})
+	if len(fr.Results) != 2 {
+		t.Errorf("parallel: preserved %d results, want 2 (apps 0 and 2)", len(fr.Results))
+	}
+}
+
+// TestAggregateGapsNonDefaultBuckets pins the sizing fix: the aggregate
+// takes its bucket count from the first result instead of a hard-coded
+// 17, and a mismatch between results is an error, not a panic.
+func TestAggregateGapsNonDefaultBuckets(t *testing.T) {
+	mk := func(buckets int, samples ...int) *stats.Histogram {
+		h := stats.NewHistogram(buckets)
+		for _, s := range samples {
+			h.Add(s)
+		}
+		return h
+	}
+	app := workload.Profile{Name: "synthetic"}
+	fr := FleetResult{Results: []AppResult{
+		{App: app, ReadGaps: mk(21, 0, 5, 20), WriteGaps: mk(21, 1)},
+		{App: app, ReadGaps: mk(21, 20, 20), WriteGaps: mk(21)},
+	}}
+	agg, err := fr.AggregateGaps(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Buckets() != 21 {
+		t.Errorf("aggregate has %d buckets, want 21 (sized from results)", agg.Buckets())
+	}
+	if agg.Total() != 5 || agg.Count(20) != 3 {
+		t.Errorf("aggregate total=%d count(20)=%d, want 5 and 3", agg.Total(), agg.Count(20))
+	}
+	fr.Results[1].ReadGaps = mk(17, 2)
+	if _, err := fr.AggregateGaps(true); err == nil {
+		t.Error("bucket-count mismatch did not error")
 	}
 }

@@ -345,8 +345,16 @@ func Fig5Gaps(base FleetResult) string {
 			h.Fraction(0)*100, h.Fraction(1)*100, h.Fraction(2)*100,
 			(h.TailFraction(3)-h.OverflowFraction())*100, h.OverflowFraction()*100)
 	}
-	render("Figure 5a — idle cycles after READs", base.AggregateGaps(true), 0.592, 0.291)
-	render("Figure 5b — idle cycles after WRITEs", base.AggregateGaps(false), 0.591, 0.302)
+	reads, err := base.AggregateGaps(true)
+	if err != nil {
+		return "Figure 5 unavailable: " + err.Error()
+	}
+	writes, err := base.AggregateGaps(false)
+	if err != nil {
+		return "Figure 5 unavailable: " + err.Error()
+	}
+	render("Figure 5a — idle cycles after READs", reads, 0.592, 0.291)
+	render("Figure 5b — idle cycles after WRITEs", writes, 0.591, 0.302)
 	b.WriteString("per-app read gap-0 / gap-1 / >16 fractions:\n")
 	for _, r := range base.Results {
 		h := r.ReadGaps

@@ -43,6 +43,24 @@ func (h *Histogram) Add(v int) {
 // Total returns the number of recorded samples.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Buckets returns the number of exact buckets (excluding overflow).
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Equal reports whether two histograms have identical bucket layout and
+// contents (counts, overflow, total, and running sum).
+func (h *Histogram) Equal(o *Histogram) bool {
+	if len(h.counts) != len(o.counts) || h.overflow != o.overflow ||
+		h.total != o.total || h.sum != o.sum {
+		return false
+	}
+	for i, c := range h.counts {
+		if c != o.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Count returns the samples recorded exactly at v.
 func (h *Histogram) Count(v int) int64 {
 	if v < 0 || v >= len(h.counts) {
