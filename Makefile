@@ -1,0 +1,33 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; `make lint` is the local mirror of the lint gate.
+
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/obs/ ./internal/report/ ./internal/memctrl/ ./internal/gpu/
+
+# lint runs the in-repo gates that need no network. CI layers
+# staticcheck and govulncheck on top (installed there with go install,
+# which this container cannot do offline).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/smores-lint ./...
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSparseRoundTrip -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeGroupBurst -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzMTARoundTrip -fuzztime 10s ./internal/mta/
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+bench-regress:
+	$(GO) run ./cmd/smores-bench -compare BENCH_baseline.json -tolerance 5%

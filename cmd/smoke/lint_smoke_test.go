@@ -1,0 +1,73 @@
+package smoke
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintCleanTree is the self-gate: the committed tree must carry zero
+// findings from the domain analyzer suite, exactly as the CI lint job
+// demands. It also checks the machine-readable surface: -json on a clean
+// tree is an empty JSON array, and -list names every analyzer.
+func TestLintCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildMains(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) ([]byte, []byte, error) {
+		cmd := exec.Command(bin(dir, "smores-lint"), args...)
+		cmd.Dir = root
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		return stdout.Bytes(), stderr.Bytes(), err
+	}
+
+	// Clean tree: exit 0, no findings on stdout.
+	out, errOut, err := run("./...")
+	if err != nil {
+		t.Fatalf("smores-lint on the committed tree: %v\nstdout:\n%s\nstderr:\n%s", err, out, errOut)
+	}
+	if len(bytes.TrimSpace(out)) != 0 {
+		t.Errorf("clean tree printed findings:\n%s", out)
+	}
+
+	// -json on a clean tree is an empty array.
+	out, errOut, err = run("-json", "./...")
+	if err != nil {
+		t.Fatalf("smores-lint -json: %v\n%s", err, errOut)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) != 0 {
+		t.Errorf("-json reported %d findings on a clean tree", len(findings))
+	}
+
+	// -list names the full suite.
+	out, _, err = run("-list")
+	if err != nil {
+		t.Fatalf("smores-lint -list: %v", err)
+	}
+	for _, name := range []string{"codebookconst", "floateq", "hotpathalloc", "nilsafeobs", "statsmirror"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
+		}
+	}
+
+	// An unknown -only selection is a usage error (exit 2).
+	_, _, err = run("-only", "nonesuch", "./...")
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("-only nonesuch: err=%v, want exit code 2", err)
+	}
+}

@@ -20,6 +20,7 @@ var mains = []string{
 	"smores-codebook",
 	"smores-eval",
 	"smores-hwcost",
+	"smores-lint",
 	"smores-sim",
 	"smores-trace",
 	"smores-verilog",

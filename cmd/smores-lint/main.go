@@ -1,0 +1,138 @@
+// Command smores-lint runs the SMOREs domain analyzer suite over Go
+// packages. It is the repository's invariant gate: statsmirror,
+// hotpathalloc, nilsafeobs, floateq, and codebookconst each prove one
+// property the simulator's numbers rest on (see docs/LINT.md).
+//
+// Usage:
+//
+//	smores-lint [flags] [packages]
+//
+// Packages default to ./... resolved from the current directory. Exit
+// status is 0 when the tree is clean, 1 when findings are reported (or
+// a finding could not be auto-fixed under -fix), and 2 on usage or load
+// errors.
+//
+// Flags:
+//
+//	-json   emit findings as a JSON array on stdout instead of text
+//	-fix    apply suggested fixes in place (then report what remains)
+//	-list   list the registered analyzers and exit
+//	-only   comma-separated analyzer names to run (default: all)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("smores-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: smores-lint [flags] [packages]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *only != "" {
+		suite = suite[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a := analyzers.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "smores-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+		if len(suite) == 0 {
+			fmt.Fprintf(stderr, "smores-lint: -only selected no analyzers\n")
+			return 2
+		}
+	}
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "smores-lint: %v\n", err)
+		return 2
+	}
+
+	findings, err := analysis.Run(dir, patterns, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "smores-lint: %v\n", err)
+		return 2
+	}
+
+	if *fix && len(findings) > 0 {
+		fixedFiles, err := analysis.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "smores-lint: applying fixes: %v\n", err)
+			return 2
+		}
+		// Re-run so the report reflects the post-fix tree.
+		findings, err = analysis.Run(dir, patterns, suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "smores-lint: reloading after fixes: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "smores-lint: rewrote %d file(s); %d finding(s) remain\n", len(fixedFiles), len(findings))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "smores-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			suffix := ""
+			if f.Fixable {
+				suffix = " [fixable]"
+			}
+			fmt.Fprintf(stdout, "%s: %s: %s%s\n", f.Position, f.Analyzer, f.Message, suffix)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+// Package analysis is a minimal, offline, API-compatible subset of
+// golang.org/x/tools/go/analysis. The container building this repo has
+// no module proxy access, so rather than vendoring x/tools wholesale the
+// linter stack is built against this mirror of the core types. The field
+// and method names match the upstream package exactly, so every analyzer
+// under internal/analyzers can migrate to the real framework by changing
+// nothing but its import path once the dependency is available.
+//
+// Supported surface: single-pass analyzers over one type-checked package
+// (Analyzer.Run with Pass.Files/Pkg/TypesInfo/Report), diagnostics with
+// positions and suggested fixes expressed as text edits. Not supported:
+// facts, cross-pass Requires/ResultOf plumbing, and per-analyzer flag
+// sets — none of which the SMOREs analyzers need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation. By convention the first line
+	// is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package. It may report
+	// diagnostics via pass.Report and may return a result (unused by
+	// this subset's driver, kept for upstream compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer with the input it needs to inspect a
+// single type-checked package, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// TypesSizes describes the target architecture's size/alignment
+	// model (the loader fills in the gc sizes for the build host).
+	TypesSizes types.Sizes
+
+	// Report emits one diagnostic. The driver fills this in.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Range is satisfied by ast.Node and token-position pairs.
+type Range interface {
+	Pos() token.Pos
+	End() token.Pos
+}
+
+// ReportRangef reports a diagnostic spanning rng.
+func (p *Pass) ReportRangef(rng Range, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: rng.Pos(), End: rng.End(), Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to source positions.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: zero means unknown
+	Category string    // optional sub-category within the analyzer
+	Message  string
+
+	// SuggestedFixes carries machine-applicable repairs. Every fix must
+	// be behavior-preserving: the multichecker applies them under -fix
+	// without human review.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one alternative repair for a diagnostic. All edits of
+// one fix are applied together or not at all.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText. A zero-width
+// range inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+
+	"smores/internal/analysis/load"
+)
+
+// Finding is one diagnostic resolved to concrete file positions —
+// the driver-level view the multichecker prints, JSON-encodes, or fixes.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Category string         `json:"category,omitempty"`
+	Position token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+	Fixable  bool           `json:"fixable,omitempty"`
+
+	diag Diagnostic
+	fset *token.FileSet
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}
+
+// RunPackage applies analyzers to one loaded package and returns the
+// findings sorted by position.
+func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			TypesSizes: nil,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			p := fset.Position(d.Pos)
+			out = append(out, Finding{
+				Analyzer: name,
+				Category: d.Category,
+				Position: p,
+				File:     p.Filename,
+				Line:     p.Line,
+				Column:   p.Column,
+				Message:  d.Message,
+				Fixable:  len(d.SuggestedFixes) > 0,
+				diag:     d,
+				fset:     fset,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", name, pkg.ImportPath, err)
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// Run loads patterns from dir and applies analyzers to every matched
+// package.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	prog, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range prog.Packages {
+		fs, err := RunPackage(prog.Fset, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// byteEdit is a resolved text edit in file-offset space.
+type byteEdit struct {
+	start, end int
+	text       []byte
+}
+
+// ApplyFixes applies the first suggested fix of every fixable finding,
+// grouped per file, and returns the set of rewritten file names. Edits
+// are applied right-to-left so earlier offsets stay valid; overlapping
+// edits within one file abort that file with an error.
+func ApplyFixes(findings []Finding) ([]string, error) {
+	perFile := make(map[string][]byteEdit)
+	for _, f := range findings {
+		if len(f.diag.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range f.diag.SuggestedFixes[0].TextEdits {
+			pos := f.fset.Position(te.Pos)
+			end := pos
+			if te.End.IsValid() {
+				end = f.fset.Position(te.End)
+			}
+			if end.Filename != pos.Filename {
+				return nil, fmt.Errorf("fix for %s spans files", f)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], byteEdit{pos.Offset, end.Offset, te.NewText})
+		}
+	}
+	var changed []string
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return changed, fmt.Errorf("%s: %v", file, err)
+		}
+		// Refuse to write a file the fixes broke: a failed gofmt here
+		// means the edited source no longer parses.
+		formatted, ferr := format.Source(fixed)
+		if ferr != nil {
+			return changed, fmt.Errorf("%s: fixed source does not parse (file left untouched): %v", file, ferr)
+		}
+		fixed = formatted
+		if err := os.WriteFile(file, fixed, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// ApplyFixesToSource applies every finding's first fix for one file to
+// an in-memory buffer (the analysistest golden-file path).
+func ApplyFixesToSource(src []byte, file string, findings []Finding) ([]byte, error) {
+	var edits []byteEdit
+	for _, f := range findings {
+		if len(f.diag.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range f.diag.SuggestedFixes[0].TextEdits {
+			pos := f.fset.Position(te.Pos)
+			if pos.Filename != file {
+				continue
+			}
+			end := pos
+			if te.End.IsValid() {
+				end = f.fset.Position(te.End)
+			}
+			edits = append(edits, byteEdit{pos.Offset, end.Offset, te.NewText})
+		}
+	}
+	fixed, err := applyEdits(src, edits)
+	if err != nil {
+		return nil, err
+	}
+	if formatted, ferr := format.Source(fixed); ferr == nil {
+		fixed = formatted
+	}
+	return fixed, nil
+}
+
+// applyEdits applies byte-offset edits to src, rejecting overlaps.
+func applyEdits(src []byte, edits []byteEdit) ([]byte, error) {
+	// Identical edits (e.g. several fixes inserting the same import at
+	// the same point) collapse to one.
+	seen := make(map[string]bool, len(edits))
+	uniq := edits[:0]
+	for _, e := range edits {
+		key := fmt.Sprintf("%d:%d:%s", e.start, e.end, e.text)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, e)
+	}
+	edits = uniq
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+	for i := 1; i < len(edits); i++ {
+		if edits[i].end > edits[i-1].start || edits[i].start == edits[i-1].start {
+			return nil, fmt.Errorf("overlapping suggested fixes at offsets %d and %d", edits[i].start, edits[i-1].start)
+		}
+	}
+	out := append([]byte(nil), src...)
+	for _, e := range edits {
+		if e.start < 0 || e.end > len(out) || e.start > e.end {
+			return nil, fmt.Errorf("edit range [%d,%d) out of bounds", e.start, e.end)
+		}
+		out = append(out[:e.start], append(append([]byte(nil), e.text...), out[e.end:]...)...)
+	}
+	return out, nil
+}

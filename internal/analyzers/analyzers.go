@@ -1,0 +1,37 @@
+// Package analyzers registers the SMOREs domain analyzers.
+//
+// Each analyzer mechanically enforces an invariant the simulator's
+// correctness or performance rests on; docs/LINT.md catalogs them with
+// their opt-out annotations. The suite is run by cmd/smores-lint and
+// gated in CI.
+package analyzers
+
+import (
+	"smores/internal/analysis"
+	"smores/internal/analyzers/codebookconst"
+	"smores/internal/analyzers/floateq"
+	"smores/internal/analyzers/hotpathalloc"
+	"smores/internal/analyzers/nilsafeobs"
+	"smores/internal/analyzers/statsmirror"
+)
+
+// All returns the full SMOREs analyzer suite in stable name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		codebookconst.Analyzer,
+		floateq.Analyzer,
+		hotpathalloc.Analyzer,
+		nilsafeobs.Analyzer,
+		statsmirror.Analyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

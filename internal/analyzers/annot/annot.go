@@ -1,0 +1,109 @@
+// Package annot parses the //smores: source annotations the SMOREs
+// analyzers key off:
+//
+//	//smores:hotpath            — declaration marker (statsmirror/hotpathalloc roots)
+//	//smores:nostat reason      — field-level opt-out for statsmirror
+//	//smores:nilsafe            — type-level opt-in for nilsafeobs
+//	//smores:nonnil reason      — method-level opt-out for nilsafeobs
+//	//smores:floateq reason     — line-level opt-out for floateq
+//	//smores:allowalloc reason  — line-level opt-out for hotpathalloc
+//	//smores:prealloc reason    — line-level append opt-out for hotpathalloc
+//	//smores:codebook k=v ...   — const-level marker for codebookconst
+//
+// Declaration markers live in doc comments; line markers may trail the
+// offending line or sit alone on the line directly above it.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the directive prefix shared by every annotation.
+const Prefix = "//smores:"
+
+// Has reports whether the comment group carries //smores:<name>.
+func Has(doc *ast.CommentGroup, name string) bool {
+	_, ok := Value(doc, name)
+	return ok
+}
+
+// Value returns the text following //smores:<name> in the comment group
+// (trimmed; empty when the directive is bare) and whether it is present.
+func Value(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if v, ok := parse(c.Text, name); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func parse(text, name string) (string, bool) {
+	if !strings.HasPrefix(text, Prefix) {
+		return "", false
+	}
+	rest := text[len(Prefix):]
+	if rest == name {
+		return "", true
+	}
+	if strings.HasPrefix(rest, name) && len(rest) > len(name) &&
+		(rest[len(name)] == ' ' || rest[len(name)] == '\t') {
+		return strings.TrimSpace(rest[len(name):]), true
+	}
+	return "", false
+}
+
+// Lines indexes every //smores: directive in a file by source line.
+type Lines struct {
+	byLine map[int][]string // line → directive texts (without prefix)
+}
+
+// FileLines scans all comments of a file.
+func FileLines(fset *token.FileSet, f *ast.File) *Lines {
+	l := &Lines{byLine: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, Prefix) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			l.byLine[line] = append(l.byLine[line], c.Text[len(Prefix):])
+		}
+	}
+	return l
+}
+
+// Allows reports whether a directive named any of names annotates the
+// given position: on the same source line or alone on the previous line.
+func (l *Lines) Allows(fset *token.FileSet, pos token.Pos, names ...string) bool {
+	line := fset.Position(pos).Line
+	for _, cand := range [2]int{line, line - 1} {
+		for _, text := range l.byLine[cand] {
+			for _, name := range names {
+				if text == name || strings.HasPrefix(text, name+" ") || strings.HasPrefix(text, name+"\t") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Fields parses "k=v k2=v2 flag" directive payloads into a map; bare
+// words map to "".
+func Fields(payload string) map[string]string {
+	out := make(map[string]string)
+	for _, tok := range strings.Fields(payload) {
+		if i := strings.IndexByte(tok, '='); i >= 0 {
+			out[tok[:i]] = tok[i+1:]
+		} else {
+			out[tok] = ""
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+// Package codebookconst defines an Analyzer that proves the paper's
+// codebook restrictions over the canonical code tables at lint time.
+// The SMOREs construction (HPCA 2022) admits only sequences that (a)
+// stay within the utilized level set, (b) never swing 3ΔV between
+// adjacent symbols, (c) never begin L2 L2 — so the seam level-shifting
+// rule terminates — and (d) are the 2^4 = 16 lowest-energy survivors
+// (or the one-nonzero set for the published 4b8s-3 point). The runtime
+// generator enforces all of this, and golden tests pin its output; this
+// analyzer closes the remaining hole, a hand edit to a committed table:
+// the build breaks at lint time instead of an experiment quietly
+// shifting energy numbers.
+//
+// Tables are string constants annotated
+//
+//	//smores:codebook symbols=<n> levels=<k> [entries=<m>] [sorted]
+//
+// whose constant value (the type checker folds concatenations) is a
+// whitespace-separated list of level-digit codes, e.g. "000 100 010 …".
+// entries defaults to 16. With "sorted" the analyzer additionally
+// verifies non-decreasing code energy under the paper-calibrated
+// per-level energies. One diagnostic is reported per violated
+// restriction.
+package codebookconst
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"strconv"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+)
+
+// Analyzer is the codebookconst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "codebookconst",
+	Doc:  "verify //smores:codebook tables satisfy the paper's sparse-code restrictions",
+	Run:  run,
+}
+
+// Paper-calibrated per-level symbol energies in fJ (the default GDDR6X
+// PAM4 model: E = VDDQ·I(level)·T_eff with T_eff solved so the mean
+// symbol costs 1057.5 fJ). Mirrored from pam4.DefaultEnergyModel, which
+// is pinned by internal/pam4 tests; the sorted check tolerates 1e-9
+// relative drift so an intentional recalibration fails loudly here too.
+var levelEnergy = [4]float64{
+	0,
+	961.36363636363649,
+	1538.1818181818182,
+	1730.4545454545455,
+}
+
+// maxStep is the transition cap in level deltas: 3ΔV (L0↔L3) is never
+// allowed inside a code word.
+const maxStep = 2
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				payload, ok := annot.Value(doc, "codebook")
+				if !ok {
+					continue
+				}
+				checkTable(pass, vs, payload)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkTable(pass *analysis.Pass, vs *ast.ValueSpec, payload string) {
+	attrs := annot.Fields(payload)
+	symbols, err := attrInt(attrs, "symbols", 0)
+	if err != nil || symbols < 1 {
+		pass.Reportf(vs.Pos(), "//smores:codebook needs symbols=<n> (got %q)", payload)
+		return
+	}
+	levels, err := attrInt(attrs, "levels", 0)
+	if err != nil || levels < 2 || levels > 4 {
+		pass.Reportf(vs.Pos(), "//smores:codebook needs levels=<2..4> (got %q)", payload)
+		return
+	}
+	wantEntries, err := attrInt(attrs, "entries", 16)
+	if err != nil {
+		pass.Reportf(vs.Pos(), "//smores:codebook entries must be an integer (got %q)", payload)
+		return
+	}
+	_, sorted := attrs["sorted"]
+
+	if len(vs.Names) != 1 {
+		pass.Reportf(vs.Pos(), "//smores:codebook must annotate a single constant")
+		return
+	}
+	name := vs.Names[0]
+	obj := pass.TypesInfo.Defs[name]
+	if obj == nil {
+		return
+	}
+	c, ok := obj.(interface{ Val() constant.Value })
+	if !ok || c.Val() == nil || c.Val().Kind() != constant.String {
+		pass.Reportf(vs.Pos(), "//smores:codebook must annotate a string constant")
+		return
+	}
+	table := constant.StringVal(c.Val())
+	codes := strings.Fields(table)
+
+	if len(codes) != wantEntries {
+		pass.Reportf(name.Pos(), "codebook %s has %d entries, want %d (a 4-bit sparse family needs 2^4 codes)",
+			name.Name, len(codes), wantEntries)
+	}
+
+	seen := make(map[string]int)
+	var prevEnergy float64
+	var prevCode string
+	for i, code := range codes {
+		if dup, ok := seen[code]; ok {
+			pass.Reportf(name.Pos(), "codebook %s entry %d duplicates entry %d (%q): decode would be ambiguous",
+				name.Name, i, dup, code)
+			continue
+		}
+		seen[code] = i
+
+		bad := false
+		if len(code) != symbols {
+			pass.Reportf(name.Pos(), "codebook %s entry %d (%q) has %d symbols, want %d",
+				name.Name, i, code, len(code), symbols)
+			bad = true
+		}
+		lvls := make([]int, 0, len(code))
+		for _, ch := range code {
+			l := int(ch - '0')
+			if ch < '0' || l >= levels {
+				pass.Reportf(name.Pos(), "codebook %s entry %d (%q) uses symbol %q outside the %d utilized levels",
+					name.Name, i, code, string(ch), levels)
+				bad = true
+				break
+			}
+			lvls = append(lvls, l)
+		}
+		if bad {
+			continue
+		}
+		if len(lvls) >= 2 && lvls[0] == 2 && lvls[1] == 2 {
+			pass.Reportf(name.Pos(), "codebook %s entry %d (%q) begins L2 L2: the seam level-shifting rule would not terminate",
+				name.Name, i, code)
+		}
+		for p := 1; p < len(lvls); p++ {
+			if d := lvls[p] - lvls[p-1]; d > maxStep || d < -maxStep {
+				pass.Reportf(name.Pos(), "codebook %s entry %d (%q) has a %dΔV transition at symbol %d (cap is %dΔV)",
+					name.Name, i, code, abs(d), p, maxStep)
+			}
+		}
+		if sorted {
+			e := 0.0
+			for _, l := range lvls {
+				e += levelEnergy[l]
+			}
+			if i > 0 && e < prevEnergy*(1-1e-9)-1e-9 {
+				pass.Reportf(name.Pos(), "codebook %s entry %d (%q, %.1f fJ) is cheaper than entry %d (%q, %.1f fJ): table is not energy-sorted",
+					name.Name, i, code, e, i-1, prevCode, prevEnergy)
+			}
+			prevEnergy, prevCode = e, code
+		}
+	}
+}
+
+func attrInt(attrs map[string]string, key string, def int) (int, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return def, nil
+	}
+	if v == "" {
+		return 0, fmt.Errorf("missing value for %s", key)
+	}
+	return strconv.Atoi(v)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

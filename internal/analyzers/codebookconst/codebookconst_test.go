@@ -1,0 +1,12 @@
+package codebookconst_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/codebookconst"
+)
+
+func TestCodebookConst(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), codebookconst.Analyzer, "a")
+}

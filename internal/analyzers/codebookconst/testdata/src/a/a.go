@@ -1,0 +1,69 @@
+// Package a exercises the codebookconst analyzer.
+package a
+
+// Good is the canonical 4b3s-3 table: 16 entries, 3 symbols over
+// levels {L0,L1,L2}, energy-sorted. No diagnostics.
+//
+//smores:codebook symbols=3 levels=3 sorted
+const Good = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 012"
+
+// Concat proves the analyzer sees the folded constant value.
+//
+//smores:codebook symbols=3 levels=3 sorted
+const Concat = "000 100 010 001 " +
+	"200 020 002 110 " +
+	"101 011 210 120 " +
+	"201 021 102 012"
+
+// BadPrefix begins L2 L2: the seam rule would never terminate.
+//
+//smores:codebook symbols=3 levels=3
+const BadPrefix = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 220" // want `begins L2 L2`
+
+// BadSwing has a 3ΔV adjacent pair (L0→L3) in its final entry.
+//
+//smores:codebook symbols=3 levels=4
+const BadSwing = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 031" // want `has a 3ΔV transition at symbol 1 \(cap is 2ΔV\)`
+
+// BadCount has a 17th entry: a 4-bit family needs exactly 2^4 codes.
+//
+//smores:codebook symbols=3 levels=3
+const BadCount = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 012 111" // want `has 17 entries, want 16`
+
+// BadDup decodes ambiguously: entry 15 repeats entry 1.
+//
+//smores:codebook symbols=3 levels=3
+const BadDup = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 100" // want `entry 15 duplicates entry 1`
+
+// BadLen has a 2-symbol code in a 3-symbol table.
+//
+//smores:codebook symbols=3 levels=3
+const BadLen = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 01" // want `has 2 symbols, want 3`
+
+// BadLevel uses L3 in a 3-level (L0..L2) table.
+//
+//smores:codebook symbols=3 levels=3
+const BadLevel = "000 100 010 001 200 020 002 110 101 011 210 120 201 021 102 300" // want `uses symbol "3" outside the 3 utilized levels`
+
+// BadSort swaps a one-L2 code past a two-L1 code, violating sorted.
+//
+//smores:codebook symbols=3 levels=3 sorted
+const BadSort = "000 100 010 001 200 020 110 002 101 011 210 120 201 021 102 012" // want `entry 7 \("002", 1538.2 fJ\) is cheaper than entry 6 \("110", 1922.7 fJ\)`
+
+// Short is an explicitly smaller family: entries=4 passes.
+//
+//smores:codebook symbols=2 levels=2 entries=4
+const Short = "00 10 01 11"
+
+// NotString annotates a non-string constant.
+//
+//smores:codebook symbols=3 levels=3
+const NotString = 42 // want `must annotate a string constant`
+
+// BadAttrs lacks the mandatory symbols attribute.
+//
+//smores:codebook levels=3
+const BadAttrs = "000" // want `needs symbols=<n>`
+
+// Unannotated tables are ignored entirely.
+const Unannotated = "333 333"

@@ -1,0 +1,192 @@
+// Package floateq defines an Analyzer that forbids raw == and != on
+// floating-point operands. Energy accounting in this codebase mixes two
+// kinds of float comparison with opposite failure modes: bit-identical
+// differential gates (event-skip vs. legacy loop, profiler on vs. off)
+// and tolerance checks (report reconciliation). A bare == states
+// neither; the approved helpers in smores/internal/floats state one or
+// the other explicitly.
+//
+// Exemptions: the floats package itself, _test.go files (the driver
+// lints compiled package files only, but the exemption is kept for
+// defense in depth), comparisons whose operands are both compile-time
+// constants, and lines annotated //smores:floateq <reason>.
+//
+// Where both operands are plain float64 the finding carries a
+// behavior-preserving suggested fix rewriting `a == b` to
+// `floats.Eq(a, b)` and `a != b` to `!floats.Eq(a, b)`, inserting the
+// smores/internal/floats import when missing; authors are expected to
+// upgrade Eq to Near/NearRel where a tolerance was actually intended.
+// Named float types (e.g. a domain Energy type) are flagged without a
+// fix, since the rewrite would need an explicit conversion.
+package floateq
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+)
+
+// FloatsImportPath is the approved helper package.
+const FloatsImportPath = "smores/internal/floats"
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid == and != on float64 values outside the approved tolerance helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/floats") {
+		return nil, nil
+	}
+	srcCache := make(map[string][]byte)
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		lines := annot.FileLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			if lines.Allows(pass.Fset, be.Pos(), "floateq") {
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: be.Pos(),
+				End: be.End(),
+				Message: fmt.Sprintf(
+					"floating-point %s comparison: use floats.Eq/Near/NearRel to state exact-vs-tolerance intent (//smores:floateq to opt out)",
+					be.Op),
+			}
+			if fixableOperand(pass, be.X) && fixableOperand(pass, be.Y) {
+				if fix, ok := rewriteFix(pass, file, be, srcCache); ok {
+					d.SuggestedFixes = []analysis.SuggestedFix{fix}
+				}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	return ok && tv.Value != nil
+}
+
+// fixableOperand limits the automated rewrite to operands that flow into
+// a float64 parameter without an explicit conversion: plain float64
+// expressions and untyped constants.
+func fixableOperand(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	if !ok {
+		return false
+	}
+	if b.Kind() == types.Float64 {
+		return true
+	}
+	return tv.Value != nil && b.Info()&types.IsUntyped != 0
+}
+
+// rewriteFix builds the floats.Eq rewrite plus an import edit if needed.
+func rewriteFix(pass *analysis.Pass, file *ast.File, be *ast.BinaryExpr, srcCache map[string][]byte) (analysis.SuggestedFix, bool) {
+	filename := pass.Fset.Position(be.Pos()).Filename
+	src, ok := srcCache[filename]
+	if !ok {
+		var err error
+		src, err = os.ReadFile(filename)
+		if err != nil {
+			return analysis.SuggestedFix{}, false
+		}
+		srcCache[filename] = src
+	}
+	exprText := func(e ast.Expr) (string, bool) {
+		start := pass.Fset.Position(e.Pos()).Offset
+		end := pass.Fset.Position(e.End()).Offset
+		if start < 0 || end > len(src) || start >= end {
+			return "", false
+		}
+		return string(src[start:end]), true
+	}
+	xs, ok := exprText(be.X)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	ys, ok := exprText(be.Y)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	repl := fmt.Sprintf("floats.Eq(%s, %s)", xs, ys)
+	if be.Op == token.NEQ {
+		repl = "!" + repl
+	}
+	fix := analysis.SuggestedFix{
+		Message: "rewrite with floats.Eq (exact); upgrade to Near/NearRel if a tolerance was intended",
+		TextEdits: []analysis.TextEdit{
+			{Pos: be.Pos(), End: be.End(), NewText: []byte(repl)},
+		},
+	}
+	if edit, needed := importEdit(file); needed {
+		fix.TextEdits = append(fix.TextEdits, edit)
+	}
+	return fix, true
+}
+
+// importEdit inserts the floats import when the file lacks it.
+func importEdit(file *ast.File) (analysis.TextEdit, bool) {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == FloatsImportPath {
+			return analysis.TextEdit{}, false
+		}
+	}
+	// Prefer extending an existing grouped import declaration.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			pos := gd.Lparen + 1
+			return analysis.TextEdit{Pos: pos, End: pos,
+				NewText: []byte("\n\t\"" + FloatsImportPath + "\"\n")}, true
+		}
+		// Single non-grouped import: add a separate declaration after it.
+		pos := gd.End()
+		return analysis.TextEdit{Pos: pos, End: pos,
+			NewText: []byte("\nimport \"" + FloatsImportPath + "\"")}, true
+	}
+	// No imports at all: insert after the package clause.
+	pos := file.Name.End()
+	return analysis.TextEdit{Pos: pos, End: pos,
+		NewText: []byte("\n\nimport \"" + FloatsImportPath + "\"")}, true
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), floateq.Analyzer, "a")
+}

@@ -1,0 +1,24 @@
+// Package a exercises the floateq analyzer.
+package a
+
+var threshold = 0.5
+
+// Energy is a named float type: still a float comparison.
+type Energy float64
+
+func f(a, b float64, n int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != 0 { // want `floating-point != comparison`
+		return false
+	}
+	_ = n == 3 // integers are fine
+	const c1, c2 = 1.5, 2.5
+	_ = c1 == c2 // both compile-time constants: fine
+	//smores:floateq exact sentinel comparison, documented invariant
+	_ = a == threshold
+	var e Energy
+	_ = e == 0            // want `floating-point == comparison`
+	return b == threshold // want `floating-point == comparison`
+}

@@ -1,0 +1,324 @@
+// Package hotpathalloc defines an Analyzer that pins the simulator's
+// zero-alloc hot path at the AST level. Functions annotated
+// //smores:hotpath — and every function in the same package they
+// statically call — may not:
+//
+//   - call into package fmt (formatting allocates and boxes);
+//   - call append (every hot-path buffer must be pre-sized; appends into
+//     buffers whose capacity is managed explicitly carry
+//     //smores:prealloc <reason>);
+//   - build map literals, call make(map...), or range over a map
+//     (allocation plus iteration-order nondeterminism, which the
+//     bit-identical differential gates forbid);
+//   - box a known concrete value into an interface (arguments,
+//     assignments, and returns whose target is an interface type);
+//   - defer inside a loop (per-iteration defer allocations).
+//
+// Individual statements opt out with //smores:allowalloc <reason> on the
+// offending line (or the line above); cold error-validation branches at
+// the top of hot functions are the intended use.
+//
+// The PR-3 speedup (-66% allocs, docs/PERFORMANCE.md) is runtime-gated
+// by TestExactSteadyStateAllocFree; this analyzer catches the same
+// regressions at lint time, before a benchmark has to notice.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation and nondeterminism patterns in //smores:hotpath functions and their intra-package callees",
+	Run:  run,
+}
+
+type funcInfo struct {
+	decl *ast.FuncDecl
+	file *ast.File
+	root *types.Func // nearest hotpath root that reaches this function
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	funcs := make(map[*types.Func]*funcInfo)
+	lines := make(map[*ast.File]*annot.Lines)
+	var roots []*types.Func
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[fn] = &funcInfo{decl: fd, file: file}
+			if annot.Has(fd.Doc, "hotpath") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// Propagate hotness through the intra-package static call graph.
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		funcs[r].root = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := funcs[fn]
+		for _, callee := range staticCallees(pass, info.decl) {
+			ci, ok := funcs[callee]
+			if !ok || ci.root != nil {
+				continue
+			}
+			ci.root = info.root
+			queue = append(queue, callee)
+		}
+	}
+
+	for fn, info := range funcs {
+		if info.root == nil {
+			continue
+		}
+		l := lines[info.file]
+		if l == nil {
+			l = annot.FileLines(pass.Fset, info.file)
+			lines[info.file] = l
+		}
+		checkFunc(pass, fn, info, l)
+	}
+	return nil, nil
+}
+
+// staticCallees resolves the package-local functions fd calls directly.
+func staticCallees(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				obj = sel.Obj()
+			} else {
+				obj = pass.TypesInfo.Uses[fun.Sel]
+			}
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// checkFunc applies every hot-path rule to one function body.
+func checkFunc(pass *analysis.Pass, fn *types.Func, info *funcInfo, lines *annot.Lines) {
+	via := ""
+	if info.root != fn {
+		via = " (reached from //smores:hotpath root " + info.root.Name() + ")"
+	}
+	allowed := func(pos token.Pos, names ...string) bool {
+		return lines.Allows(pass.Fset, pos, names...)
+	}
+	report := func(rng analysis.Range, format string, args ...interface{}) {
+		args = append(args, via)
+		pass.ReportRangef(rng, format+"%s", args...)
+	}
+
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if r, ok := e.(*ast.RangeStmt); ok {
+				if tv, ok := pass.TypesInfo.Types[r.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
+						!allowed(r.Pos(), "allowalloc") {
+						report(r, "hot path %s ranges over a map (iteration-order nondeterminism breaks bit-identical gates)", fn.Name())
+					}
+				}
+			}
+			loopDepth++
+			if f, ok := e.(*ast.ForStmt); ok {
+				ast.Inspect(f.Body, walk)
+				if f.Init != nil {
+					ast.Inspect(f.Init, walk)
+				}
+				if f.Cond != nil {
+					ast.Inspect(f.Cond, walk)
+				}
+				if f.Post != nil {
+					ast.Inspect(f.Post, walk)
+				}
+			} else if r, ok := e.(*ast.RangeStmt); ok {
+				ast.Inspect(r.Body, walk)
+				ast.Inspect(r.X, walk)
+			}
+			loopDepth--
+			return false
+
+		case *ast.DeferStmt:
+			if loopDepth > 0 && !allowed(e.Pos(), "allowalloc") {
+				report(e, "hot path %s defers inside a loop (per-iteration allocation)", fn.Name())
+			}
+
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[e]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
+					!allowed(e.Pos(), "allowalloc") {
+					report(e, "hot path %s builds a map literal", fn.Name())
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, fn, e, allowed, report)
+
+		case *ast.AssignStmt:
+			if len(e.Lhs) == len(e.Rhs) {
+				for i := range e.Lhs {
+					lt := pass.TypesInfo.Types[e.Lhs[i]].Type
+					checkBoxing(pass, fn, e.Rhs[i], lt, allowed, report)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			sig := fn.Type().(*types.Signature)
+			if sig.Results().Len() == len(e.Results) {
+				for i, res := range e.Results {
+					checkBoxing(pass, fn, res, sig.Results().At(i).Type(), allowed, report)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(info.decl.Body, walk)
+}
+
+// checkCall flags fmt usage, capacity-less appends, make(map), and
+// boxing at interface-typed parameters.
+func checkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr,
+	allowed func(token.Pos, ...string) bool,
+	report func(analysis.Range, string, ...interface{})) {
+
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins: append and make(map...).
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !allowed(call.Pos(), "prealloc", "allowalloc") {
+					report(call, "hot path %s calls append without a documented capacity reserve (annotate //smores:prealloc after pre-sizing)", fn.Name())
+				}
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
+							!allowed(call.Pos(), "allowalloc") {
+							report(call, "hot path %s allocates a map", fn.Name())
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Calls into package fmt.
+	var callee *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee, _ = pass.TypesInfo.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			callee, _ = sel.Obj().(*types.Func)
+		} else {
+			callee, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		}
+	}
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		if !allowed(call.Pos(), "allowalloc") {
+			report(call, "hot path %s calls fmt.%s (formatting allocates; move it off the hot path)", fn.Name(), callee.Name())
+		}
+		return // don't double-report the args' boxing into ...any
+	}
+
+	// Interface boxing at call arguments.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		checkBoxing(pass, fn, arg, pt, allowed, report)
+	}
+}
+
+// checkBoxing reports when src (a concrete, non-pointer-shaped value) is
+// converted to the interface type dst.
+func checkBoxing(pass *analysis.Pass, fn *types.Func, src ast.Expr, dst types.Type,
+	allowed func(token.Pos, ...string) bool,
+	report func(analysis.Range, string, ...interface{})) {
+
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok {
+		return
+	}
+	st := tv.Type
+	if tv.IsNil() || st == nil {
+		return
+	}
+	if _, isIface := st.Underlying().(*types.Interface); isIface {
+		return // interface-to-interface, no boxing of a concrete value
+	}
+	// Pointer-shaped values live directly in the interface word.
+	switch st.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	if !allowed(src.Pos(), "allowalloc") {
+		report(src, "hot path %s boxes concrete %s into %s (allocates an interface payload)",
+			fn.Name(), types.TypeString(st, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+	}
+}

@@ -1,0 +1,73 @@
+// Package a exercises the hotpathalloc analyzer.
+package a
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+// Hot is a hot-path root.
+//
+//smores:hotpath
+func Hot(xs []int, m map[string]int) int {
+	var total int
+	for _, x := range xs {
+		total += x
+	}
+	fmt.Println(total)     // want `hot path Hot calls fmt\.Println`
+	xs = append(xs, total) // want `hot path Hot calls append without a documented capacity reserve`
+	//smores:prealloc xs capacity reserved by caller contract
+	xs = append(xs, total)
+	for k := range m { // want `hot path Hot ranges over a map`
+		_ = k
+	}
+	_ = map[int]int{1: 2} // want `hot path Hot builds a map literal`
+	_ = make(map[int]int) // want `hot path Hot allocates a map`
+	sink(total)           // want `hot path Hot boxes concrete int into interface\{\}`
+	//smores:allowalloc cold diagnostic branch
+	sink(total)
+	helper()
+	return total
+}
+
+// helper is hot by reachability from Hot.
+func helper() {
+	for i := 0; i < 3; i++ {
+		defer cleanup() // want `hot path helper defers inside a loop \(per-iteration allocation\) \(reached from //smores:hotpath root Hot\)`
+	}
+}
+
+func cleanup() {}
+
+// Cold is not annotated and not reachable from a root: anything goes.
+func Cold(m map[string]int) {
+	fmt.Println(len(m))
+	var xs []int
+	xs = append(xs, 1)
+	for k := range m {
+		_ = k
+	}
+	sink(42)
+}
+
+// Boxer returns a concrete value through an interface result.
+//
+//smores:hotpath
+func Boxer(x int) interface{} {
+	return x // want `hot path Boxer boxes concrete int into interface\{\}`
+}
+
+// PointerOK: pointer-shaped values do not allocate when boxed.
+//
+//smores:hotpath
+func PointerOK(p *int) interface{} {
+	return p
+}
+
+// AssignBox boxes through an assignment.
+//
+//smores:hotpath
+func AssignBox(x float64) {
+	var v interface{}
+	v = x // want `hot path AssignBox boxes concrete float64 into interface\{\}`
+	_ = v
+}

@@ -1,0 +1,16 @@
+package nilsafeobs_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/nilsafeobs"
+)
+
+func TestNilSafeObs(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nilsafeobs.Analyzer, "obs")
+}
+
+func TestNilSafeObsFix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), nilsafeobs.Analyzer, "fix")
+}

@@ -1,0 +1,22 @@
+// Package fix exercises the nilsafeobs suggested fix on an annotated
+// type outside an obs package.
+package fix
+
+// Meter opts in to the nil-safety contract.
+//
+//smores:nilsafe
+type Meter struct{ n int64 }
+
+// Bump lacks a guard; the fix inserts a bare return.
+func (m *Meter) Bump() { // want `exported method \(\*Meter\)\.Bump must begin with a nil-receiver guard`
+	m.n++
+}
+
+// Count lacks a guard; the fix inserts return 0.
+func (m *Meter) Count() int64 { // want `exported method \(\*Meter\)\.Count must begin with a nil-receiver guard`
+	return m.n
+}
+
+// Set is a one-line body: the fix must push the statement onto its own
+// line or the guard's closing brace would swallow it.
+func (m *Meter) Set(v int64) { m.n = v } // want `exported method \(\*Meter\)\.Set must begin with a nil-receiver guard`

@@ -1,0 +1,267 @@
+// Package statsmirror defines an Analyzer that enforces the snapshot
+// invariant the SMOREs evaluation rests on: every field of a stats or
+// histogram container must be handled by each of its mirror methods
+// (Clone, Merge, Equal, Reset/reset). PR 1 shipped exactly this bug —
+// stats.Histogram.Clone forgot the running sum — and the class keeps
+// coming back whenever a counter is added to a struct but not to its
+// deep-copy or aggregation path.
+//
+// A struct is in scope when its name contains "Stats" or "Histogram",
+// or its type declaration carries //smores:stats, and it declares at
+// least one mirror method. Within a mirror method a field counts as
+// handled when it is selected (h.sum, o.sum), keyed in a composite
+// literal of the struct type, or when the method manipulates the struct
+// as a whole (*h = T{}, struct copy through a dereference or local of
+// the struct type, or == / != on the whole struct). Individual fields
+// opt out with //smores:nostat <reason> on their declaration.
+package statsmirror
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+)
+
+// Analyzer is the statsmirror pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsmirror",
+	Doc:  "check that stats/histogram structs mirror every field in Clone/Merge/Equal/Reset methods",
+	Run:  run,
+}
+
+// mirrorNames are the method names that must achieve full field coverage.
+var mirrorNames = map[string]bool{
+	"Clone": true,
+	"Merge": true,
+	"Equal": true,
+	"Reset": true,
+	"reset": true,
+}
+
+type structInfo struct {
+	named  *types.Named
+	decl   *ast.StructType
+	fields []string        // declaration order, minus opt-outs
+	exempt map[string]bool // //smores:nostat fields
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	infos := collectStructs(pass)
+	if len(infos) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !mirrorNames[fd.Name.Name] {
+				continue
+			}
+			si := receiverStruct(pass, fd, infos)
+			if si == nil {
+				continue
+			}
+			checkMethod(pass, fd, si)
+		}
+	}
+	return nil, nil
+}
+
+// collectStructs finds in-scope struct types declared in this package.
+func collectStructs(pass *analysis.Pass) map[*types.Named]*structInfo {
+	out := make(map[*types.Named]*structInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				name := ts.Name.Name
+				if !strings.Contains(name, "Stats") && !strings.Contains(name, "Histogram") &&
+					!annot.Has(doc, "stats") {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				si := &structInfo{named: named, decl: st, exempt: make(map[string]bool)}
+				for _, f := range st.Fields.List {
+					optOut := annot.Has(f.Doc, "nostat") || annot.Has(f.Comment, "nostat")
+					for _, id := range f.Names {
+						if id.Name == "_" {
+							continue
+						}
+						if optOut {
+							si.exempt[id.Name] = true
+							continue
+						}
+						si.fields = append(si.fields, id.Name)
+					}
+					if len(f.Names) == 0 { // embedded
+						if id := embeddedName(f.Type); id != "" && !optOut {
+							si.fields = append(si.fields, id)
+						}
+					}
+				}
+				out[named] = si
+			}
+		}
+	}
+	return out
+}
+
+func embeddedName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// receiverStruct resolves fd's receiver to an in-scope struct.
+func receiverStruct(pass *analysis.Pass, fd *ast.FuncDecl, infos map[*types.Named]*structInfo) *structInfo {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return infos[named]
+}
+
+// wholeValue reports whether x is a bare dereference or identifier whose
+// type is the struct value — i.e. a whole-struct copy source or target.
+func wholeValue(pass *analysis.Pass, x ast.Expr, valueOfStruct func(types.Type) bool) bool {
+	switch x.(type) {
+	case *ast.StarExpr, *ast.Ident:
+		if tv, ok := pass.TypesInfo.Types[x]; ok {
+			return valueOfStruct(tv.Type)
+		}
+	}
+	return false
+}
+
+// checkMethod walks one mirror method and reports unhandled fields.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, si *structInfo) {
+	covered := make(map[string]bool)
+	whole := false
+
+	sameStruct := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == si.named.Obj()
+	}
+	valueOfStruct := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == si.named.Obj()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[e.X]; ok && sameStruct(tv.Type) {
+				covered[e.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[e]; ok && valueOfStruct(tv.Type) {
+				if len(e.Elts) == 0 {
+					// Zeroing literal: *h = T{} resets every field.
+					whole = true
+					return true
+				}
+				keyed := false
+				for _, elt := range e.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							covered[id.Name] = true
+						}
+					}
+				}
+				if !keyed && len(e.Elts) == len(si.fields)+len(si.exempt) {
+					whole = true // positional literal names every field
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.EQL || e.Op == token.NEQ {
+				if tv, ok := pass.TypesInfo.Types[e.X]; ok && valueOfStruct(tv.Type) {
+					whole = true // whole-struct comparison
+				}
+			}
+		case *ast.AssignStmt:
+			// Whole-struct copies: c := *h, *h = o — either side being a
+			// bare dereference or identifier of the struct value type
+			// moves every field at once.
+			for _, exprs := range [2][]ast.Expr{e.Lhs, e.Rhs} {
+				for _, x := range exprs {
+					if wholeValue(pass, x, valueOfStruct) {
+						whole = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, x := range e.Results {
+				if wholeValue(pass, x, valueOfStruct) {
+					whole = true
+				}
+			}
+		}
+		return true
+	})
+
+	if whole {
+		return
+	}
+	recvName := "(" + si.named.Obj().Name() + ")"
+	if _, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok {
+		if _, isPtr := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type.(*types.Pointer); isPtr {
+			recvName = "(*" + si.named.Obj().Name() + ")"
+		}
+	}
+	for _, f := range si.fields {
+		if !covered[f] {
+			pass.Reportf(fd.Name.Pos(),
+				"field %s of %s is not mirrored in %s.%s (add it or annotate the field //smores:nostat)",
+				f, si.named.Obj().Name(), recvName, fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package statsmirror_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/statsmirror"
+)
+
+func TestStatsMirror(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), statsmirror.Analyzer, "a")
+}

@@ -1,0 +1,89 @@
+// Package a exercises the statsmirror analyzer.
+package a
+
+// GoodStats mirrors every field in every mirror method.
+type GoodStats struct {
+	Hits   int64
+	Misses int64
+}
+
+func (s *GoodStats) Merge(o GoodStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
+func (s GoodStats) Equal(o GoodStats) bool { return s == o }
+
+// BadStats forgets Energy in Merge and Clone — the PR-1 bug class.
+type BadStats struct {
+	Hits   int64
+	Energy float64
+}
+
+func (s *BadStats) Merge(o BadStats) { // want `field Energy of BadStats is not mirrored in \(\*BadStats\)\.Merge`
+	s.Hits += o.Hits
+}
+
+func (s *BadStats) Clone() *BadStats { // want `field Energy of BadStats is not mirrored in \(\*BadStats\)\.Clone`
+	return &BadStats{Hits: s.Hits}
+}
+
+// GapHistogram exercises unexported fields and the zeroing reset.
+type GapHistogram struct {
+	counts []int64
+	total  int64
+	sum    float64
+}
+
+func (h *GapHistogram) Reset() { *h = GapHistogram{} }
+
+func (h *GapHistogram) Merge(o *GapHistogram) { // want `field sum of GapHistogram is not mirrored in \(\*GapHistogram\)\.Merge`
+	for i := range o.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// OptOutStats demonstrates the //smores:nostat escape hatch: Label is a
+// configuration tag, not an accumulated quantity.
+type OptOutStats struct {
+	Count int64
+	//smores:nostat configuration label, not a measurement
+	Label string
+}
+
+func (s *OptOutStats) Merge(o OptOutStats) {
+	s.Count += o.Count
+}
+
+// CopyStats mirrors wholesale through a dereference copy.
+type CopyStats struct {
+	A int64
+	B int64
+}
+
+func (s *CopyStats) Clone() *CopyStats {
+	c := *s
+	return &c
+}
+
+// plainCounter is out of scope: no Stats/Histogram in the name and no
+// //smores:stats annotation, so its partial Merge is not flagged.
+type plainCounter struct {
+	n int64
+	m int64
+}
+
+func (p *plainCounter) Merge(o *plainCounter) { p.n += o.n }
+
+// AnnotatedTracker opts in via //smores:stats.
+//
+//smores:stats
+type AnnotatedTracker struct {
+	Seen int64
+	Lost int64
+}
+
+func (t *AnnotatedTracker) Merge(o AnnotatedTracker) { // want `field Lost of AnnotatedTracker is not mirrored in \(\*AnnotatedTracker\)\.Merge`
+	t.Seen += o.Seen
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"smores/internal/core"
+	"smores/internal/floats"
 	"smores/internal/mta"
 	"smores/internal/obs"
 	"smores/internal/pam4"
@@ -104,7 +105,7 @@ func (s Stats) TotalEnergy() float64 { return s.WireEnergy + s.PostambleEnergy +
 
 // PerBit returns total fJ per transferred data bit (0 if no data moved).
 func (s Stats) PerBit() float64 {
-	if s.DataBits == 0 {
+	if floats.Eq(s.DataBits, 0) {
 		return 0
 	}
 	return s.TotalEnergy() / s.DataBits
@@ -479,6 +480,7 @@ func (ch *Channel) NeedsPostamble() bool { return ch.lastMTA }
 // it to the profiler, and validates transitions. prev tracks the
 // previous column (seeded with the pre-burst trailing state); ph and
 // codec give the profiler the attribution context of the burst.
+//smores:hotpath
 func (ch *Channel) accountColumn(g int, prev *mta.GroupState, col mta.Column, ph obs.Phase, codec int) {
 	if ch.prof.On() {
 		ch.profileColumn(g, prev, col, ph, codec)

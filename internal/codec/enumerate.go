@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"smores/internal/floats"
 	"smores/internal/pam4"
 )
 
@@ -114,7 +115,7 @@ func Count(c EnumConstraint) (int, error) {
 func SortByEnergy(seqs []pam4.Seq, m *pam4.EnergyModel) {
 	sort.Slice(seqs, func(i, j int) bool {
 		ei, ej := m.SeqEnergy(seqs[i]), m.SeqEnergy(seqs[j])
-		if ei != ej {
+		if !floats.Eq(ei, ej) {
 			return ei < ej
 		}
 		return revLexLess(seqs[i], seqs[j])
@@ -128,7 +129,7 @@ func SortByEnergy(seqs []pam4.Seq, m *pam4.EnergyModel) {
 func SortByEnergyAndSwitching(seqs []pam4.Seq, m *pam4.EnergyModel) {
 	sort.Slice(seqs, func(i, j int) bool {
 		ei, ej := m.SeqEnergy(seqs[i]), m.SeqEnergy(seqs[j])
-		if ei != ej {
+		if !floats.Eq(ei, ej) {
 			return ei < ej
 		}
 		ti, tj := transitions(seqs[i]), transitions(seqs[j])

@@ -1,0 +1,79 @@
+// Canonical committed code tables for the paper's preferred 3-level
+// family (4b3s-3 … 4b8s-3). The runtime generator (Generate) remains the
+// source of truth — TestCanonicalTablesMatchGenerator pins these strings
+// to its output — but committing the tables buys two things:
+//
+//  1. Reviewability: the exact code words the paper's energy numbers
+//     rest on are visible in the diff, not hidden behind an enumerator.
+//  2. Lintability: the codebookconst analyzer proves the paper's
+//     restrictions (16 entries, utilized-level set, no 3ΔV swing, no
+//     L2 L2 prefix, energy-sorted) over these constants at lint time,
+//     so a hand edit breaks the build instead of quietly shifting
+//     energy results.
+//
+// Each code word is written as level digits, most-significant symbol
+// first, exactly as Seq.String renders it.
+package codec
+
+// CanonicalTable3s is the 4b3s-3 table: the 16 cheapest 3-symbol
+// sequences over {L0,L1,L2} with no 3ΔV adjacent swing and no L2 L2
+// prefix, energy-sorted.
+//
+//smores:codebook symbols=3 levels=3 sorted
+const CanonicalTable3s = "000 100 010 001 200 020 002 110 101 011 " +
+	"210 120 201 021 102 012"
+
+// CanonicalTable4s is the 4b4s-3 table.
+//
+//smores:codebook symbols=4 levels=3 sorted
+const CanonicalTable4s = "0000 1000 0100 0010 0001 2000 0200 0020 0002 1100 " +
+	"1010 0110 1001 0101 0011 2100"
+
+// CanonicalTable5s is the 4b5s-3 table.
+//
+//smores:codebook symbols=5 levels=3 sorted
+const CanonicalTable5s = "00000 10000 01000 00100 00010 00001 20000 02000 00200 00020 " +
+	"00002 11000 10100 01100 10010 01010"
+
+// CanonicalTable6s is the 4b6s-3 table.
+//
+//smores:codebook symbols=6 levels=3 sorted
+const CanonicalTable6s = "000000 100000 010000 001000 000100 000010 000001 200000 020000 002000 " +
+	"000200 000020 000002 110000 101000 011000"
+
+// CanonicalTable7s is the 4b7s-3 table.
+//
+//smores:codebook symbols=7 levels=3 sorted
+const CanonicalTable7s = "0000000 1000000 0100000 0010000 0001000 0000100 0000010 0000001 2000000 0200000 " +
+	"0020000 0002000 0000200 0000020 0000002 1100000"
+
+// CanonicalTable8s is the published 4b8s-3 point, built with the
+// OneNonZero strategy (position × level one-hot over {L1,L2}): every
+// code has exactly one non-L0 symbol, which matches the paper's energy
+// and yields a trivial decoder.
+//
+//smores:codebook symbols=8 levels=3 sorted
+const CanonicalTable8s = "10000000 01000000 00100000 00010000 00001000 00000100 00000010 00000001 20000000 02000000 " +
+	"00200000 00020000 00002000 00000200 00000020 00000002"
+
+// CanonicalTable returns the committed table for the paper-faithful
+// 3-level spec with the given output length, or false when no canonical
+// table is committed for that length.
+func CanonicalTable(outputSymbols int) (string, bool) {
+	switch outputSymbols {
+	case 3:
+		return CanonicalTable3s, true
+	case 4:
+		return CanonicalTable4s, true
+	case 5:
+		return CanonicalTable5s, true
+	case 6:
+		return CanonicalTable6s, true
+	case 7:
+		return CanonicalTable7s, true
+	case 8:
+		return CanonicalTable8s, true
+	default:
+		return "", false
+	}
+}

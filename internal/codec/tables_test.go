@@ -1,0 +1,48 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+// TestCanonicalTablesMatchGenerator pins the committed canonical tables
+// to the runtime generator: every code word, in order, must match what
+// Generate produces for the paper-faithful 3-level spec. A drift in
+// either direction — a hand edit to the table or a behavior change in
+// the enumerator/sort — fails here with the first differing entry.
+func TestCanonicalTablesMatchGenerator(t *testing.T) {
+	m := pam4.DefaultEnergyModel()
+	for n := 3; n <= 8; n++ {
+		table, ok := CanonicalTable(n)
+		if !ok {
+			t.Fatalf("no canonical table committed for length %d", n)
+		}
+		strategy := LowestEnergy
+		if n == 8 {
+			strategy = OneNonZero
+		}
+		cb, err := Generate(Spec{InputBits: 4, OutputSymbols: n, Levels: 3, Strategy: strategy}, m)
+		if err != nil {
+			t.Fatalf("Generate(4b%ds-3): %v", n, err)
+		}
+		want := cb.Codes()
+		got := strings.Fields(table)
+		if len(got) != len(want) {
+			t.Fatalf("4b%ds-3: committed table has %d entries, generator produced %d", n, len(got), len(want))
+		}
+		for i, seq := range want {
+			if got[i] != seq.String() {
+				t.Errorf("4b%ds-3 entry %d: committed %q, generator %q", n, i, got[i], seq.String())
+			}
+		}
+	}
+}
+
+// TestCanonicalTableUnknownLength covers the miss path.
+func TestCanonicalTableUnknownLength(t *testing.T) {
+	if s, ok := CanonicalTable(2); ok || s != "" {
+		t.Fatalf("CanonicalTable(2) = %q, %v; want \"\", false", s, ok)
+	}
+}

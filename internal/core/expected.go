@@ -1,6 +1,7 @@
 package core
 
 import (
+	"smores/internal/floats"
 	"smores/internal/mta"
 	"smores/internal/pam4"
 )
@@ -31,7 +32,7 @@ func (c *SparseGroupCodec) ExpectedColumnEnergy(p int) float64 {
 		for n2 := 0; n2+n1 <= mta.GroupDataWires; n2++ {
 			n0 := mta.GroupDataWires - n1 - n2
 			prob := multinomial8(n0, n1, n2) * pow(p0, n0) * pow(p1, n1) * pow(p2, n2)
-			if prob == 0 {
+			if floats.Eq(prob, 0) {
 				continue
 			}
 			var e float64
@@ -69,7 +70,7 @@ func (c *SparseGroupCodec) ExpectedColumnDBIEnergy(p int) float64 {
 		for n2 := 0; n2+n1 <= mta.GroupDataWires; n2++ {
 			n0 := mta.GroupDataWires - n1 - n2
 			prob := multinomial8(n0, n1, n2) * pow(p0, n0) * pow(p1, n1) * pow(p2, n2)
-			if prob == 0 {
+			if floats.Eq(prob, 0) {
 				continue
 			}
 			switch {

@@ -98,8 +98,11 @@ func (c *SparseGroupCodec) EncodeGroupBurst(data []byte, state *mta.GroupState) 
 // so steady-state callers can reuse one scratch buffer across bursts: the
 // simulator's exact-data hot path calls this once per group per sparse
 // burst and would otherwise allocate the column slice every time.
+//
+//smores:hotpath
 func (c *SparseGroupCodec) AppendGroupBurst(dst []mta.Column, data []byte, state *mta.GroupState) ([]mta.Column, error) {
 	if len(data) == 0 || len(data)%BytesPerSlot != 0 {
+		//smores:allowalloc cold validation branch, reached only on caller misuse
 		return nil, fmt.Errorf("core: burst length %d is not a positive multiple of %d", len(data), BytesPerSlot)
 	}
 	n := c.book.Spec().OutputSymbols
@@ -135,6 +138,7 @@ func (c *SparseGroupCodec) AppendGroupBurst(dst []mta.Column, data []byte, state
 				}
 				state[w] = col[w]
 			}
+			//smores:prealloc dst capacity reserved by the grow block above
 			dst = append(dst, col)
 		}
 	}

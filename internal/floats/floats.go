@@ -1,0 +1,35 @@
+// Package floats holds the approved float64 comparison helpers. The
+// floateq analyzer forbids raw == / != on floating-point energy values
+// everywhere else in the tree: a raw comparison does not say whether the
+// author meant "bit-identical" (the differential gates: event-skip vs.
+// legacy loop, profiler on vs. off) or "close enough" (report
+// tolerances), and the two have opposite failure modes. Routing every
+// comparison through this package makes the intent explicit and
+// greppable.
+package floats
+
+import "math"
+
+// Eq reports exact (bit-level, IEEE ==) equality. Use it where the
+// system guarantees identical floating-point computations — the
+// bit-identical differential tests and cache-consistency checks. NaN
+// compares unequal to everything, including itself, exactly like ==.
+func Eq(a, b float64) bool { return a == b }
+
+// IsZero reports whether x is exactly ±0. Use it for "was anything
+// accumulated at all" checks on counters that only ever receive exact
+// additions of zero or nonzero terms.
+func IsZero(x float64) bool { return x == 0 }
+
+// Near reports |a-b| <= tol, an absolute-tolerance comparison for
+// quantities with a natural scale (fJ totals, fractions of one).
+func Near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// NearRel reports closeness under a relative tolerance with an absolute
+// floor: |a-b| <= tol*max(|a|,|b|, floor). This is the conservation-test
+// shape used across the profiler reconciliation suites.
+func NearRel(a, b, tol, floor float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	scale = math.Max(scale, floor)
+	return math.Abs(a-b) <= tol*scale
+}

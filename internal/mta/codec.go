@@ -158,6 +158,7 @@ func inverted(prev pam4.Level) bool { return prev == pam4.L3 }
 // sequence and the wire's new trailing level.
 func (c *Codec) EncodeWire(data7 uint8, prev pam4.Level) (pam4.Seq, pam4.Level) {
 	if data7 >= TableSize {
+		//smores:allowalloc panic message on out-of-range input, unreachable from the simulator
 		panic(fmt.Sprintf("mta: data value %d exceeds 7 bits", data7))
 	}
 	s := c.table[data7]

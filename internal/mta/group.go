@@ -37,6 +37,8 @@ type Beat [GroupWires]pam4.Seq
 
 // EncodeGroupBeat encodes one byte per data wire. state is mutated to the
 // group's new trailing levels.
+//
+//smores:hotpath
 func (c *Codec) EncodeGroupBeat(data [GroupDataWires]byte, state *GroupState) Beat {
 	var beat Beat
 	var msbs [GroupDataWires]uint8

@@ -1,0 +1,61 @@
+package mta
+
+import (
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+// FuzzMTARoundTrip drives one dense MTA group beat from an arbitrary
+// trailing state: the beat must decode back bit-identically, advance
+// both sides' state identically, and never put an illegal 3ΔV step on a
+// data wire — neither inside a wire's 4-symbol sequence nor on the seam
+// from the previous trailing level (the inversion rule's whole job).
+// The DBI wire carries packed MSBs and is restriction-exempt.
+func FuzzMTARoundTrip(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x00\x00"), uint8(0))
+	f.Add([]byte("\xff\xfe\x80\x7f\x55\xaa\x01\x00"), uint8(0xe4))
+	f.Add([]byte("smores!?"), uint8(0xff))
+	c := New(pam4.DefaultEnergyModel())
+	f.Fuzz(func(t *testing.T, raw []byte, stSeed uint8) {
+		if len(raw) < GroupDataWires {
+			return
+		}
+		var data [GroupDataWires]byte
+		copy(data[:], raw)
+		var st GroupState
+		for i := range st {
+			st[i] = pam4.Level((stSeed >> uint(i%4)) & 3)
+		}
+
+		encState := st
+		beat := c.EncodeGroupBeat(data, &encState)
+
+		for w := 0; w < GroupDataWires; w++ {
+			prev := st[w]
+			for i := 0; i < beat[w].Len(); i++ {
+				l := beat[w].At(i)
+				if !pam4.TransitionOK(prev, l) {
+					t.Fatalf("illegal %dΔV step on wire %d at symbol %d (prev %v -> %v, data %#x)",
+						pam4.Delta(prev, l), w, i, prev, l, data[w])
+				}
+				prev = l
+			}
+			if encState[w] != beat[w].Last() {
+				t.Fatalf("wire %d state %v does not match trailing symbol %v", w, encState[w], beat[w].Last())
+			}
+		}
+
+		decState := st
+		back, ok := c.DecodeGroupBeat(beat, &decState)
+		if !ok {
+			t.Fatal("decoder rejected the encoder's own beat")
+		}
+		if back != data {
+			t.Fatalf("round trip changed data: got %x want %x", back, data)
+		}
+		if decState != encState {
+			t.Fatalf("states diverged: decoder %v encoder %v", decState, encState)
+		}
+	})
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"sync/atomic"
+
+	"smores/internal/floats"
 )
 
 // Profile is the energy-attribution profiler: a dense table of atomic
@@ -219,6 +221,8 @@ func cellIndex(ph Phase, codec, wire, level int, tc TransClass) int {
 
 // Add records n symbols of fj total energy in one cell. Nil-safe,
 // lock-free, zero-allocation; out-of-range keys are dropped.
+//
+//smores:hotpath
 func (p *Profile) Add(ph Phase, codec, wire, level int, tc TransClass, fj float64, n int64) {
 	if p == nil {
 		return
@@ -365,10 +369,10 @@ type ProfileSnapshot struct {
 // Snapshot captures every non-empty cell. A scrape racing with
 // observations may miss in-flight samples but never reads torn values.
 func (p *Profile) Snapshot() ProfileSnapshot {
-	var s ProfileSnapshot
 	if p == nil {
-		return s
+		return ProfileSnapshot{}
 	}
+	var s ProfileSnapshot
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		for codec := 0; codec < NumProfileCodecs; codec++ {
 			for wire := 0; wire < profileWireDim; wire++ {
@@ -377,7 +381,7 @@ func (p *Profile) Snapshot() ProfileSnapshot {
 						i := cellIndex(ph, codec, wire, level, tc)
 						fj := p.energy[i].Value()
 						n := p.count[i].Load()
-						if fj == 0 && n == 0 {
+						if floats.Eq(fj, 0) && n == 0 {
 							continue
 						}
 						s.Cells = append(s.Cells, ProfileCell{

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"smores/internal/floats"
 )
 
 // Profile export formats:
@@ -35,7 +37,7 @@ func WriteProfilePrometheus(w io.Writer, s ProfileSnapshot, extra ...Label) erro
 		return promLabels(sortedLabels(ls), "", "")
 	}
 	for _, c := range s.Cells {
-		if c.FJ == 0 {
+		if floats.Eq(c.FJ, 0) {
 			continue
 		}
 		if _, err := fmt.Fprintf(w, "smores_profile_energy_femtojoules_total%s %s\n",
@@ -87,12 +89,12 @@ func WriteProfileJSON(w io.Writer, s ProfileSnapshot) error {
 		Cells:        make([]profileJSONCell, 0, len(s.Cells)),
 	}
 	for ph := Phase(0); ph < NumPhases; ph++ {
-		if s.PhaseFJ[ph] != 0 {
+		if !floats.Eq(s.PhaseFJ[ph], 0) {
 			doc.PhaseFJ[ph.String()] = s.PhaseFJ[ph]
 		}
 	}
 	for c := 0; c < NumProfileCodecs; c++ {
-		if s.CodecFJ[c] != 0 {
+		if !floats.Eq(s.CodecFJ[c], 0) {
 			doc.CodecFJ[ProfileCodecName(c)] = s.CodecFJ[c]
 		}
 	}
@@ -159,7 +161,7 @@ func WriteProfileChrome(w io.Writer, s ProfileSnapshot) error {
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		args := map[string]any{}
 		for _, c := range s.Cells {
-			if c.Phase != ph || c.FJ == 0 {
+			if c.Phase != ph || floats.Eq(c.FJ, 0) {
 				continue
 			}
 			name := ProfileCodecName(c.Codec)
@@ -191,7 +193,7 @@ func RenderProfile(s ProfileSnapshot, dataBits float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Energy attribution (%.4g fJ total, %d symbols)\n", s.TotalFJ, s.Symbols)
 	row := func(name string, fj float64, n int64) {
-		if fj == 0 && n == 0 {
+		if floats.Eq(fj, 0) && n == 0 {
 			return
 		}
 		fmt.Fprintf(&b, "  %-16s %14.4g fJ %6.1f%%", name, fj, share(fj, s.TotalFJ))
@@ -220,7 +222,7 @@ func RenderProfile(s ProfileSnapshot, dataBits float64) string {
 	}
 	var codecs []kv
 	for c := 0; c < NumProfileCodecs; c++ {
-		if s.CodecFJ[c] != 0 || s.CodecCounts[c] != 0 {
+		if !floats.Eq(s.CodecFJ[c], 0) || s.CodecCounts[c] != 0 {
 			codecs = append(codecs, kv{c, s.CodecFJ[c]})
 		}
 	}
@@ -232,7 +234,7 @@ func RenderProfile(s ProfileSnapshot, dataBits float64) string {
 }
 
 func share(part, whole float64) float64 {
-	if whole == 0 {
+	if floats.Eq(whole, 0) {
 		return 0
 	}
 	return part / whole * 100

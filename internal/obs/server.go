@@ -38,16 +38,29 @@ func NewServer(reg *Registry, prog *Progress) *Server {
 
 // SetHealthCheck installs a liveness probe; a non-nil error turns
 // /healthz into a 503 carrying the error text.
-func (s *Server) SetHealthCheck(f func() error) { s.health = f }
+func (s *Server) SetHealthCheck(f func() error) {
+	if s == nil {
+		return
+	}
+	s.health = f
+}
 
 // AttachProfile serves the energy-attribution profile at /profile
 // (text roll-up by default; ?format=folded|json|prom|chrome selects the
 // machine formats). Call before Handler/Start.
-func (s *Server) AttachProfile(p *Profile) { s.prof = p }
+func (s *Server) AttachProfile(p *Profile) {
+	if s == nil {
+		return
+	}
+	s.prof = p
+}
 
 // Handler returns the telemetry mux (usable without Start, e.g. in
 // tests or when embedding into an existing server).
 func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return nil
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -136,6 +149,9 @@ const indexPage = `<!doctype html><html><head><title>smores telemetry</title></h
 // Start binds addr and serves in a background goroutine, returning the
 // bound address (useful with ":0").
 func (s *Server) Start(addr string) (string, error) {
+	if s == nil {
+		return "", nil
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -152,6 +168,9 @@ func (s *Server) Start(addr string) (string, error) {
 
 // Addr returns the bound address ("" before Start).
 func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
 	if s.lis == nil {
 		return ""
 	}
@@ -160,6 +179,9 @@ func (s *Server) Addr() string {
 
 // Close stops the server and waits for the serve loop to exit.
 func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
 	if s.srv == nil {
 		return nil
 	}

@@ -212,6 +212,9 @@ var laneNames = map[int]string{
 // bus, codec seams, counters). One command clock maps to one microsecond
 // of viewer time so burst schedules are legible at default zoom.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	events := t.Events()
 	out := struct {
 		TraceEvents     []chromeEvent  `json:"traceEvents"`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smores/internal/bus"
+	"smores/internal/floats"
 	"smores/internal/gpu"
 	"smores/internal/memctrl"
 	"smores/internal/workload"
@@ -106,7 +107,7 @@ func (m MultiResult) ChannelBalance() float64 {
 			hi = x
 		}
 	}
-	if lo == 0 {
+	if floats.Eq(lo, 0) {
 		return 0
 	}
 	return hi / lo

@@ -8,6 +8,7 @@ import (
 	"smores/internal/codec"
 	"smores/internal/core"
 	"smores/internal/dbi"
+	"smores/internal/floats"
 	"smores/internal/gddr6x"
 	"smores/internal/hwcost"
 	"smores/internal/mta"
@@ -325,7 +326,7 @@ func DBIAblation(m *pam4.EnergyModel) string {
 	for _, n := range []int{3, 4, 6, 8} {
 		name := fmt.Sprintf("4b%ds-3", n)
 		with, without := byName[name+"/DBI"], byName[name]
-		if with.AreaNAND2 == 0 {
+		if floats.Eq(with.AreaNAND2, 0) {
 			continue
 		}
 		fmt.Fprintf(&b, "%-8s %11.0f%% %11.0f%%\n", name,

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"smores/internal/floats"
 	"smores/internal/obs"
 	"smores/internal/pam4"
 )
@@ -91,7 +92,7 @@ func BuildWaterfall(baseline, optimized, smores FleetResult, prof *obs.Profile) 
 	var fleetBits float64
 	for i, b := range baseline.Results {
 		o, s := optimized.Results[i], smores.Results[i]
-		if b.Bus.DataBits != o.Bus.DataBits || b.Bus.DataBits != s.Bus.DataBits {
+		if !floats.Eq(b.Bus.DataBits, o.Bus.DataBits) || !floats.Eq(b.Bus.DataBits, s.Bus.DataBits) {
 			return Waterfall{}, fmt.Errorf(
 				"report: waterfall app %s moved different data under each policy (%g/%g/%g bits); use matched seeds",
 				b.App.Name, b.Bus.DataBits, o.Bus.DataBits, s.Bus.DataBits)
@@ -120,7 +121,7 @@ func BuildWaterfall(baseline, optimized, smores FleetResult, prof *obs.Profile) 
 	if prof != nil {
 		w.PhaseFJ = make(map[string]float64, obs.NumPhases)
 		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
-			if e := prof.PhaseEnergy(ph); e != 0 {
+			if e := prof.PhaseEnergy(ph); !floats.Eq(e, 0) {
 				w.PhaseFJ[ph.String()] = e
 			}
 		}
@@ -213,7 +214,7 @@ func RenderWaterfall(w Waterfall) string {
 
 // share returns part as a percentage of whole (0 when whole is 0).
 func share(part, whole float64) float64 {
-	if whole == 0 {
+	if floats.Eq(whole, 0) {
 		return 0
 	}
 	return part / whole * 100

@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"smores/internal/floats"
 )
 
 // Histogram counts integer samples in [0, Buckets) plus an overflow bucket.
@@ -50,7 +52,7 @@ func (h *Histogram) Buckets() int { return len(h.counts) }
 // contents (counts, overflow, total, and running sum).
 func (h *Histogram) Equal(o *Histogram) bool {
 	if len(h.counts) != len(o.counts) || h.overflow != o.overflow ||
-		h.total != o.total || h.sum != o.sum {
+		h.total != o.total || !floats.Eq(h.sum, o.sum) {
 		return false
 	}
 	for i, c := range h.counts {
