@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress
+.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress fault-smoke
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSparseRoundTrip -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeGroupBurst -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzMTARoundTrip -fuzztime 10s ./internal/mta/
+	$(GO) test -run '^$$' -fuzz FuzzEDCDetect -fuzztime 10s ./internal/edc/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 bench-regress:
 	$(GO) run ./cmd/smores-bench -compare BENCH_baseline.json -tolerance 5%
+
+# fault-smoke runs a small Monte Carlo fault campaign and gates on the
+# link-reliability promise: with EDC enabled, a 1e-4 error rate must
+# produce zero silent corruptions. Writes fault-smoke.json for
+# inspection / CI artifact upload.
+fault-smoke:
+	$(GO) run ./cmd/smores-fault -rates 1e-4 -models uniform,bursty -edc on \
+		-apps 2 -accesses 2000 -gate-silent -json fault-smoke.json

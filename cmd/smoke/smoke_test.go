@@ -19,6 +19,7 @@ var mains = []string{
 	"smores-bench",
 	"smores-codebook",
 	"smores-eval",
+	"smores-fault",
 	"smores-hwcost",
 	"smores-lint",
 	"smores-sim",

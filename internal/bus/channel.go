@@ -84,6 +84,11 @@ type Config struct {
 	// Stats.TotalEnergy (test-enforced). Nil disables attribution; the
 	// hot path then pays one nil check per accounting block.
 	Profile *obs.Profile
+	// Fault installs a link-reliability hook (see hook.go) that observes
+	// every exact-data burst and may inject/classify symbol errors. Nil
+	// disables injection at zero hot-path cost beyond a nil check; the
+	// hook is never consulted in expected mode.
+	Fault BurstHook
 }
 
 // Stats accumulates channel activity. All energies are femtojoules.
@@ -92,16 +97,26 @@ type Stats struct {
 	WireEnergy      float64
 	PostambleEnergy float64
 	LogicEnergy     float64
-	MTABursts       int64
-	SparseBursts    int64
-	Postambles      int64
-	BusyUIs         int64
-	IdleUIs         int64
-	Violations      int64
+	// ReplayEnergy is wire+logic energy burned by EDC-triggered burst
+	// retransmissions (ReplayBurst). Kept outside WireEnergy/LogicEnergy:
+	// replays deliver no new payload bits, so folding their joules into
+	// the payload phases would silently improve pJ/bit.
+	ReplayEnergy float64
+	MTABursts    int64
+	SparseBursts int64
+	// ReplayBursts counts retransmissions (not included in MTABursts or
+	// SparseBursts; DataBits does not advance on replay).
+	ReplayBursts int64
+	Postambles   int64
+	BusyUIs      int64
+	IdleUIs      int64
+	Violations   int64
 }
 
-// TotalEnergy returns wire + postamble + logic energy in fJ.
-func (s Stats) TotalEnergy() float64 { return s.WireEnergy + s.PostambleEnergy + s.LogicEnergy }
+// TotalEnergy returns wire + postamble + logic + replay energy in fJ.
+func (s Stats) TotalEnergy() float64 {
+	return s.WireEnergy + s.PostambleEnergy + s.LogicEnergy + s.ReplayEnergy
+}
 
 // PerBit returns total fJ per transferred data bit (0 if no data moved).
 func (s Stats) PerBit() float64 {
@@ -141,6 +156,10 @@ type Channel struct {
 	stats     Stats
 	m         *busMetrics
 	prof      *obs.Profile
+	// fault is the installed link-reliability hook (nil = perfect link);
+	// verdict latches the hook's judgement of the most recent burst.
+	fault   BurstHook
+	verdict BurstVerdict
 	// expCache memoizes per-codec expected burst energies: expected mode
 	// otherwise recomputes the DBI multinomial on every burst, and the
 	// values are per-codec constants for a fixed family and model.
@@ -202,6 +221,7 @@ func New(cfg Config) *Channel {
 		recording:   cfg.Record,
 		m:           newBusMetrics(cfg.Obs, cfg.ObsLabels),
 		prof:        cfg.Profile,
+		fault:       cfg.Fault,
 		levelE:      cfg.Model.LevelEnergies(),
 	}
 	for g := range ch.states {
@@ -231,6 +251,11 @@ func (ch *Channel) SendBurst(data []byte, codeLength int) error {
 	if ch.m.on {
 		before = ch.stats
 	}
+	var pre [Groups]mta.GroupState
+	hook := ch.faultActive()
+	if hook {
+		pre = ch.states
+	}
 	var err error
 	if codeLength == 0 {
 		err = ch.sendMTA(data)
@@ -240,6 +265,9 @@ func (ch *Channel) SendBurst(data []byte, codeLength int) error {
 	if ch.m.on && err == nil {
 		ch.mirrorDeltas(before)
 		ch.m.burst(codeLength)
+	}
+	if hook && err == nil {
+		ch.dispatchFault(data, codeLength, pre, false)
 	}
 	return err
 }
@@ -255,6 +283,8 @@ func (ch *Channel) mirrorDeltas(before Stats) {
 	ch.m.wireEnergy.Add(d.WireEnergy - before.WireEnergy)
 	ch.m.postambleJ.Add(d.PostambleEnergy - before.PostambleEnergy)
 	ch.m.logicEnergy.Add(d.LogicEnergy - before.LogicEnergy)
+	ch.m.replayEnergy.Add(d.ReplayEnergy - before.ReplayEnergy)
+	ch.m.replays.Add(d.ReplayBursts - before.ReplayBursts)
 	ch.m.postambles.Add(d.Postambles - before.Postambles)
 	ch.m.violations.Add(d.Violations - before.Violations)
 }

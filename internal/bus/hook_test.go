@@ -1,0 +1,159 @@
+package bus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smores/internal/floats"
+	"smores/internal/mta"
+	"smores/internal/obs"
+)
+
+// recordingHook captures every dispatch for inspection.
+type recordingHook struct {
+	calls   int
+	replays int
+	lastPre [Groups]mta.GroupState
+	verdict BurstVerdict
+}
+
+func (h *recordingHook) OnBurst(data []byte, codeLength int, pre [Groups]mta.GroupState, replay bool) BurstVerdict {
+	h.calls++
+	if replay {
+		h.replays++
+	}
+	h.lastPre = pre
+	return h.verdict
+}
+
+func TestHookSeesPreBurstState(t *testing.T) {
+	h := &recordingHook{verdict: BurstVerdict{Injected: 2, Detected: true}}
+	ch := New(Config{ExactData: true, Fault: h})
+	data := randomSector(rand.New(rand.NewSource(3)))
+	if err := ch.SendBurst(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.calls != 1 {
+		t.Fatalf("hook called %d times, want 1", h.calls)
+	}
+	if h.lastPre != [Groups]mta.GroupState{mta.IdleGroupState(), mta.IdleGroupState()} {
+		t.Fatalf("first burst should see idle pre-state, got %v", h.lastPre)
+	}
+	if got := ch.LastBurstVerdict(); got != h.verdict {
+		t.Fatalf("verdict not latched: %+v", got)
+	}
+}
+
+func TestHookNotDispatchedInExpectedMode(t *testing.T) {
+	h := &recordingHook{}
+	ch := New(Config{ExactData: false, Fault: h})
+	if err := ch.SendBurst(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.calls != 0 {
+		t.Fatal("hook must not fire in expected mode")
+	}
+}
+
+func TestReplayBurstAccounting(t *testing.T) {
+	for _, codeLength := range []int{0, 3, 6} {
+		prof := obs.NewProfile()
+		h := &recordingHook{}
+		ch := New(Config{ExactData: true, Fault: h, Profile: prof, Record: true})
+		data := randomSector(rand.New(rand.NewSource(5)))
+		if err := ch.SendBurst(data, codeLength); err != nil {
+			t.Fatal(err)
+		}
+		before := ch.Stats()
+		if err := ch.ReplayBurst(data, codeLength); err != nil {
+			t.Fatal(err)
+		}
+		after := ch.Stats()
+
+		if after.ReplayBursts != 1 {
+			t.Fatalf("len %d: ReplayBursts = %d, want 1", codeLength, after.ReplayBursts)
+		}
+		if !floats.Eq(after.DataBits, before.DataBits) {
+			t.Fatalf("len %d: replay must not add data bits", codeLength)
+		}
+		if !floats.Eq(after.WireEnergy, before.WireEnergy) || !floats.Eq(after.LogicEnergy, before.LogicEnergy) {
+			t.Fatalf("len %d: replay leaked into payload energy", codeLength)
+		}
+		if after.ReplayEnergy <= before.ReplayEnergy {
+			t.Fatalf("len %d: replay burned no energy", codeLength)
+		}
+		if after.BusyUIs <= before.BusyUIs {
+			t.Fatalf("len %d: replay occupied no wire time", codeLength)
+		}
+		if after.MTABursts != before.MTABursts || after.SparseBursts != before.SparseBursts {
+			t.Fatalf("len %d: replay must not count as a payload burst", codeLength)
+		}
+		if after.Violations != 0 {
+			t.Fatalf("len %d: replay produced %d transition violations", codeLength, after.Violations)
+		}
+
+		// TotalEnergy includes the replay, and the profiler's PhaseReplay
+		// cell group reconciles with Stats.ReplayEnergy exactly.
+		if got, want := after.TotalEnergy(), after.WireEnergy+after.PostambleEnergy+after.LogicEnergy+after.ReplayEnergy; !floats.Eq(got, want) {
+			t.Fatalf("len %d: TotalEnergy %g != partition %g", codeLength, got, want)
+		}
+		replayFJ := prof.PhaseEnergy(obs.PhaseReplay)
+		if rel := math.Abs(replayFJ-after.ReplayEnergy) / math.Max(after.ReplayEnergy, 1); rel > 1e-9 {
+			t.Fatalf("len %d: profile replay phase %g != stats %g", codeLength, replayFJ, after.ReplayEnergy)
+		}
+		if rel := math.Abs(prof.TotalEnergy()-after.TotalEnergy()) / math.Max(after.TotalEnergy(), 1); rel > 1e-9 {
+			t.Fatalf("len %d: profile total %g != stats total %g", codeLength, prof.TotalEnergy(), after.TotalEnergy())
+		}
+
+		// The hook observed the retransmission as a replay.
+		if h.replays != 1 {
+			t.Fatalf("len %d: hook saw %d replays, want 1", codeLength, h.replays)
+		}
+
+		// The event record tags the retransmission.
+		events := ch.Events()
+		last := events[len(events)-1]
+		if last.Kind != EventReplay || last.CodeLength != codeLength {
+			t.Fatalf("len %d: last event %+v, want EventReplay", codeLength, last)
+		}
+	}
+}
+
+func TestReplayBurstErrors(t *testing.T) {
+	ch := New(Config{ExactData: false})
+	if err := ch.ReplayBurst(make([]byte, BurstBytes), 0); err == nil {
+		t.Fatal("expected-mode replay should error")
+	}
+	ch = New(Config{ExactData: true})
+	if err := ch.ReplayBurst(make([]byte, 3), 0); err == nil {
+		t.Fatal("short replay payload should error")
+	}
+	if err := ch.ReplayBurst(make([]byte, BurstBytes), 17); err == nil {
+		t.Fatal("unknown code length should error")
+	}
+}
+
+func TestReplayAdvancesWireState(t *testing.T) {
+	// A replayed burst re-encodes from wherever the wires are, so a
+	// subsequent normal burst must still be transition-legal.
+	ch := New(Config{ExactData: true})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		data := randomSector(r)
+		if err := ch.SendBurst(data, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.ReplayBurst(data, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.SendBurst(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		ch.Postamble()
+		ch.Idle(4)
+	}
+	if v := ch.Stats().Violations; v != 0 {
+		t.Fatalf("replay seams produced %d violations", v)
+	}
+}

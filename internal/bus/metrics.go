@@ -21,6 +21,8 @@ type busMetrics struct {
 	wireEnergy     *obs.FloatCounter
 	postambleJ     *obs.FloatCounter
 	logicEnergy    *obs.FloatCounter
+	replayEnergy   *obs.FloatCounter
+	replays        *obs.Counter
 	postambles     *obs.Counter
 	busyUIs        *obs.Counter
 	idleUIs        *obs.Counter
@@ -46,6 +48,10 @@ func newBusMetrics(reg *obs.Registry, labels []obs.Label) *busMetrics {
 			"Energy spent driving L1 postambles.", labels...),
 		logicEnergy: reg.FloatCounter("smores_bus_logic_energy_femtojoules_total",
 			"Encoder/decoder logic energy.", labels...),
+		replayEnergy: reg.FloatCounter("smores_bus_replay_energy_femtojoules_total",
+			"Wire+logic energy burned by EDC-triggered burst retransmissions.", labels...),
+		replays: reg.Counter("smores_bus_replay_bursts_total",
+			"EDC-triggered burst retransmissions.", labels...),
 		postambles: reg.Counter("smores_bus_postambles_total",
 			"Driven L1 postambles.", labels...),
 		busyUIs: reg.Counter("smores_bus_busy_uis_total",

@@ -16,6 +16,7 @@ package bus
 //	WireEnergy      = mta-payload + dbi-wire + sparse-payload + idle-shift
 //	PostambleEnergy = postamble
 //	LogicEnergy     = logic
+//	ReplayEnergy    = replay (retransmission wire+logic, see hook.go)
 
 import (
 	"smores/internal/mta"

@@ -13,6 +13,9 @@ const (
 	EventBurst EventKind = iota
 	EventPostamble
 	EventIdle
+	// EventReplay is an EDC-triggered retransmission of a prior burst
+	// (only appears when a fault hook and replay are active).
+	EventReplay
 )
 
 // Event is one recorded bus action.

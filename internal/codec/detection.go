@@ -1,6 +1,10 @@
 package codec
 
-import "smores/internal/pam4"
+import (
+	"fmt"
+
+	"smores/internal/pam4"
+)
 
 // Sparse codes use only 16 of a much larger sequence space, which gives
 // them inherent error-detection capability: most corrupted sequences fall
@@ -31,6 +35,21 @@ func (d DetectionStats) DetectionRate() float64 {
 	return float64(d.Detected) / float64(d.Events)
 }
 
+// MiscodeRate returns the silent fraction — corruption events landing on
+// a different valid codeword.
+func (d DetectionStats) MiscodeRate() float64 {
+	if d.Events == 0 {
+		return 0
+	}
+	return float64(d.Miscoded) / float64(d.Events)
+}
+
+// String renders a one-line summary.
+func (d DetectionStats) String() string {
+	return fmt.Sprintf("%d events: %.1f%% detected, %.1f%% miscoded",
+		d.Events, 100*d.DetectionRate(), 100*d.MiscodeRate())
+}
+
 // SingleSymbolErrors enumerates every single-symbol substitution within
 // the code's level alphabet and classifies the result.
 func (cb *Codebook) SingleSymbolErrors() DetectionStats {
@@ -50,6 +69,42 @@ func (cb *Codebook) SingleSymbolErrors() DetectionStats {
 					st.Miscoded++
 				} else {
 					st.Detected++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// DoubleSymbolErrors enumerates every two-symbol substitution — two
+// distinct positions, each corrupted to every wrong level in the code's
+// alphabet — and classifies the result. Double errors are what a
+// correlated slip (crosstalk, a supply glitch spanning two UIs) produces
+// and what a single-error analysis over-promises on: pairs of errors can
+// re-enter the codebook where each alone could not.
+func (cb *Codebook) DoubleSymbolErrors() DetectionStats {
+	var st DetectionStats
+	spec := cb.Spec()
+	maxLevel := pam4.Level(spec.Levels - 1)
+	for _, code := range cb.codes {
+		for p1 := 0; p1 < code.Len(); p1++ {
+			for p2 := p1 + 1; p2 < code.Len(); p2++ {
+				for l1 := pam4.L0; l1 <= maxLevel; l1++ {
+					if l1 == code.At(p1) {
+						continue
+					}
+					for l2 := pam4.L0; l2 <= maxLevel; l2++ {
+						if l2 == code.At(p2) {
+							continue
+						}
+						corrupted := substituteSymbol(substituteSymbol(code, p1, l1), p2, l2)
+						st.Events++
+						if _, ok := cb.Decode(corrupted); ok {
+							st.Miscoded++
+						} else {
+							st.Detected++
+						}
+					}
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"strings"
 	"testing"
 
 	"smores/internal/pam4"
@@ -52,6 +53,70 @@ func TestDetectionImprovesWithSparsity(t *testing.T) {
 	st := oneHot.SingleSymbolErrors()
 	if st.Miscoded != 16 {
 		t.Errorf("one-nonzero miscode count = %d, want 16 (L1↔L2 at the hot position)", st.Miscoded)
+	}
+}
+
+func TestDoubleSymbolErrorAccounting(t *testing.T) {
+	cb := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	st := cb.DoubleSymbolErrors()
+	// 16 codes × C(3,2) position pairs × 2 wrong levels each.
+	if st.Events != 16*3*2*2 {
+		t.Fatalf("events = %d, want 192", st.Events)
+	}
+	if st.Detected+st.Miscoded != st.Events {
+		t.Fatal("classification does not partition events")
+	}
+	if st.Miscoded == 0 {
+		t.Fatal("double errors in a 16-of-27 code must sometimes re-enter the codebook")
+	}
+}
+
+// TestDoubleErrorOrderingMatchesSingle pins the same sparsity ordering
+// the single-symbol analysis asserts — 4b3s-3 through 4b8s-3 detect
+// monotonically more double errors, a full-space code none, and the
+// one-hot code most of all (the 4b3s-3 vs full-PAM4 vs one-hot ordering
+// from the single-error study carries over).
+func TestDoubleErrorOrderingMatchesSingle(t *testing.T) {
+	full := mustGen(t, Spec{4, 4, 2, LowestEnergy})
+	if rate := full.DoubleSymbolErrors().DetectionRate(); rate != 0 {
+		t.Errorf("full-space 2-level code double-error detection = %.2f, want 0", rate)
+	}
+	prev := -1.0
+	for _, n := range []int{3, 4, 6, 8} {
+		cb := mustGen(t, Spec{4, n, 3, LowestEnergy})
+		double := cb.DoubleSymbolErrors().DetectionRate()
+		single := cb.SingleSymbolErrors().DetectionRate()
+		t.Logf("4b%ds-3: double-symbol detection %.0f%% (single %.0f%%)", n, double*100, single*100)
+		if double < prev {
+			t.Errorf("double-error detection fell from %.2f to %.2f at length %d", prev, double, n)
+		}
+		prev = double
+	}
+	// Ordering: one-hot ≥ 4b3s-3 > full-space, same as the single-error
+	// study asserts.
+	cb3 := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	oneHot := mustGen(t, Spec{4, 8, 3, OneNonZero})
+	r3, rHot := cb3.DoubleSymbolErrors().DetectionRate(), oneHot.DoubleSymbolErrors().DetectionRate()
+	if !(rHot >= r3 && r3 > 0) {
+		t.Errorf("double-error ordering broke: one-hot %.2f, 4b3s-3 %.2f, full 0", rHot, r3)
+	}
+	// One-hot: at the hot position L1↔L2 swaps land on another codeword,
+	// and a second error can cancel with a first — but coverage stays
+	// high.
+	if rHot < 0.8 {
+		t.Errorf("one-nonzero double-error detection %.2f, want ≥0.8", rHot)
+	}
+}
+
+func TestDetectionStatsString(t *testing.T) {
+	cb := mustGen(t, Spec{4, 3, 3, LowestEnergy})
+	s := cb.SingleSymbolErrors().String()
+	if s == "" || !strings.Contains(s, "detected") || !strings.Contains(s, "miscoded") {
+		t.Fatalf("String() summary malformed: %q", s)
+	}
+	var zero DetectionStats
+	if zero.DetectionRate() != 0 || zero.MiscodeRate() != 0 {
+		t.Fatal("zero stats should have zero rates")
 	}
 }
 

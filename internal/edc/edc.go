@@ -8,6 +8,8 @@
 // alone would accept silently.
 package edc
 
+import "smores/internal/pam4"
+
 // Poly is the CRC-8 generator polynomial x⁸+x²+x+1 (the ATM HEC
 // polynomial used by the GDDR6 EDC definition).
 const Poly = 0x07
@@ -62,3 +64,32 @@ func Verify(burst []byte, crcs [2]byte) bool {
 // (the "EDC hold pattern"), one 4-bit nibble repeated — a small standing
 // energy cost on real devices that data-bus coding does not remove.
 const HoldPattern = 0xA
+
+// CRCPinSymbols is the number of PAM4 symbols one CRC byte occupies on
+// the EDC pin (two bits per symbol).
+const CRCPinSymbols = 4
+
+// CRCSymbols maps one CRC byte onto the EDC pin's four PAM4 symbols,
+// MSB-first (symbol 0 carries bits 7..6). The mapping is bijective, so
+// any single-symbol error on the pin changes the received CRC byte —
+// which is exactly why pin corruption is always caught: the recomputed
+// payload CRC cannot match a corrupted pin byte.
+func CRCSymbols(b byte) [CRCPinSymbols]pam4.Level {
+	var sym [CRCPinSymbols]pam4.Level
+	for i := 0; i < CRCPinSymbols; i++ {
+		shift := uint(6 - 2*i)
+		sym[i] = pam4.LevelFromBits(b>>(shift+1)&1, b>>shift&1)
+	}
+	return sym
+}
+
+// CRCFromSymbols reverses CRCSymbols.
+func CRCFromSymbols(sym [CRCPinSymbols]pam4.Level) byte {
+	var b byte
+	for i := 0; i < CRCPinSymbols; i++ {
+		hi, lo := sym[i].Bits()
+		shift := uint(6 - 2*i)
+		b |= hi<<(shift+1) | lo<<shift
+	}
+	return b
+}

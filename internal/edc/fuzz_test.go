@@ -1,0 +1,124 @@
+package edc
+
+import (
+	"bytes"
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+// TestBurstCRCsWrongLengths pins the length contract: only exactly
+// 32-byte bursts produce CRCs, everything else is rejected (never a
+// panic, never a stale CRC).
+func TestBurstCRCsWrongLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 31, 33, 64} {
+		if crcs, ok := BurstCRCs(make([]byte, n)); ok {
+			t.Errorf("length %d accepted with CRCs %v", n, crcs)
+		}
+		if Verify(make([]byte, n), [2]byte{}) {
+			t.Errorf("length %d verified", n)
+		}
+	}
+	if _, ok := BurstCRCs(nil); ok {
+		t.Error("nil burst accepted")
+	}
+	if _, ok := BurstCRCs(make([]byte, 2*GroupBurstBytes)); !ok {
+		t.Error("exact-length burst rejected")
+	}
+}
+
+// TestCRCPinSymbolRoundTrip: the byte↔symbol mapping on the EDC pin is
+// bijective, and every single- or double-symbol corruption of the pin
+// changes the received byte — pin errors can never masquerade as a
+// matching CRC.
+func TestCRCPinSymbolRoundTrip(t *testing.T) {
+	seen := map[[CRCPinSymbols]pam4.Level]bool{}
+	for b := 0; b < 256; b++ {
+		sym := CRCSymbols(byte(b))
+		if seen[sym] {
+			t.Fatalf("symbol pattern %v produced twice", sym)
+		}
+		seen[sym] = true
+		if got := CRCFromSymbols(sym); got != byte(b) {
+			t.Fatalf("round trip %#02x → %v → %#02x", b, sym, got)
+		}
+		// Any single-symbol change alters the received byte (bijectivity
+		// makes this immediate, but pin the property directly).
+		for i := 0; i < CRCPinSymbols; i++ {
+			for l := pam4.L0; l < pam4.NumLevels; l++ {
+				if l == sym[i] {
+					continue
+				}
+				mut := sym
+				mut[i] = l
+				if CRCFromSymbols(mut) == byte(b) {
+					t.Fatalf("pin symbol %d slip %v→%v left byte %#02x unchanged", i, sym[i], l, b)
+				}
+			}
+		}
+	}
+	if len(seen) != 256 {
+		t.Fatalf("mapping not bijective: %d distinct patterns", len(seen))
+	}
+}
+
+// FuzzEDCDetect drives BurstCRCs/Verify and the pin-symbol mapping with
+// arbitrary payloads and corruption coordinates: Verify must accept the
+// clean burst, reject any burst whose corruption changed a protected
+// group, and the pin mapping must stay a byte-faithful round trip.
+func FuzzEDCDetect(f *testing.F) {
+	f.Add(make([]byte, 32), uint8(0), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xA5}, 32), uint8(17), uint8(0x80))
+	f.Add(bytes.Repeat([]byte{0xFF}, 32), uint8(31), uint8(0xFF))
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint8(5), uint8(3))
+	f.Add(make([]byte, 16), uint8(0), uint8(1))  // wrong length
+	f.Add(make([]byte, 33), uint8(32), uint8(1)) // wrong length
+	f.Fuzz(func(t *testing.T, burst []byte, pos, flip uint8) {
+		crcs, ok := BurstCRCs(burst)
+		if !ok {
+			if len(burst) == 2*GroupBurstBytes {
+				t.Fatalf("exact-length burst rejected (len %d)", len(burst))
+			}
+			return
+		}
+		if len(burst) != 2*GroupBurstBytes {
+			t.Fatalf("wrong length %d accepted", len(burst))
+		}
+		if !Verify(burst, crcs) {
+			t.Fatal("clean burst failed verification")
+		}
+
+		// Corrupt one byte; the corrupted group's CRC must flag it.
+		p := int(pos) % len(burst)
+		if flip != 0 {
+			corrupted := append([]byte(nil), burst...)
+			corrupted[p] ^= flip
+			if Verify(corrupted, crcs) {
+				t.Fatalf("byte %d xor %#02x verified against clean CRCs", p, flip)
+			}
+			got, _ := BurstCRCs(corrupted)
+			g := p / GroupBurstBytes
+			if got[g] == crcs[g] {
+				t.Fatalf("group %d CRC unchanged by byte %d xor %#02x", g, p, flip)
+			}
+			if got[1-g] != crcs[1-g] {
+				t.Fatalf("corruption in group %d leaked into group %d's CRC", g, 1-g)
+			}
+		}
+
+		// The EDC pin mapping round-trips both CRCs and survives a
+		// deterministic slip check.
+		for g := 0; g < 2; g++ {
+			sym := CRCSymbols(crcs[g])
+			if CRCFromSymbols(sym) != crcs[g] {
+				t.Fatalf("pin mapping broke for CRC %#02x", crcs[g])
+			}
+			i := int(pos) % CRCPinSymbols
+			mut := sym
+			mut[i] = (sym[i] + 1) % pam4.NumLevels
+			if CRCFromSymbols(mut) == crcs[g] {
+				t.Fatalf("pin slip at symbol %d left CRC %#02x unchanged", i, crcs[g])
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package eyesim
+
+// Eye-margin → symbol-slip probability: the single source of truth that
+// both the fault injector's eye-biased error model (internal/fault) and
+// eye-diagram reporting share. The model is the standard PAM decision
+// analysis: additive Gaussian noise of standard deviation sigma on the
+// sampled voltage, uniform decision thresholds halfway between adjacent
+// levels, and the worst-case aggressor eye (crosstalk + supply noise for
+// the scheme's swing cap) as the surviving margin. A transmitted level
+// slips k levels when the noise crosses the k-th threshold, at distance
+// (2k−1)·(eye/2) from the level center, but not the (k+1)-th — except
+// toward the extreme levels, where the remaining tail saturates (noise
+// far below L0 still decodes as L0).
+
+import (
+	"fmt"
+	"math"
+
+	"smores/internal/pam4"
+)
+
+// Q is the Gaussian tail function Q(x) = P[N(0,1) > x] = erfc(x/√2)/2.
+func Q(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// SlipMatrix is a per-level receive-probability matrix: M[from][to] is
+// the probability a transmitted level from is sampled as to. Rows sum
+// to 1 exactly (the diagonal absorbs the residual).
+type SlipMatrix [pam4.NumLevels][pam4.NumLevels]float64
+
+// ErrorProb returns the mean symbol-error probability over uniformly
+// distributed transmitted levels (the off-diagonal row mass, averaged).
+func (m SlipMatrix) ErrorProb() float64 {
+	var p float64
+	for from := 0; from < pam4.NumLevels; from++ {
+		for to := 0; to < pam4.NumLevels; to++ {
+			if to != from {
+				p += m[from][to]
+			}
+		}
+	}
+	return p / pam4.NumLevels
+}
+
+// LevelErrorProb returns the probability that transmitted level from is
+// received as any other level. Interior levels (two adjacent decision
+// boundaries) are roughly twice as exposed as the extremes.
+func (m SlipMatrix) LevelErrorProb(from pam4.Level) float64 {
+	var p float64
+	for to := 0; to < pam4.NumLevels; to++ {
+		if pam4.Level(to) != from {
+			p += m[from][to]
+		}
+	}
+	return p
+}
+
+// LevelSlipMatrix builds the slip matrix for Gaussian sampling noise of
+// sigmaMV, using the analyzer's worst-case aggressor eye for the given
+// swing cap (3 = unconstrained PAM4, 2 = MTA/SMOREs) as the decision
+// margin. Returns an error when the eye is already closed (≤ 0 mV) —
+// there is no margin to randomize around.
+func (a *Analyzer) LevelSlipMatrix(sigmaMV float64, maxSwingDV int) (SlipMatrix, error) {
+	eye := a.WorstCaseAggressorEye(maxSwingDV)
+	return SlipMatrixFromEye(eye, sigmaMV)
+}
+
+// SlipMatrixFromEye builds the slip matrix from an explicit eye height
+// (mV) and Gaussian noise sigma (mV). Exposed so tests and the fault
+// injector can target a synthetic eye without an Analyzer.
+func SlipMatrixFromEye(eyeMV, sigmaMV float64) (SlipMatrix, error) {
+	var m SlipMatrix
+	if eyeMV <= 0 {
+		return m, fmt.Errorf("eyesim: eye is closed (%.1f mV), slip probabilities undefined", eyeMV)
+	}
+	if sigmaMV <= 0 {
+		return m, fmt.Errorf("eyesim: noise sigma must be positive, got %g mV", sigmaMV)
+	}
+	half := eyeMV / 2
+	for from := 0; from < pam4.NumLevels; from++ {
+		row := &m[from]
+		var off float64
+		// Walk outward in each direction; the farthest reachable level
+		// absorbs the full remaining tail.
+		for _, dir := range [2]int{+1, -1} {
+			steps := pam4.NumLevels - 1 - from
+			if dir < 0 {
+				steps = from
+			}
+			for k := 1; k <= steps; k++ {
+				p := Q(float64(2*k-1) * half / sigmaMV)
+				if k < steps {
+					p -= Q(float64(2*k+1) * half / sigmaMV)
+				}
+				row[from+dir*k] = p
+				off += p
+			}
+		}
+		row[from] = 1 - off
+	}
+	return m, nil
+}
+
+// SymbolErrorProb returns the mean symbol-error probability for Gaussian
+// noise sigmaMV under the analyzer's worst-case eye for maxSwingDV.
+func (a *Analyzer) SymbolErrorProb(sigmaMV float64, maxSwingDV int) (float64, error) {
+	m, err := a.LevelSlipMatrix(sigmaMV, maxSwingDV)
+	if err != nil {
+		return 0, err
+	}
+	return m.ErrorProb(), nil
+}
+
+// SigmaForErrorProb inverts SymbolErrorProb by bisection: the noise
+// sigma (mV) at which the mean symbol-error probability equals target.
+// The fault injector uses this to express "inject at rate r" in the
+// eye-biased model while keeping the per-level/per-transition structure
+// the eye dictates.
+func (a *Analyzer) SigmaForErrorProb(target float64, maxSwingDV int) (float64, error) {
+	eye := a.WorstCaseAggressorEye(maxSwingDV)
+	return SigmaForErrorProbFromEye(eye, target)
+}
+
+// SigmaForErrorProbFromEye is SigmaForErrorProb for an explicit eye.
+func SigmaForErrorProbFromEye(eyeMV, target float64) (float64, error) {
+	if eyeMV <= 0 {
+		return 0, fmt.Errorf("eyesim: eye is closed (%.1f mV)", eyeMV)
+	}
+	// The achievable range is (0, pMax) where pMax is the sigma→∞ limit:
+	// every boundary crossing equally likely, 1.5 errors per 4 levels per
+	// side accounting… just probe the bracket numerically.
+	if target <= 0 {
+		return 0, fmt.Errorf("eyesim: target error probability must be positive, got %g", target)
+	}
+	lo, hi := eyeMV*1e-3, eyeMV*1e3
+	pAt := func(sigma float64) float64 {
+		m, err := SlipMatrixFromEye(eyeMV, sigma)
+		if err != nil {
+			return 0
+		}
+		return m.ErrorProb()
+	}
+	if pAt(hi) < target {
+		return 0, fmt.Errorf("eyesim: target error probability %g unreachable (max ≈ %.3g)", target, pAt(hi))
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: sigma spans decades
+		if pAt(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}

@@ -1,0 +1,141 @@
+package eyesim
+
+import (
+	"math"
+	"testing"
+
+	"smores/internal/pam4"
+)
+
+func mustAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSlipMatrixRowsSumToOne(t *testing.T) {
+	a := mustAnalyzer(t)
+	for _, sigma := range []float64{5, 20, 60, 200} {
+		m, err := a.LevelSlipMatrix(sigma, pam4.MaxTransition)
+		if err != nil {
+			t.Fatalf("sigma %g: %v", sigma, err)
+		}
+		for from := 0; from < pam4.NumLevels; from++ {
+			var sum float64
+			for to := 0; to < pam4.NumLevels; to++ {
+				if m[from][to] < 0 || m[from][to] > 1 {
+					t.Fatalf("sigma %g: M[%d][%d]=%g outside [0,1]", sigma, from, to, m[from][to])
+				}
+				sum += m[from][to]
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("sigma %g: row %d sums to %g", sigma, from, sum)
+			}
+		}
+	}
+}
+
+func TestSlipMatrixStructure(t *testing.T) {
+	a := mustAnalyzer(t)
+	m, err := a.LevelSlipMatrix(30, pam4.MaxTransition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent slips dominate multi-level slips.
+	if m[pam4.L1][pam4.L0] <= m[pam4.L1][pam4.L3] {
+		t.Fatalf("adjacent slip %g should exceed 2-level slip %g", m[pam4.L1][pam4.L0], m[pam4.L1][pam4.L3])
+	}
+	// Interior levels (two boundaries) are more exposed than extremes.
+	if m.LevelErrorProb(pam4.L1) <= m.LevelErrorProb(pam4.L0) {
+		t.Fatalf("interior level error %g should exceed edge level error %g",
+			m.LevelErrorProb(pam4.L1), m.LevelErrorProb(pam4.L0))
+	}
+	// Symmetry of the uniform-eye model: L0 and L3 match, L1 and L2 match.
+	if d := math.Abs(m.LevelErrorProb(pam4.L0) - m.LevelErrorProb(pam4.L3)); d > 1e-15 {
+		t.Fatalf("edge levels should be symmetric, diff %g", d)
+	}
+	if d := math.Abs(m.LevelErrorProb(pam4.L1) - m.LevelErrorProb(pam4.L2)); d > 1e-15 {
+		t.Fatalf("interior levels should be symmetric, diff %g", d)
+	}
+}
+
+func TestSymbolErrorProbMonotoneInSigma(t *testing.T) {
+	a := mustAnalyzer(t)
+	prev := 0.0
+	for _, sigma := range []float64{5, 10, 20, 40, 80} {
+		p, err := a.SymbolErrorProb(sigma, pam4.MaxTransition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev {
+			t.Fatalf("error prob should grow with sigma: p(%g)=%g after %g", sigma, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestWiderEyeIsSafer(t *testing.T) {
+	// MTA's 2ΔV swing cap leaves a wider worst-case eye than unconstrained
+	// 3ΔV PAM4, so at the same noise it must slip less — the reliability
+	// face of the paper's restriction argument.
+	a := mustAnalyzer(t)
+	p2, err := a.SymbolErrorProb(25, pam4.MaxTransition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := a.SymbolErrorProb(25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 >= p3 {
+		t.Fatalf("2dv-capped eye should be safer: p2=%g p3=%g", p2, p3)
+	}
+}
+
+func TestSigmaForErrorProbRoundTrip(t *testing.T) {
+	a := mustAnalyzer(t)
+	for _, target := range []float64{1e-6, 1e-4, 1e-2} {
+		sigma, err := a.SigmaForErrorProb(target, pam4.MaxTransition)
+		if err != nil {
+			t.Fatalf("target %g: %v", target, err)
+		}
+		p, err := a.SymbolErrorProb(sigma, pam4.MaxTransition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-target) > target*1e-6 {
+			t.Fatalf("target %g: inverse gives sigma %g with p %g", target, sigma, p)
+		}
+	}
+}
+
+func TestSlipMatrixErrors(t *testing.T) {
+	if _, err := SlipMatrixFromEye(-10, 5); err == nil {
+		t.Fatal("closed eye should be rejected")
+	}
+	if _, err := SlipMatrixFromEye(100, 0); err == nil {
+		t.Fatal("zero sigma should be rejected")
+	}
+	if _, err := SigmaForErrorProbFromEye(100, 0); err == nil {
+		t.Fatal("zero target should be rejected")
+	}
+	if _, err := SigmaForErrorProbFromEye(100, 0.99); err == nil {
+		t.Fatal("unreachable target should be rejected")
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	if d := math.Abs(Q(0) - 0.5); d > 1e-15 {
+		t.Fatalf("Q(0) = %g, want 0.5", Q(0)+d-d)
+	}
+	// Standard value: Q(1) ≈ 0.158655.
+	if d := math.Abs(Q(1) - 0.15865525393145705); d > 1e-12 {
+		t.Fatalf("Q(1) off by %g", d)
+	}
+	if Q(5) >= Q(1) {
+		t.Fatal("Q must be decreasing")
+	}
+}

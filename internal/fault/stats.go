@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats accumulates injection and detection accounting. The layered
+// counters partition the corrupted bursts exactly:
+//
+//	CorruptedBursts = CaughtLegality + CaughtCodebook + CaughtEDC + Silent
+//
+// (Harmless ⊆ Silent is informational.) The campaign runner enforces
+// this conservation at every campaign point.
+type Stats struct {
+	// Bursts counts observed transmissions (ReplayBursts ⊆ Bursts).
+	Bursts       int64
+	ReplayBursts int64
+	// Symbols counts symbols exposed to the error process (incl. the EDC
+	// pin when modeled); Injected of them were corrupted.
+	Injected int64
+	Symbols  int64
+	// EDCPinErrors is the share of Injected that hit the EDC pin itself.
+	EDCPinErrors int64
+	// CorruptedBursts had ≥1 injected symbol; the four layer counters
+	// partition them by the first mechanism that fired (receiver order:
+	// legality, then code-space membership, then CRC).
+	CorruptedBursts int64
+	CaughtLegality  int64
+	CaughtCodebook  int64
+	CaughtEDC       int64
+	Silent          int64
+	// Harmless ⊆ Silent: undetected, but the corruption cancelled and
+	// the decoded payload equals the original.
+	Harmless int64
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
+	s.Bursts += o.Bursts
+	s.ReplayBursts += o.ReplayBursts
+	s.Injected += o.Injected
+	s.Symbols += o.Symbols
+	s.EDCPinErrors += o.EDCPinErrors
+	s.CorruptedBursts += o.CorruptedBursts
+	s.CaughtLegality += o.CaughtLegality
+	s.CaughtCodebook += o.CaughtCodebook
+	s.CaughtEDC += o.CaughtEDC
+	s.Silent += o.Silent
+	s.Harmless += o.Harmless
+}
+
+// Detected is the number of corrupted bursts any layer caught.
+func (s Stats) Detected() int64 { return s.CaughtLegality + s.CaughtCodebook + s.CaughtEDC }
+
+// Conserves verifies the layer partition of corrupted bursts.
+func (s Stats) Conserves() bool {
+	return s.CorruptedBursts == s.Detected()+s.Silent && s.Harmless <= s.Silent
+}
+
+// SymbolErrorRate is the realized per-symbol corruption probability.
+func (s Stats) SymbolErrorRate() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.Injected) / float64(s.Symbols)
+}
+
+// DetectionRate is the fraction of corrupted bursts any layer caught.
+func (s Stats) DetectionRate() float64 {
+	if s.CorruptedBursts == 0 {
+		return 0
+	}
+	return float64(s.Detected()) / float64(s.CorruptedBursts)
+}
+
+// SilentRate is the fraction of corrupted bursts no layer caught.
+func (s Stats) SilentRate() float64 {
+	if s.CorruptedBursts == 0 {
+		return 0
+	}
+	return float64(s.Silent) / float64(s.CorruptedBursts)
+}
+
+// LayerShare returns one layer counter as a fraction of corrupted bursts.
+func (s Stats) LayerShare(caught int64) float64 {
+	if s.CorruptedBursts == 0 {
+		return 0
+	}
+	return float64(caught) / float64(s.CorruptedBursts)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bursts %d (replays %d), corrupted %d", s.Bursts, s.ReplayBursts, s.CorruptedBursts)
+	if s.CorruptedBursts > 0 {
+		fmt.Fprintf(&b, ": legality %.1f%% codebook %.1f%% edc %.1f%% silent %.1f%%",
+			100*s.LayerShare(s.CaughtLegality), 100*s.LayerShare(s.CaughtCodebook),
+			100*s.LayerShare(s.CaughtEDC), 100*s.SilentRate())
+	}
+	return b.String()
+}

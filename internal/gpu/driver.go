@@ -49,7 +49,10 @@ type RunResult struct {
 	DRAMWrites  int64
 	Clocks      int64
 	StallClocks int64
-	LLC         LLCStats
+	// ReplayedReads counts EDC-triggered retransmissions observed on
+	// completed reads (0 on a clean link).
+	ReplayedReads int64
+	LLC           LLCStats
 }
 
 // Bandwidth returns achieved DRAM bytes per clock.
@@ -97,7 +100,10 @@ func NewDriver(cfg DriverConfig, ctrl *memctrl.Controller, gen Generator) (*Driv
 		llc.AttachMetrics(cfg.Obs, cfg.ObsLabels...)
 		d.llc = llc
 	}
-	ctrl.OnReadDone(func(*memctrl.Request) { d.inflight-- })
+	ctrl.OnReadDone(func(r *memctrl.Request) {
+		d.inflight--
+		d.res.ReplayedReads += int64(r.Replayed)
+	})
 	return d, nil
 }
 

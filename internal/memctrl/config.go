@@ -119,6 +119,15 @@ type Config struct {
 	// plus a ">16" tail). Zero selects 17.
 	GapHistBuckets int
 
+	// Fault installs a link-reliability hook on the owned channel (see
+	// bus.BurstHook); it enables the EDC replay machinery below. Requires
+	// Bus.ExactData — the hook needs real symbols to corrupt. Nil keeps
+	// the link ideal and the replay path compiled out to nil checks.
+	Fault bus.BurstHook
+	// Replay tunes the EDC-triggered retransmission machinery; only
+	// consulted when Fault is installed. Zero value selects defaults.
+	Replay ReplayConfig
+
 	// NoEventSkip forces Drain (and any caller honouring it, e.g. the GPU
 	// driver) back onto the legacy one-clock-at-a-time tick loop instead of
 	// next-event skipping. The two loops are bit-identical by construction
@@ -188,6 +197,14 @@ func (c Config) validate() error {
 	}
 	if c.ExtraCodecLatency < 0 {
 		return fmt.Errorf("memctrl: negative codec latency")
+	}
+	if c.Fault != nil {
+		if !c.Bus.ExactData {
+			return fmt.Errorf("memctrl: fault hook requires exact-data mode")
+		}
+		if err := c.Replay.withDefaults().validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -23,7 +23,19 @@ type Stats struct {
 	// GPU-side codec decisions — the mechanism's invariant says zero.
 	DecisionMismatches int64
 	// BusConflicts counts data-slot overlaps — scheduling invariant, zero.
+	// (Replay overruns are latency, not conflicts: the stretched
+	// reservation holds later column commands back.)
 	BusConflicts int64
+	// Replays counts EDC-triggered retransmitted bursts; ReplayClocks is
+	// the total command clocks they occupied (backoff + re-sent slots).
+	Replays      int64
+	ReplayClocks int64
+	// ReplayFailures counts bursts still dirty after the retry budget.
+	ReplayFailures int64
+	// DegradedBursts counts payload bursts sent while the controller was
+	// in the MTA-only graceful-degradation state (the burst would
+	// otherwise have been eligible for a sparse code).
+	DegradedBursts int64
 	// MaxGapClocks is the largest idle span observed between transfers —
 	// dominated by the refresh shadow (tRFC under REFab, tRFCpb-ish under
 	// REFpb).
@@ -63,6 +75,17 @@ type Controller struct {
 	dramTracker core.GapTracker
 	gpuTracker  core.GapTracker
 
+	// EDC replay state (see replay.go). replay holds the defaulted config;
+	// faultWin is the detected-rate ring buffer backing the graceful
+	// degradation decision (nil when degradation is disabled), and
+	// degraded is the MTA-only hysteresis state.
+	replay       ReplayConfig
+	faultWin     []bool
+	faultWinIdx  int
+	faultWinFill int
+	faultWinHits int
+	degraded     bool
+
 	// payload generates random burst data in exact-data mode (encrypted
 	// traffic is uniform random, so synthesized payloads are faithful).
 	payload *rng.RNG
@@ -98,6 +121,10 @@ type xfer struct {
 	codeLen   int
 	postamble bool
 	accounted bool // trailing idle accounted
+	// replayClocks is the bus time EDC replay traffic consumed right
+	// after this transfer's slot (0 when the link is clean); the trailing
+	// idle accounting subtracts it from the observed span.
+	replayClocks int64
 }
 
 // New builds a controller.
@@ -112,6 +139,9 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.Policy == OptimizedMTA {
 		cfg.Bus.LevelShiftedIdle = true
+	}
+	if cfg.Fault != nil {
+		cfg.Bus.Fault = cfg.Fault
 	}
 	// Propagate observability into the owned submodules: the channel
 	// registers its energy counters and the device its command counters
@@ -133,6 +163,12 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.Bus.ExactData {
 		c.payload = rng.New(0x5310_4E5)
+	}
+	if cfg.Fault != nil {
+		c.replay = cfg.Replay.withDefaults()
+		if c.replay.DegradeThreshold > 0 {
+			c.faultWin = make([]bool, c.replay.DegradeWindow)
+		}
 	}
 	return c, nil
 }
@@ -583,7 +619,16 @@ func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
 	p := &c.pending
 	codeLen := 0
 	if c.cfg.Policy == SMOREs && nextKind == p.kind {
-		codeLen = c.cfg.Scheme.SelectLength(gap, known)
+		if c.degraded {
+			// Graceful degradation: the detected-error rate crossed the
+			// threshold, so stay on the dense MTA code (shorter wire
+			// exposure) until the rate recovers. Count the burst that
+			// would otherwise have been sparse-eligible.
+			c.st.DegradedBursts++
+			c.m.degradedBursts.Inc()
+		} else {
+			codeLen = c.cfg.Scheme.SelectLength(gap, known)
+		}
 	}
 	// The other end of the link (GPU for reads, DRAM for writes) mirrors
 	// the decision from its own tracker over the same command stream;
@@ -608,6 +653,17 @@ func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
 	}
 	if err := c.ch.SendBurst(data, codeLen); err != nil {
 		panic("memctrl: " + err.Error())
+	}
+	// EDC replay: if the link-reliability hook detected an error on the
+	// burst, retransmit it now. The replay traffic's clocks extend the bus
+	// reservation (holding later column commands back) and the read's
+	// completion time; accountIdle subtracts them from the trailing span.
+	p.replayClocks = c.runReplay(p, data)
+	if p.replayClocks > 0 {
+		c.st.ReplayClocks += p.replayClocks
+		if end := p.dataStart + int64(core.SlotClocks(codeLen)) + p.replayClocks; end > c.busReservedUntil {
+			c.busReservedUntil = end
+		}
 	}
 	if p.postamble {
 		c.ch.Postamble()
@@ -646,7 +702,7 @@ func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
 	c.haveBurst = true
 
 	if p.kind == Read {
-		p.req.Done = p.dataStart + int64(core.SlotClocks(codeLen))
+		p.req.Done = p.dataStart + int64(core.SlotClocks(codeLen)) + p.replayClocks
 		c.scheduleCompletion(p.req)
 	} else {
 		c.st.WritesServed++
@@ -659,6 +715,12 @@ func (c *Controller) decidePending(gap, gpuGap int, known bool, nextKind Kind) {
 // command stream.
 func (c *Controller) mirrorDecision(gap int, known bool, nextKind, kind Kind) int {
 	if c.cfg.Policy != SMOREs || nextKind != kind {
+		return 0
+	}
+	if c.degraded {
+		// Both ends of the link observe the same EDC feedback stream, so
+		// the MTA-only degradation state is mirrored without extra
+		// signaling (see replay.go).
 		return 0
 	}
 	return c.cfg.Scheme.SelectLength(gap, known)
@@ -685,10 +747,16 @@ func (c *Controller) accountIdle(prev *xfer, nextStart int64, nextKind Kind) {
 		c.st.MaxGapClocks = span
 	}
 	c.m.maxGap.SetMax(span)
-	idle := span - used
+	// Replay traffic occupied part of the trailing span; only the
+	// remainder is genuinely idle. A negative remainder from replay alone
+	// is latency (the stretched reservation held the next command back at
+	// issue time), not a scheduling conflict.
+	idle := span - used - prev.replayClocks
 	if idle < 0 {
-		c.st.BusConflicts++
-		c.m.conflicts.Inc()
+		if span-used < 0 {
+			c.st.BusConflicts++
+			c.m.conflicts.Inc()
+		}
 		idle = 0
 	}
 	c.ch.Idle(idle * bus.UIsPerClock)

@@ -12,18 +12,22 @@ import (
 
 // ctrlMetrics holds the controller's resolved instrument handles.
 type ctrlMetrics struct {
-	readsServed   *obs.Counter
-	writesServed  *obs.Counter
-	readLatency   *obs.Counter // sum of read latencies, clocks
-	sparseReads   *obs.Counter
-	sparseWrites  *obs.Counter
-	mismatches    *obs.Counter
-	conflicts     *obs.Counter
-	clock         *obs.Gauge
-	maxGap        *obs.Gauge
-	readQ, writeQ *obs.Gauge
-	readGaps      *obs.Histogram
-	writeGaps     *obs.Histogram
+	readsServed    *obs.Counter
+	writesServed   *obs.Counter
+	readLatency    *obs.Counter // sum of read latencies, clocks
+	sparseReads    *obs.Counter
+	sparseWrites   *obs.Counter
+	mismatches     *obs.Counter
+	conflicts      *obs.Counter
+	replays        *obs.Counter
+	replayClocks   *obs.Counter
+	replayFailures *obs.Counter
+	degradedBursts *obs.Counter
+	clock          *obs.Gauge
+	maxGap         *obs.Gauge
+	readQ, writeQ  *obs.Gauge
+	readGaps       *obs.Histogram
+	writeGaps      *obs.Histogram
 }
 
 // newCtrlMetrics resolves every handle once against the registry; the
@@ -53,6 +57,14 @@ func newCtrlMetrics(reg *obs.Registry, labels []obs.Label, gapBuckets int) ctrlM
 			"DRAM/GPU codec decision disagreements (invariant: 0).", labels...),
 		conflicts: reg.Counter("smores_ctrl_bus_conflicts_total",
 			"Data-slot overlaps on the bus (invariant: 0).", labels...),
+		replays: reg.Counter("smores_ctrl_replays_total",
+			"EDC-triggered burst retransmissions.", labels...),
+		replayClocks: reg.Counter("smores_ctrl_replay_clocks_total",
+			"Command clocks consumed by replay traffic (backoff + re-sent slots).", labels...),
+		replayFailures: reg.Counter("smores_ctrl_replay_failures_total",
+			"Bursts still error-detected after the replay retry budget.", labels...),
+		degradedBursts: reg.Counter("smores_ctrl_degraded_bursts_total",
+			"Bursts forced to MTA by graceful degradation.", labels...),
 		clock: reg.Gauge("smores_ctrl_clock",
 			"Current controller command clock.", labels...),
 		maxGap: reg.Gauge("smores_ctrl_max_gap_clocks",

@@ -76,6 +76,10 @@ func TestProfileConservationAllPolicies(t *testing.T) {
 				t.Errorf("%s exact=%v: logic phase %.9g vs stats %.9g",
 					c.Describe(), exact, lg, st.LogicEnergy)
 			}
+			if rp := prof.PhaseEnergy(obs.PhaseReplay); math.Abs(rp-st.ReplayEnergy) > tol {
+				t.Errorf("%s exact=%v: replay phase %.9g vs stats %.9g (must be 0 on a clean link)",
+					c.Describe(), exact, rp, st.ReplayEnergy)
+			}
 		}
 	}
 }

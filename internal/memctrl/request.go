@@ -53,6 +53,10 @@ type Request struct {
 	DataStart int64
 	// CodeLength is the encoding used (0 = MTA).
 	CodeLength int
+	// Replayed counts EDC-triggered retransmissions this request's burst
+	// needed (0 when the link-reliability hook is off or the burst was
+	// clean).
+	Replayed int
 	// Done is the clock at which read data has fully arrived and decoded
 	// (reads only).
 	Done int64

@@ -25,7 +25,8 @@ type Phase uint8
 
 // Attribution phases. They partition bus.Stats.TotalEnergy():
 // MTAPayload+DBIWire+SparsePayload+IdleShift sum to WireEnergy,
-// PhasePostamble to PostambleEnergy, PhaseLogic to LogicEnergy.
+// PhasePostamble to PostambleEnergy, PhaseLogic to LogicEnergy,
+// PhaseReplay to ReplayEnergy (EDC-triggered retransmissions).
 const (
 	// PhaseMTAPayload is energy on the eight MTA-encoded data wires of a
 	// dense burst.
@@ -43,9 +44,15 @@ const (
 	PhaseIdleShift
 	// PhaseLogic is encoder+decoder logic energy (not wire drive).
 	PhaseLogic
+	// PhaseReplay is wire+logic energy burned by EDC-triggered burst
+	// retransmissions (internal/fault + the memctrl replay queue). It
+	// carries real per-symbol wire/level/transition identity like the
+	// payload phases, but delivers no new data bits, so it is accounted
+	// outside WireEnergy in bus.Stats.ReplayEnergy.
+	PhaseReplay
 
 	// NumPhases sizes the phase dimension.
-	NumPhases = 6
+	NumPhases = 7
 )
 
 // String names the phase.
@@ -63,6 +70,8 @@ func (p Phase) String() string {
 		return "idle-shift"
 	case PhaseLogic:
 		return "logic"
+	case PhaseReplay:
+		return "replay"
 	default:
 		return fmt.Sprintf("phase(%d)", uint8(p))
 	}

@@ -1,0 +1,179 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/fault"
+	"smores/internal/memctrl"
+	"smores/internal/workload"
+)
+
+// TestFaultNilHookBitIdentical is the acceptance gate for the
+// link-reliability hook: with injection disabled the whole stack must
+// produce bit-identical results whether the hook is absent (nil — the
+// pre-subsystem configuration) or present but injecting nothing. The
+// hook is observation-only; installing it must never perturb energy,
+// timing, or scheduling.
+func TestFaultNilHookBitIdentical(t *testing.T) {
+	fleet := workload.Fleet()
+	apps := []int{0, len(fleet) - 1}
+	for _, spec := range PolicySpecs(1500, 3, true) {
+		spec := spec
+		spec.ExactData = true
+		t.Run(spec.Policy.String()+"/"+spec.Scheme.String(), func(t *testing.T) {
+			for _, ai := range apps {
+				p := fleet[ai]
+				want, err := RunApp(p, spec)
+				if err != nil {
+					t.Fatalf("%s nil hook: %v", p.Name, err)
+				}
+				hooked := spec
+				hooked.Fault = &fault.Config{Model: fault.ModelUniform, Rate: 0, Seed: 1, EDC: true}
+				got, err := RunApp(p, hooked)
+				if err != nil {
+					t.Fatalf("%s zero-rate hook: %v", p.Name, err)
+				}
+				if got.Fault.Bursts == 0 {
+					t.Fatalf("%s: hook observed no bursts", p.Name)
+				}
+				if got.Fault.Injected != 0 || got.Fault.CorruptedBursts != 0 {
+					t.Fatalf("%s: zero-rate hook injected: %+v", p.Name, got.Fault)
+				}
+				if want.Bus != got.Bus {
+					t.Errorf("%s: bus stats diverge:\n nil    %+v\n hooked %+v", p.Name, want.Bus, got.Bus)
+				}
+				if want.Ctrl != got.Ctrl {
+					t.Errorf("%s: controller stats diverge:\n nil    %+v\n hooked %+v", p.Name, want.Ctrl, got.Ctrl)
+				}
+				if want.Clocks != got.Clocks || want.PerBit != got.PerBit ||
+					want.AvgReadLatency != got.AvgReadLatency {
+					t.Errorf("%s: run outcome diverges: nil (clk=%d perbit=%v lat=%v) hooked (clk=%d perbit=%v lat=%v)",
+						p.Name, want.Clocks, want.PerBit, want.AvgReadLatency,
+						got.Clocks, got.PerBit, got.AvgReadLatency)
+				}
+				if !want.ReadGaps.Equal(got.ReadGaps) || !want.WriteGaps.Equal(got.WriteGaps) {
+					t.Errorf("%s: gap histograms diverge", p.Name)
+				}
+			}
+		})
+	}
+}
+
+func smallCampaign() CampaignSpec {
+	fleet := workload.Fleet()
+	return CampaignSpec{
+		Schemes: []CampaignScheme{
+			{Policy: memctrl.BaselineMTA},
+			{Policy: memctrl.SMOREs, Scheme: core.Scheme{
+				Specification: core.VariableCode, Detection: core.Exhaustive}},
+		},
+		Models:   []fault.Model{fault.ModelUniform},
+		Rates:    []float64{1e-2},
+		EDC:      []bool{false, true},
+		Apps:     []workload.Profile{fleet[0], fleet[len(fleet)-1]},
+		Accesses: 1200,
+		Seed:     7,
+	}
+}
+
+// TestCampaignReproducible requires byte-identical JSON from the same
+// spec regardless of worker count — the acceptance criterion for
+// campaign reproducibility.
+func TestCampaignReproducible(t *testing.T) {
+	render := func(workers int) []byte {
+		spec := smallCampaign()
+		spec.Workers = workers
+		cr, err := RunCampaign(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := ExportCampaignJSON(&b, cr); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	seq, par := render(1), render(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("campaign JSON depends on worker count:\n%s\nvs\n%s", seq, par)
+	}
+	if !bytes.Equal(seq, render(1)) {
+		t.Fatal("same spec produced different JSON")
+	}
+}
+
+// TestCampaignCoverage spot-checks the physics the campaign is built to
+// measure: corruption happens at 1% symbol error, the sparse scheme's
+// restricted codebook detects more than dense MTA, EDC shrinks the
+// silent-corruption share, and replays cost clocks and energy.
+func TestCampaignCoverage(t *testing.T) {
+	cr, err := RunCampaign(smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Points) != 4 {
+		t.Fatalf("want 4 points, got %d", len(cr.Points))
+	}
+	byKey := map[string]PointResult{}
+	for _, p := range cr.Points {
+		key := p.Label
+		if p.EDC {
+			key += "+edc"
+		}
+		byKey[key] = p
+		if p.Fault.CorruptedBursts == 0 {
+			t.Fatalf("point %q saw no corruption at 1%% symbol error", key)
+		}
+	}
+	var mta, mtaEDC, smores, smoresEDC PointResult
+	for k, p := range byKey {
+		switch {
+		case strings.HasPrefix(k, "smores") && p.EDC:
+			smoresEDC = p
+		case strings.HasPrefix(k, "smores"):
+			smores = p
+		case p.EDC:
+			mtaEDC = p
+		default:
+			mta = p
+		}
+	}
+	if smores.DetectionRate() <= mta.DetectionRate() {
+		t.Errorf("restricted codebook should out-detect MTA without EDC: smores %.3f vs mta %.3f",
+			smores.DetectionRate(), mta.DetectionRate())
+	}
+	if mtaEDC.Fault.SilentRate() >= mta.Fault.SilentRate() {
+		t.Errorf("EDC should cut MTA silent corruption: %.3f (on) vs %.3f (off)",
+			mtaEDC.Fault.SilentRate(), mta.Fault.SilentRate())
+	}
+	// Every detecting point replays (any caught layer triggers the
+	// feedback channel), and the cost lands in clocks and energy.
+	for _, p := range []PointResult{mta, mtaEDC, smores, smoresEDC} {
+		if p.Fault.Detected() > 0 && (p.Replays == 0 || p.ReplayClocks == 0) {
+			t.Errorf("detecting point %q (edc=%v) booked no replay cost: %+v", p.Label, p.EDC, p)
+		}
+		if p.Replays > 0 && p.ReplayPerBit <= 0 {
+			t.Errorf("point %q (edc=%v) replayed but booked no replay energy", p.Label, p.EDC)
+		}
+	}
+	for _, p := range []PointResult{mtaEDC, smoresEDC} {
+		if p.Fault.CaughtEDC == 0 {
+			t.Errorf("EDC point %q: CRC layer never fired: %+v", p.Label, p.Fault)
+		}
+	}
+	for _, p := range []PointResult{mta, smores} {
+		if p.Fault.CaughtEDC != 0 {
+			t.Errorf("no-EDC point %q: CRC layer fired with EDC off", p.Label)
+		}
+	}
+
+	out := RenderCampaign(cr)
+	for _, frag := range []string{"Link-reliability campaign", "silent", "fJ/bit"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

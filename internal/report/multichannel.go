@@ -42,7 +42,22 @@ func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiRe
 		// trace tracks stay distinguishable (channel="0"..N-1, pid=i).
 		chSpec := spec
 		chSpec.Channel = i
-		ctrls[i], err = memctrl.New(chSpec.controllerConfig())
+		if chSpec.Fault != nil {
+			// Each channel gets its own injector (they are stateful) with a
+			// channel-decorrelated seed.
+			fc := *spec.Fault
+			fc.Seed += uint64(i) * 1000003
+			chSpec.Fault = &fc
+		}
+		in, err := chSpec.faultInjector()
+		if err != nil {
+			return MultiResult{}, err
+		}
+		ccfg := chSpec.controllerConfig()
+		if in != nil {
+			ccfg.Fault = in
+		}
+		ctrls[i], err = memctrl.New(ccfg)
 		if err != nil {
 			return MultiResult{}, err
 		}

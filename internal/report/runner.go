@@ -11,6 +11,7 @@ import (
 
 	"smores/internal/bus"
 	"smores/internal/core"
+	"smores/internal/fault"
 	"smores/internal/gddr6x"
 	"smores/internal/gpu"
 	"smores/internal/memctrl"
@@ -40,6 +41,19 @@ type RunSpec struct {
 	Timing *gddr6x.Timing
 	// Pages selects the row-buffer policy ablation.
 	Pages memctrl.PagePolicy
+
+	// ExactData puts real symbol streams on the wires (random payloads
+	// standing in for encrypted traffic) instead of the expected-energy
+	// fast path. Implied by Fault.
+	ExactData bool
+	// Fault, when non-nil, installs a link-reliability injector built
+	// from this configuration on the run's channel (a fresh injector per
+	// run — they are stateful). The injector's layered detection stats
+	// surface in AppResult.Fault.
+	Fault *fault.Config
+	// Replay tunes the EDC retransmission machinery (see
+	// memctrl.ReplayConfig); only consulted when Fault is set.
+	Replay memctrl.ReplayConfig
 
 	// Obs, when non-nil, registers live counters for the whole stack
 	// (controller, device, channel, LLC, driver) into the registry; the
@@ -81,10 +95,22 @@ func (s RunSpec) controllerConfig() memctrl.Config {
 		NoEventSkip:       s.NoEventSkip,
 	}
 	cfg.Bus.Profile = s.Profile
+	cfg.Bus.ExactData = s.ExactData || s.Fault != nil
+	cfg.Replay = s.Replay
 	if s.Timing != nil {
 		cfg.Timing = *s.Timing
 	}
 	return cfg
+}
+
+// faultInjector builds a fresh link-reliability injector for one run
+// (nil spec.Fault yields nil). Injectors are stateful — never share one
+// across runs or channels.
+func (s RunSpec) faultInjector() (*fault.Injector, error) {
+	if s.Fault == nil {
+		return nil, nil
+	}
+	return fault.New(*s.Fault)
 }
 
 // DefaultAccesses is the per-app run length used by the evaluation
@@ -109,6 +135,11 @@ type AppResult struct {
 	// IdleFrequency is the fraction of transfers followed by any gap —
 	// the paper sorts Fig. 8's applications by it.
 	IdleFrequency float64
+	// Fault holds the link-reliability injector's layered detection
+	// accounting (zero value when RunSpec.Fault was nil).
+	Fault fault.Stats
+	// ReplayedReads counts retransmissions observed on completed reads.
+	ReplayedReads int64
 }
 
 // RunApp simulates one application under one spec.
@@ -117,7 +148,15 @@ func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
 	if err != nil {
 		return AppResult{}, err
 	}
-	ctrl, err := memctrl.New(spec.controllerConfig())
+	in, err := spec.faultInjector()
+	if err != nil {
+		return AppResult{}, err
+	}
+	ccfg := spec.controllerConfig()
+	if in != nil {
+		ccfg.Fault = in
+	}
+	ctrl, err := memctrl.New(ccfg)
 	if err != nil {
 		return AppResult{}, err
 	}
@@ -152,6 +191,14 @@ func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
 		Reads:          res.DRAMReads,
 		Writes:         res.DRAMWrites,
 		AvgReadLatency: ctrl.AverageReadLatency(),
+		ReplayedReads:  res.ReplayedReads,
+	}
+	if in != nil {
+		ar.Fault = in.Stats()
+		if !ar.Fault.Conserves() {
+			return ar, fmt.Errorf("report: %s: fault detection layers do not partition corrupted bursts: %v",
+				p.Name, ar.Fault)
+		}
 	}
 	if t := ar.ReadGaps.Total() + ar.WriteGaps.Total(); t > 0 {
 		gapped := float64(t) - float64(ar.ReadGaps.Count(0)+ar.WriteGaps.Count(0))
