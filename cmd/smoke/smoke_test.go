@@ -22,6 +22,7 @@ var mains = []string{
 	"smores-fault",
 	"smores-hwcost",
 	"smores-lint",
+	"smores-serve",
 	"smores-sim",
 	"smores-trace",
 	"smores-verilog",
@@ -170,5 +171,33 @@ func TestBenchJSONShapeAndRegressionGate(t *testing.T) {
 	// A malformed tolerance is a usage error (exit 1 via fail()).
 	if _, err := runBench(t, dir, "-tolerance", "2.5"); err == nil {
 		t.Error("tolerance 2.5 accepted; want rejection (outside [0,1])")
+	}
+}
+
+// TestServeSmoke runs the telemetry service's built-in self-test as a
+// black box: smores-serve -smoke must submit sessions over HTTP, verify
+// stream reconciliation and fleet conservation, write the roll-up JSON
+// artifact, and exit 0.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildMains(t)
+	rollup := filepath.Join(t.TempDir(), "fleet-rollup.json")
+	out, err := exec.Command(bin(dir, "smores-serve"),
+		"-smoke", "-smoke-sessions", "3", "-out", rollup).CombinedOutput()
+	if err != nil {
+		t.Fatalf("smores-serve -smoke: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(rollup)
+	if err != nil {
+		t.Fatalf("self-test wrote no roll-up: %v", err)
+	}
+	var fams []map[string]any
+	if err := json.Unmarshal(raw, &fams); err != nil {
+		t.Fatalf("roll-up is not a JSON family list: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatalf("roll-up is empty")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"smores/internal/obs/session"
 	"smores/internal/report"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		compare  = flag.String("compare", "", "baseline report to gate against")
 		tol      = flag.String("tolerance", "5%", "relative energy tolerance ('5%' or '0.05')")
 		perfTol  = flag.String("perf-tolerance", "30%", "relative wall-time/alloc tolerance (same-host only)")
+		service  = flag.Bool("service", false, "add the telemetry-service throughput row (sessions/sec at a fixed spec)")
 		quiet    = flag.Bool("q", false, "suppress the report table")
 	)
 	flag.Parse()
@@ -44,6 +46,11 @@ func main() {
 		Accesses: *accesses, Seed: *seed, Workers: *workers,
 	})
 	fail(err)
+	if *service {
+		svc, err := session.RunServiceBench(session.DefaultBenchSpec)
+		fail(err)
+		rep.Service = svc
+	}
 	if !*quiet {
 		fmt.Print(report.RenderBench(rep))
 	}

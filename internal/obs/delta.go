@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"smores/internal/floats"
+)
+
+// Delta-compressed counter streaming. A DeltaEncoder watches one
+// registry and, on each call to Next, emits only the series whose value
+// changed since the previous emission — the payload a telemetry stream
+// sends instead of a full scrape. Every metric is flattened to scalar
+// points first (histograms become one point per bucket plus _sum and
+// _count), so a stream is a uniform sequence of (name, labels, value)
+// updates and reconstruction is a plain overwrite-merge.
+//
+// Values travel verbatim (no numeric differencing), which makes
+// reconstruction exact: applying a snapshot sequence to a StreamState
+// yields bit-identical float64s to a full scrape at the same instant,
+// including after counter resets (a value that went down is just a
+// change) and for instruments registered after the stream started (a
+// key the receiver has not seen is an insert).
+
+// DeltaPoint is one changed scalar series value.
+type DeltaPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// key renders the point's identity (name + sorted labels).
+func (p DeltaPoint) key() string {
+	if len(p.Labels) == 0 {
+		return p.Name
+	}
+	keys := make([]string, 0, len(p.Labels))
+	for k := range p.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('\xff')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(p.Labels[k]))
+	}
+	return b.String()
+}
+
+// DeltaSnapshot is one stream emission: the points that changed since
+// the previous snapshot (or the complete state when Reset is set, the
+// stream's join/resync form).
+type DeltaSnapshot struct {
+	// Seq numbers emissions densely: a receiver holding state at Seq n
+	// may apply exactly the snapshot with Seq n+1; any gap means
+	// snapshots were dropped and the receiver needs a Reset snapshot.
+	Seq uint64 `json:"seq"`
+	// Session tags the originating session in multi-session streams.
+	Session string `json:"session,omitempty"`
+	// Reset marks a full-state snapshot (join or post-drop resync):
+	// receivers clear their state before applying.
+	Reset bool `json:"reset,omitempty"`
+	// Final marks the last snapshot of a completed session.
+	Final bool `json:"final,omitempty"`
+	// Points are the changed (or, under Reset, all) series values.
+	Points []DeltaPoint `json:"points"`
+}
+
+// DeltaEncoder tracks the last-emitted value of every flattened series
+// of one registry. Not safe for concurrent use — one goroutine (the
+// session sampler) owns it; the registry itself may be written
+// concurrently, as emissions read it atomically via Gather.
+type DeltaEncoder struct {
+	reg  *Registry
+	seq  uint64
+	last map[string]DeltaPoint
+}
+
+// NewDeltaEncoder builds an encoder over reg with empty prior state, so
+// the first Next emits every non-empty series.
+func NewDeltaEncoder(reg *Registry) *DeltaEncoder {
+	return &DeltaEncoder{reg: reg, last: make(map[string]DeltaPoint)}
+}
+
+// Seq returns the sequence number of the last emission (0 before any).
+func (e *DeltaEncoder) Seq() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.seq
+}
+
+// flatten renders the registry's current state as scalar points.
+func (e *DeltaEncoder) flatten() []DeltaPoint {
+	var out []DeltaPoint
+	for _, f := range e.reg.Gather() {
+		for _, s := range f.Series {
+			labels := func(extra ...Label) map[string]string {
+				if len(s.Labels)+len(extra) == 0 {
+					return nil
+				}
+				m := make(map[string]string, len(s.Labels)+len(extra))
+				for _, l := range s.Labels {
+					m[l.Key] = l.Value
+				}
+				for _, l := range extra {
+					m[l.Key] = l.Value
+				}
+				return m
+			}
+			if f.Kind != KindHistogram {
+				out = append(out, DeltaPoint{Name: f.Name, Labels: labels(), Value: s.Value})
+				continue
+			}
+			for i, b := range s.Hist.Bounds {
+				out = append(out, DeltaPoint{
+					Name:   f.Name + "_bucket",
+					Labels: labels(L("le", strconv.FormatFloat(b, 'g', -1, 64))),
+					Value:  float64(s.Hist.Counts[i]),
+				})
+			}
+			out = append(out, DeltaPoint{
+				Name: f.Name + "_bucket", Labels: labels(L("le", "+Inf")),
+				Value: float64(s.Hist.Inf),
+			})
+			out = append(out, DeltaPoint{Name: f.Name + "_sum", Labels: labels(), Value: s.Hist.Sum})
+			out = append(out, DeltaPoint{Name: f.Name + "_count", Labels: labels(), Value: float64(s.Hist.Count)})
+		}
+	}
+	return out
+}
+
+// Next scans the registry and returns the snapshot of changed points.
+// Emitted reports whether anything changed; when false the snapshot is
+// empty, the sequence number does not advance, and nothing should be
+// streamed. Newly appeared series always count as changed, including
+// zero-valued ones (a receiver must learn the series exists).
+func (e *DeltaEncoder) Next() (snap DeltaSnapshot, emitted bool) {
+	if e == nil {
+		return DeltaSnapshot{}, false
+	}
+	var changed []DeltaPoint
+	for _, p := range e.flatten() {
+		k := p.key()
+		old, seen := e.last[k]
+		if seen && floats.Eq(old.Value, p.Value) {
+			continue
+		}
+		e.last[k] = p
+		changed = append(changed, p)
+	}
+	if len(changed) == 0 {
+		return DeltaSnapshot{Seq: e.seq}, false
+	}
+	e.seq++
+	return DeltaSnapshot{Seq: e.seq, Points: changed}, true
+}
+
+// Full returns the complete last-emitted state as a Reset snapshot
+// carrying the current sequence number: a receiver that applies it holds
+// exactly the state after emission Seq and may continue with Seq+1.
+func (e *DeltaEncoder) Full() DeltaSnapshot {
+	if e == nil {
+		return DeltaSnapshot{Reset: true}
+	}
+	snap := DeltaSnapshot{Seq: e.seq, Reset: true, Points: make([]DeltaPoint, 0, len(e.last))}
+	for _, p := range e.last {
+		snap.Points = append(snap.Points, p)
+	}
+	sortPoints(snap.Points)
+	return snap
+}
+
+// StreamState reconstructs registry state on the receiving end of a
+// delta stream by overwrite-merging snapshots.
+type StreamState struct {
+	seq  uint64
+	vals map[string]DeltaPoint
+}
+
+// NewStreamState builds an empty reconstruction.
+func NewStreamState() *StreamState {
+	return &StreamState{vals: make(map[string]DeltaPoint)}
+}
+
+// Apply folds one snapshot into the state. Reset snapshots replace the
+// state wholesale. Returns false (without applying) when a non-reset
+// snapshot does not follow the held sequence number — the caller lost
+// snapshots and must request a resync.
+func (s *StreamState) Apply(snap DeltaSnapshot) bool {
+	if s == nil {
+		return false
+	}
+	if snap.Reset {
+		s.vals = make(map[string]DeltaPoint, len(snap.Points))
+	} else if snap.Seq != s.seq+1 {
+		return false
+	}
+	for _, p := range snap.Points {
+		s.vals[p.key()] = p
+	}
+	s.seq = snap.Seq
+	return true
+}
+
+// Seq returns the sequence number of the last applied snapshot.
+func (s *StreamState) Seq() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seq
+}
+
+// Value returns a reconstructed point's value (0, false when the series
+// was never streamed).
+func (s *StreamState) Value(name string, labels map[string]string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	p, ok := s.vals[DeltaPoint{Name: name, Labels: labels}.key()]
+	return p.Value, ok
+}
+
+// Points returns the reconstructed state sorted by (name, labels).
+func (s *StreamState) Points() []DeltaPoint {
+	if s == nil {
+		return nil
+	}
+	out := make([]DeltaPoint, 0, len(s.vals))
+	for _, p := range s.vals {
+		out = append(out, p)
+	}
+	sortPoints(out)
+	return out
+}
+
+// EqualPoints reports whether two point sets are identical: same keys,
+// bit-identical values. Both sides must be sorted (Points and Full
+// return sorted slices).
+func EqualPoints(a, b []DeltaPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key() != b[i].key() || !floats.Eq(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortPoints(ps []DeltaPoint) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].key() < ps[j].key() })
+}

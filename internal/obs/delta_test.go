@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"smores/internal/floats"
+)
+
+// TestDeltaRoundTrip is the streaming correctness gate: at every
+// emission point, a receiver that applied the delta sequence holds
+// exactly the encoder's full state — through counter growth, gauge
+// resets, histogram observations, and instruments registered after the
+// stream started.
+func TestDeltaRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("s_reads_total", "h", L("app", "bfs"))
+	g := reg.Gauge("s_depth", "h")
+	h := reg.Histogram("s_gaps", "h", []float64{1, 2})
+
+	enc := NewDeltaEncoder(reg)
+	rx := NewStreamState()
+
+	check := func(stage string) {
+		t.Helper()
+		snap, emitted := enc.Next()
+		if !emitted {
+			t.Fatalf("%s: expected changes to emit", stage)
+		}
+		if !rx.Apply(snap) {
+			t.Fatalf("%s: apply rejected seq %d (held %d)", stage, snap.Seq, rx.Seq())
+		}
+		if !EqualPoints(rx.Points(), enc.Full().Points) {
+			t.Fatalf("%s: reconstruction diverged:\nrx  %+v\nenc %+v",
+				stage, rx.Points(), enc.Full().Points)
+		}
+	}
+
+	c.Add(3)
+	g.Set(9)
+	h.Observe(1.5)
+	check("initial")
+
+	// Unchanged registry: nothing emitted, seq stays put.
+	if snap, emitted := enc.Next(); emitted || len(snap.Points) != 0 {
+		t.Fatalf("no-change scan emitted %+v", snap)
+	}
+
+	c.Add(1)
+	check("counter grows")
+
+	// Gauge reset to zero: a decrease must stream (absolute values, not
+	// numeric diffs, so resets reconstruct exactly).
+	g.Set(0)
+	check("gauge reset")
+
+	// Late-registered instruments: a new family and a new series inside
+	// an existing family both reach the receiver, even zero-valued.
+	reg.FloatCounter("s_energy_fj", "h").Add(0.1 + 0.2) // deliberate float dust
+	reg.Counter("s_reads_total", "h", L("app", "sssp")) // zero-valued new series
+	check("late registration")
+
+	h.Observe(0.5)
+	h.Observe(99)
+	check("histogram buckets")
+
+	// The wire format survives JSON: encode/decode every snapshot shape.
+	full := enc.Full()
+	raw, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DeltaSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	rx2 := NewStreamState()
+	if !rx2.Apply(back) {
+		t.Fatal("reset snapshot must always apply")
+	}
+	if !EqualPoints(rx2.Points(), full.Points) {
+		t.Fatalf("JSON round-trip diverged")
+	}
+}
+
+// TestDeltaOnlyChangedSeries pins the compression property: an emission
+// carries exactly the touched series, not the whole registry.
+func TestDeltaOnlyChangedSeries(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("a_total", "h")
+	reg.Counter("b_total", "h").Add(4)
+	enc := NewDeltaEncoder(reg)
+	if snap, ok := enc.Next(); !ok || len(snap.Points) != 2 {
+		t.Fatalf("first scan must carry both series: %+v", snap)
+	}
+	a.Inc()
+	snap, ok := enc.Next()
+	if !ok || len(snap.Points) != 1 || snap.Points[0].Name != "a_total" {
+		t.Fatalf("second scan must carry only a_total: %+v", snap)
+	}
+	if !floats.Eq(snap.Points[0].Value, 1) {
+		t.Fatalf("a_total = %v", snap.Points[0].Value)
+	}
+}
+
+// TestStreamStateGapDetection: a receiver that missed an emission
+// refuses the out-of-order snapshot and accepts a Reset resync.
+func TestStreamStateGapDetection(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "h")
+	enc := NewDeltaEncoder(reg)
+	rx := NewStreamState()
+
+	c.Inc()
+	s1, _ := enc.Next()
+	if !rx.Apply(s1) {
+		t.Fatal("seq 1 must apply")
+	}
+	c.Inc()
+	enc.Next() // dropped on the floor
+	c.Inc()
+	s3, _ := enc.Next()
+	if rx.Apply(s3) {
+		t.Fatal("gapped snapshot must be rejected")
+	}
+	full := enc.Full()
+	if !rx.Apply(full) {
+		t.Fatal("resync must apply")
+	}
+	if v, ok := rx.Value("c_total", nil); !ok || !floats.Eq(v, 3) {
+		t.Fatalf("post-resync value = %v, %v", v, ok)
+	}
+	// And the stream continues from the resync point.
+	c.Inc()
+	s4, _ := enc.Next()
+	if !rx.Apply(s4) {
+		t.Fatal("post-resync delta must apply")
+	}
+}
+
+func TestDeltaNilSafe(t *testing.T) {
+	var enc *DeltaEncoder
+	if _, emitted := enc.Next(); emitted {
+		t.Fatal("nil encoder emitted")
+	}
+	if enc.Seq() != 0 || len(enc.Full().Points) != 0 {
+		t.Fatal("nil encoder state leak")
+	}
+	var rx *StreamState
+	if rx.Apply(DeltaSnapshot{}) {
+		t.Fatal("nil state applied")
+	}
+	if rx.Points() != nil || rx.Seq() != 0 {
+		t.Fatal("nil state not inert")
+	}
+	if _, ok := rx.Value("x", nil); ok {
+		t.Fatal("nil state has values")
+	}
+}

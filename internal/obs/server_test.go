@@ -3,11 +3,13 @@ package obs
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServerEndpoints(t *testing.T) {
@@ -135,6 +137,132 @@ func TestServerStartAndClose(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServerCloseIsIdempotent: Close before Start and repeated Close
+// are safe no-ops — defer chains and error paths may all Close.
+func TestServerCloseIsIdempotent(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close before Start: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close before Start: %v", err)
+	}
+
+	s2 := NewServer(NewRegistry(), nil)
+	if _, err := s2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+// TestServerCloseDrainsInFlight: a handler that is mid-response when
+// Close begins gets to finish (graceful drain), and an open stream that
+// honours Draining() terminates promptly instead of eating the whole
+// drain deadline.
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	streamEntered := make(chan struct{})
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		close(streamEntered)
+		select {
+		case <-s.Draining():
+		case <-r.Context().Done():
+		}
+	})
+	s.SetHandler(mux)
+	s.SetDrainTimeout(2 * time.Second)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slowBody := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			slowBody <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		slowBody <- string(b)
+	}()
+	<-entered
+	streamDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/stream")
+		if err == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		streamDone <- err
+	}()
+	<-streamEntered
+
+	closed := make(chan error, 1)
+	go func() {
+		// Let the in-flight handler finish once shutdown has begun.
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	start := time.Now()
+	go func() { closed <- s.Close() }()
+
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := <-slowBody; got != "done" {
+		t.Fatalf("in-flight handler was cut off: %q", got)
+	}
+	if err := <-streamDone; err != nil {
+		t.Fatalf("stream did not terminate cleanly: %v", err)
+	}
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Fatalf("Close took %v — streams must exit via Draining, not the deadline", d)
+	}
+}
+
+// TestServerIndexExtra: the landing page carries SetIndexExtra content
+// (the session service's live session index rides this hook).
+func TestServerIndexExtra(t *testing.T) {
+	s := NewServer(NewRegistry(), nil)
+	s.SetIndexExtra(func() string { return `<h2>sessions</h2><a href="/sessions">live</a>` })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "<h2>sessions</h2>") ||
+		!strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index page missing extra section or base links:\n%s", body)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(string(body)), "</html>") {
+		t.Fatalf("index page must stay well-formed:\n%s", body)
 	}
 }
 

@@ -1,0 +1,75 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"smores/internal/report"
+)
+
+// BenchSpec fixes the service-throughput benchmark's shape. Comparable
+// runs must share it exactly — report.CompareBench skips the service
+// gate (with a note) when specs differ.
+type BenchSpec struct {
+	Sessions int
+	Apps     int
+	Accesses int64
+	Workers  int
+}
+
+// DefaultBenchSpec is the smores-bench -service row: enough sessions to
+// exercise queueing and merging, small enough to finish in seconds.
+var DefaultBenchSpec = BenchSpec{Sessions: 64, Apps: 2, Accesses: 2000, Workers: 0}
+
+// RunServiceBench submits spec.Sessions identical sessions through a
+// fresh registry, waits for completion, and reports end-to-end
+// throughput plus streaming totals. The fleet roll-up is exercised (and
+// its conservation checked) so the benchmark covers the full service
+// path, not just the runner.
+func RunServiceBench(spec BenchSpec) (*report.ServiceBench, error) {
+	if spec.Sessions <= 0 || spec.Apps <= 0 || spec.Accesses <= 0 {
+		return nil, fmt.Errorf("session: bench spec must be positive: %+v", spec)
+	}
+	g := NewRegistry(Options{Workers: spec.Workers, SampleInterval: 5 * time.Millisecond})
+	js := report.RunSpecJSON{
+		Policy:   "smores",
+		Accesses: spec.Accesses,
+		MaxApps:  spec.Apps,
+	}
+	start := time.Now()
+	sessions := make([]*Session, 0, spec.Sessions)
+	for i := 0; i < spec.Sessions; i++ {
+		js.Seed = uint64(i + 1)
+		s, err := g.Submit(js)
+		if err != nil {
+			return nil, err
+		}
+		sessions = append(sessions, s)
+	}
+	g.Drain()
+	wall := time.Since(start).Seconds()
+
+	var snapshots, dropped int64
+	for _, s := range sessions {
+		if _, err := s.State(); err != nil {
+			return nil, fmt.Errorf("session: bench session %s failed: %w", s.ID(), err)
+		}
+		snapshots += int64(s.Full().Seq)
+		dropped += s.Ring().Dropped()
+	}
+	if _, err := g.FleetRegistry(); err != nil {
+		return nil, err
+	}
+	b := &report.ServiceBench{
+		Sessions:       spec.Sessions,
+		AppsPerSession: spec.Apps,
+		Accesses:       spec.Accesses,
+		WallSeconds:    wall,
+		Snapshots:      snapshots,
+		Dropped:        dropped,
+	}
+	if wall > 0 {
+		b.SessionsPerSec = float64(spec.Sessions) / wall
+	}
+	return b, nil
+}

@@ -1,0 +1,22 @@
+package session
+
+import "testing"
+
+func TestRunServiceBench(t *testing.T) {
+	b, err := RunServiceBench(BenchSpec{Sessions: 4, Apps: 1, Accesses: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sessions != 4 || b.AppsPerSession != 1 || b.Accesses != 300 {
+		t.Fatalf("spec echo = %+v", b)
+	}
+	if b.WallSeconds <= 0 || b.SessionsPerSec <= 0 {
+		t.Fatalf("throughput = %+v", b)
+	}
+	if b.Snapshots < 4 {
+		t.Fatalf("every session must have streamed at least its final emission: %+v", b)
+	}
+	if _, err := RunServiceBench(BenchSpec{}); err == nil {
+		t.Fatalf("zero spec must be rejected")
+	}
+}

@@ -1,0 +1,258 @@
+package session
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"smores/internal/obs"
+	"smores/internal/report"
+)
+
+// Options tunes a session registry.
+type Options struct {
+	// Workers bounds concurrently running sessions (0 selects
+	// GOMAXPROCS). Each session additionally bounds its own in-session
+	// app parallelism via its spec's Workers field.
+	Workers int
+	// SampleInterval is the per-session delta emission period (0 selects
+	// DefaultSampleInterval).
+	SampleInterval time.Duration
+	// RingCapacity bounds each session's snapshot buffer (0 selects
+	// DefaultRingCapacity).
+	RingCapacity int
+	// QueueDepth bounds sessions accepted but not yet running (0 selects
+	// DefaultQueueDepth). A full queue rejects submissions — explicit
+	// backpressure at the API instead of unbounded memory.
+	QueueDepth int
+}
+
+// DefaultSampleInterval is the delta emission period. Sessions at small
+// access budgets finish inside one period and stream only their final
+// snapshot — the correct degenerate case, exercised by the load test.
+const DefaultSampleInterval = 100 * time.Millisecond
+
+// DefaultQueueDepth admits a large burst of queued sessions; the load
+// test's 200-session burst fits with room to spare.
+const DefaultQueueDepth = 1024
+
+// Registry owns every submitted session: it assigns identities and
+// seeds, runs sessions on a bounded worker pool, and serves lookups,
+// listings, and the fleet-wide roll-up. Its own operational counters
+// (submissions, completions, queue depth) live in a service-level
+// obs.Registry separate from any session's.
+type Registry struct {
+	opts Options
+	obs  *obs.Registry
+
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	rejected  *obs.Counter
+	queued    *obs.Gauge
+	running   *obs.Gauge
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string
+	nextID   uint64
+	closed   bool
+
+	queue chan *Session
+	wg    sync.WaitGroup
+}
+
+// NewRegistry builds a registry and starts its worker pool.
+func NewRegistry(opts Options) *Registry {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.SampleInterval <= 0 {
+		opts.SampleInterval = DefaultSampleInterval
+	}
+	if opts.RingCapacity <= 0 {
+		opts.RingCapacity = DefaultRingCapacity
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	reg := obs.NewRegistry()
+	g := &Registry{
+		opts:      opts,
+		obs:       reg,
+		submitted: reg.Counter("smores_sessions_submitted_total", "Sessions accepted by the registry."),
+		completed: reg.Counter("smores_sessions_completed_total", "Sessions that ran to completion."),
+		failed:    reg.Counter("smores_sessions_failed_total", "Sessions whose run returned an error."),
+		rejected:  reg.Counter("smores_sessions_rejected_total", "Submissions rejected (bad spec or full queue)."),
+		queued:    reg.Gauge("smores_sessions_queued", "Sessions accepted but not yet running."),
+		running:   reg.Gauge("smores_sessions_running", "Sessions currently executing."),
+		sessions:  make(map[string]*Session),
+		queue:     make(chan *Session, opts.QueueDepth),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		g.wg.Add(1)
+		go g.worker()
+	}
+	return g
+}
+
+func (g *Registry) worker() {
+	defer g.wg.Done()
+	for sess := range g.queue {
+		g.queued.Add(-1)
+		g.running.Add(1)
+		sess.run(g.opts.SampleInterval)
+		g.running.Add(-1)
+		if _, err := sess.State(); err != nil {
+			g.failed.Inc()
+		} else {
+			g.completed.Inc()
+		}
+	}
+}
+
+// Obs returns the registry's service-level metrics (distinct from any
+// session's registry; it is what the service's root /metrics serves).
+func (g *Registry) Obs() *obs.Registry {
+	if g == nil {
+		return nil
+	}
+	return g.obs
+}
+
+// sessionSeed spreads auto-assigned seeds with a golden-ratio stride so
+// consecutive sessions replay distinct traffic; it is recorded on the
+// session, making every auto-seeded run reproducible offline.
+func sessionSeed(n uint64) uint64 { return 1 + n*0x9E3779B97F4A7C15 }
+
+// Submit validates a spec, assigns an id (and a seed when the spec left
+// it 0), and enqueues the session. A full queue or closed registry is
+// an error — the service maps it to 503.
+func (g *Registry) Submit(spec report.RunSpecJSON) (*Session, error) {
+	if g == nil {
+		return nil, fmt.Errorf("session: nil registry")
+	}
+	if err := spec.Validate(); err != nil {
+		g.rejected.Inc()
+		return nil, err
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.rejected.Inc()
+		return nil, fmt.Errorf("session: registry is shut down")
+	}
+	g.nextID++
+	id := fmt.Sprintf("s-%06d", g.nextID)
+	seed := spec.Seed
+	if seed == 0 {
+		seed = sessionSeed(g.nextID)
+	}
+	sess := newSession(id, spec, seed, g.opts.RingCapacity)
+	// Raise the queued gauge before the channel send: a worker may pick
+	// the session up the instant it lands, and the gauge must never go
+	// negative. Gauges take negative deltas, so the full-queue path can
+	// revert; the monotone submitted counter increments only on success.
+	g.queued.Add(1)
+	select {
+	case g.queue <- sess:
+	default:
+		g.nextID--
+		g.queued.Add(-1)
+		g.mu.Unlock()
+		g.rejected.Inc()
+		return nil, fmt.Errorf("session: queue full (%d pending)", g.opts.QueueDepth)
+	}
+	g.submitted.Inc()
+	g.sessions[id] = sess
+	g.order = append(g.order, id)
+	g.mu.Unlock()
+	return sess, nil
+}
+
+// Get looks a session up by id.
+func (g *Registry) Get(id string) (*Session, bool) {
+	if g == nil {
+		return nil, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sessions[id]
+	return s, ok
+}
+
+// List returns every session in submission order — the deterministic
+// order the fleet roll-up merges in.
+func (g *Registry) List() []*Session {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Session, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.sessions[id])
+	}
+	return out
+}
+
+// Infos returns the session listing sorted by id (== submission order).
+func (g *Registry) Infos() []Info {
+	sessions := g.List()
+	out := make([]Info, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FleetRegistry merges every session's registry — live or finished —
+// into a fresh one, in submission order. Because obs.Registry.Merge adds
+// series-wise and the order is deterministic, the roll-up's totals are
+// exactly the ordered sum of the per-session values (the conservation
+// property the load test asserts).
+func (g *Registry) FleetRegistry() (*obs.Registry, error) {
+	merged := obs.NewRegistry()
+	if g == nil {
+		return merged, nil
+	}
+	for _, s := range g.List() {
+		if err := merged.Merge(s.Registry()); err != nil {
+			return nil, fmt.Errorf("session: roll-up of %s: %w", s.ID(), err)
+		}
+	}
+	return merged, nil
+}
+
+// FleetProfile merges every session's energy profile in submission order.
+func (g *Registry) FleetProfile() *obs.Profile {
+	merged := obs.NewProfile()
+	if g == nil {
+		return merged
+	}
+	for _, s := range g.List() {
+		merged.Merge(s.Profile())
+	}
+	return merged
+}
+
+// Drain stops accepting submissions, waits for queued and running
+// sessions to finish, and releases the workers. Idempotent.
+func (g *Registry) Drain() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.wg.Wait()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.queue)
+	g.wg.Wait()
+}

@@ -1,0 +1,208 @@
+package session
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smores/internal/obs"
+	"smores/internal/report"
+	"smores/internal/workload"
+)
+
+// tinySpec keeps registry tests fast: two apps, a few hundred accesses.
+func tinySpec(seed uint64) report.RunSpecJSON {
+	return report.RunSpecJSON{Accesses: 300, MaxApps: 2, Seed: seed}
+}
+
+func TestRegistrySessionLifecycle(t *testing.T) {
+	g := NewRegistry(Options{Workers: 2, SampleInterval: time.Millisecond})
+	s, err := g.Submit(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != "s-000001" || s.Seed() != 3 {
+		t.Fatalf("id=%s seed=%d", s.ID(), s.Seed())
+	}
+	<-s.Done()
+	state, serr := s.State()
+	if state != StateDone || serr != nil {
+		t.Fatalf("state = %v, %v", state, serr)
+	}
+	if got, ok := g.Get(s.ID()); !ok || got != s {
+		t.Fatalf("Get lost the session")
+	}
+	info := s.Info()
+	if info.State != "done" || info.Apps != 2 || info.Accesses != 300 || info.Seed != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !strings.Contains(string(info.Spec), `"seed":3`) {
+		t.Fatalf("info.Spec must echo the seed: %s", info.Spec)
+	}
+	// The session actually simulated: its registry holds stack counters
+	// and the final full snapshot is non-trivial.
+	if s.Full().Seq == 0 || len(s.Full().Points) == 0 || !s.Full().Final {
+		t.Fatalf("final full = %+v", s.Full())
+	}
+	if v := g.Obs().Value("smores_sessions_completed_total"); v != 1 {
+		t.Fatalf("completed counter = %v", v)
+	}
+	g.Drain()
+}
+
+func TestRegistryAutoSeedIsRecorded(t *testing.T) {
+	g := NewRegistry(Options{Workers: 1, SampleInterval: time.Millisecond})
+	defer g.Drain()
+	a, err := g.Submit(tinySpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Submit(tinySpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed() == 0 || b.Seed() == 0 || a.Seed() == b.Seed() {
+		t.Fatalf("auto seeds = %d, %d", a.Seed(), b.Seed())
+	}
+	<-a.Done()
+	// Replaying the recorded seed offline reproduces the session's
+	// counters exactly — the point of recording auto-assigned seeds.
+	spec, err := a.Spec().RunSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = a.Seed()
+	replay := obs.NewRegistry()
+	spec.Obs = replay
+	fleet, _ := a.Spec().Fleet()
+	if _, err := report.RunFleetApps(fleet, spec, report.FleetOptions{Workers: 1, Obs: replay}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"smores_gpu_accesses_total",
+		"smores_bus_wire_energy_femtojoules_total",
+	} {
+		for _, app := range fleet {
+			want := a.Registry().Value(name, obs.L("app", app.Name))
+			if want == 0 {
+				t.Fatalf("session never recorded %s{app=%s}", name, app.Name)
+			}
+			if got := replay.Value(name, obs.L("app", app.Name)); got != want {
+				t.Fatalf("replay %s{app=%s} = %v, session recorded %v", name, app.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	g := NewRegistry(Options{Workers: 1, SampleInterval: time.Millisecond})
+	if _, err := g.Submit(report.RunSpecJSON{Policy: "pam5"}); err == nil {
+		t.Fatalf("bad spec must be rejected")
+	}
+	if v := g.Obs().Value("smores_sessions_rejected_total"); v != 1 {
+		t.Fatalf("rejected counter = %v", v)
+	}
+	g.Drain()
+	if _, err := g.Submit(tinySpec(1)); err == nil {
+		t.Fatalf("submit after Drain must fail")
+	}
+}
+
+func TestRegistryQueueFull(t *testing.T) {
+	// One worker, queue depth 1: the first session occupies the worker,
+	// the second fills the queue, the third must be rejected with a
+	// queue-full error (the 503 path).
+	g := NewRegistry(Options{Workers: 1, QueueDepth: 1, SampleInterval: time.Millisecond})
+	defer g.Drain()
+	big := report.RunSpecJSON{Accesses: 20000, MaxApps: 4}
+	if _, err := g.Submit(big); err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for i := 0; i < 3; i++ {
+		if _, err := g.Submit(big); err != nil {
+			if !strings.Contains(err.Error(), "queue full") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatalf("queue never filled")
+	}
+}
+
+func TestFailedSessionState(t *testing.T) {
+	g := NewRegistry(Options{Workers: 1, SampleInterval: time.Millisecond})
+	defer g.Drain()
+	// A valid-at-submit spec whose run fails is hard to construct here;
+	// instead run a session directly with a spec that fails validation
+	// at run time via an unknown app injected after submit-time checks.
+	s := newSession("s-test", report.RunSpecJSON{Apps: []string{"nonesuch"}}, 1, 4)
+	s.run(time.Millisecond)
+	state, err := s.State()
+	if state != StateFailed || err == nil {
+		t.Fatalf("state = %v, %v", state, err)
+	}
+	if !s.Ring().Closed() {
+		t.Fatalf("failed session must still close its ring")
+	}
+	if info := s.Info(); info.State != "failed" || info.Error == "" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestFleetRollupConserves(t *testing.T) {
+	g := NewRegistry(Options{Workers: 2, SampleInterval: time.Millisecond})
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := g.Submit(tinySpec(uint64(10 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	g.Drain()
+
+	merged, err := g.FleetRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every series total in the roll-up equals the ordered sum of the
+	// per-session values — exactly, not approximately.
+	apps := workload.Fleet()[:2]
+	for _, name := range []string{
+		"smores_bus_wire_energy_femtojoules_total",
+		"smores_ctrl_reads_served_total",
+	} {
+		for _, app := range apps {
+			var want float64
+			for _, s := range sessions {
+				want += s.Registry().Value(name, obs.L("app", app.Name))
+			}
+			if want == 0 {
+				t.Fatalf("series %s{app=%s} absent from sessions", name, app.Name)
+			}
+			if got := merged.Value(name, obs.L("app", app.Name)); got != want {
+				t.Fatalf("%s{app=%s}: roll-up %v != sum %v", name, app.Name, got, want)
+			}
+		}
+	}
+	// Profile roll-up conserves cell-wise: each merged cell is exactly
+	// the ordered sum of the sessions' cells.
+	snap := g.FleetProfile().Snapshot()
+	if len(snap.Cells) == 0 || snap.TotalFJ == 0 {
+		t.Fatalf("fleet profile is empty")
+	}
+	for _, cell := range snap.Cells {
+		var wantFJ float64
+		for _, s := range sessions {
+			fj, _ := s.Profile().Cell(cell.Phase, cell.Codec, cell.Wire, cell.Level, cell.Trans)
+			wantFJ += fj
+		}
+		if cell.FJ != wantFJ {
+			t.Fatalf("profile cell %+v: roll-up %v != ordered sum %v", cell, cell.FJ, wantFJ)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package session is the multi-session telemetry service: a registry
+// that accepts run-spec submissions over HTTP, executes each one on the
+// bounded fleet runner with its own obs.Registry/Progress/Profile, and
+// exposes per-session scrapes, delta-compressed NDJSON counter streams,
+// and a fleet-wide roll-up merged across every live session.
+//
+// The layering is strictly one-way: session → report → obs. The report
+// package never learns about sessions (it defines the data types the
+// service speaks — RunSpecJSON in, ServiceBench out), and the simulator
+// hot path never learns about streaming: simulations write lock-free
+// instruments into their session's registry, and a per-session sampler
+// goroutine turns registry state into delta snapshots on its own clock.
+// Backpressure therefore never reaches the simulator — a slow or absent
+// stream consumer costs evicted snapshots (counted, observable), never
+// a blocked simulation tick.
+package session
+
+import (
+	"sync"
+
+	"smores/internal/obs"
+)
+
+// DefaultRingCapacity bounds the per-session snapshot buffer. At the
+// default sampling interval this holds several minutes of history —
+// plenty for a stream consumer to join late or stall briefly.
+const DefaultRingCapacity = 256
+
+// Ring is a bounded drop-oldest buffer of delta snapshots with absolute
+// positions: entry i of the session's lifetime keeps position i forever,
+// so a follower can detect eviction (its position fell off the tail) and
+// resync from a full snapshot instead of silently skipping state.
+//
+// Push never blocks: when the buffer is full the oldest snapshot is
+// evicted and counted in Dropped. Followers poll Since and park on Wait
+// between polls; Close wakes them permanently once the session's final
+// snapshot is in.
+//
+//smores:nilsafe
+type Ring struct {
+	mu      sync.Mutex
+	buf     []obs.DeltaSnapshot
+	start   uint64 // absolute position of buf[0]
+	limit   int
+	dropped int64
+	notify  chan struct{}
+	closed  bool
+}
+
+// NewRing builds a ring holding at most capacity snapshots
+// (DefaultRingCapacity when capacity is not positive).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{limit: capacity, notify: make(chan struct{})}
+}
+
+// Push appends a snapshot, evicting the oldest when full. Pushing to a
+// closed ring is a no-op (the session already emitted its final state).
+func (r *Ring) Push(s obs.DeltaSnapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if len(r.buf) >= r.limit {
+		n := copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:n]
+		r.start++
+		r.dropped++
+	}
+	r.buf = append(r.buf, s)
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// Close marks the stream complete and wakes every parked follower. The
+// buffered snapshots stay readable; further pushes are dropped.
+func (r *Ring) Close() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	close(r.notify)
+}
+
+// Closed reports whether the ring received its final snapshot.
+func (r *Ring) Closed() bool {
+	if r == nil {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Dropped counts snapshots evicted before any follower could have read
+// them at their original position — the backpressure signal.
+func (r *Ring) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// End returns the absolute position one past the newest snapshot.
+func (r *Ring) End() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.start + uint64(len(r.buf))
+}
+
+// Since returns the buffered snapshots at positions >= pos, the position
+// to resume from, and whether entries at >= pos were already evicted
+// (the follower fell behind the drop-oldest window and should resync
+// from a full snapshot).
+func (r *Ring) Since(pos uint64) (snaps []obs.DeltaSnapshot, next uint64, gapped bool) {
+	if r == nil {
+		return nil, pos, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pos < r.start {
+		gapped = true
+		pos = r.start
+	}
+	end := r.start + uint64(len(r.buf))
+	if pos >= end {
+		return nil, end, gapped
+	}
+	snaps = append(snaps, r.buf[pos-r.start:]...)
+	return snaps, end, gapped
+}
+
+// Wait returns a channel closed on the next Push or on Close. After
+// Close the returned channel is always closed, so drained followers
+// never park forever.
+func (r *Ring) Wait() <-chan struct{} {
+	if r == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.notify
+}

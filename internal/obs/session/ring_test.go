@@ -1,0 +1,84 @@
+package session
+
+import (
+	"testing"
+
+	"smores/internal/obs"
+)
+
+func snap(seq uint64) obs.DeltaSnapshot {
+	return obs.DeltaSnapshot{Seq: seq, Points: []obs.DeltaPoint{{Name: "x", Value: float64(seq)}}}
+}
+
+func TestRingDropOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Push(snap(i))
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	snaps, next, gapped := r.Since(0)
+	if !gapped {
+		t.Fatalf("reading from position 0 after eviction must report a gap")
+	}
+	if len(snaps) != 3 || snaps[0].Seq != 3 || snaps[2].Seq != 5 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+	if next != 5 {
+		t.Fatalf("next = %d, want 5", next)
+	}
+	// Caught-up reads are clean.
+	snaps, next2, gapped := r.Since(next)
+	if len(snaps) != 0 || gapped || next2 != next {
+		t.Fatalf("caught-up read = %v %v %v", snaps, next2, gapped)
+	}
+}
+
+func TestRingWaitAndClose(t *testing.T) {
+	r := NewRing(2)
+	wait := r.Wait()
+	select {
+	case <-wait:
+		t.Fatalf("Wait fired with no push")
+	default:
+	}
+	r.Push(snap(1))
+	select {
+	case <-wait:
+	default:
+		t.Fatalf("Wait did not fire on push")
+	}
+	r.Close()
+	if !r.Closed() {
+		t.Fatalf("Closed after Close = false")
+	}
+	select {
+	case <-r.Wait():
+	default:
+		t.Fatalf("Wait on a closed ring must be a closed channel")
+	}
+	// Push after Close is dropped silently.
+	end := r.End()
+	r.Push(snap(2))
+	if r.End() != end {
+		t.Fatalf("push after Close must not append")
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Push(snap(1))
+	r.Close()
+	if !r.Closed() || r.Dropped() != 0 || r.End() != 0 {
+		t.Fatalf("nil ring accessors")
+	}
+	if snaps, _, _ := r.Since(0); snaps != nil {
+		t.Fatalf("nil Since = %v", snaps)
+	}
+	select {
+	case <-r.Wait():
+	default:
+		t.Fatalf("nil Wait must be closed")
+	}
+}

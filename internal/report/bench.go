@@ -79,6 +79,26 @@ type BenchScheme struct {
 	Allocs     uint64 `json:"allocs"`
 }
 
+// ServiceBench is the telemetry-service throughput row: N sessions at a
+// fixed spec submitted over real HTTP and streamed to completion.
+// Sessions/sec is machine-dependent (gated same-host only, like wall
+// time); the snapshot counters are informational.
+type ServiceBench struct {
+	// Sessions, AppsPerSession, Accesses pin the fixed spec so rows are
+	// only compared like-for-like.
+	Sessions       int   `json:"sessions"`
+	AppsPerSession int   `json:"apps_per_session"`
+	Accesses       int64 `json:"accesses"`
+	// WallSeconds covers first submission to last completion (includes
+	// HTTP submission and delta-stream consumption).
+	WallSeconds    float64 `json:"wall_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// Snapshots counts delta snapshots streamed; Dropped counts ring
+	// overwrites under backpressure (drops never block the simulation).
+	Snapshots int64 `json:"snapshots_streamed"`
+	Dropped   int64 `json:"snapshots_dropped"`
+}
+
 // BenchReport is the full smores-bench output.
 type BenchReport struct {
 	Version  int           `json:"version"`
@@ -89,6 +109,9 @@ type BenchReport struct {
 	Workers  int           `json:"workers"`
 	Apps     int           `json:"apps"`
 	Schemes  []BenchScheme `json:"schemes"`
+	// Service is the optional service-mode throughput row (smores-bench
+	// -service); absent from older baselines, which skips its gate.
+	Service *ServiceBench `json:"service,omitempty"`
 }
 
 // BenchConfig parameterizes RunBench.
@@ -274,7 +297,45 @@ func CompareBench(baseline, current BenchReport, energyTol, perfTol float64) (Be
 				b.Label, c.Allocs, b.Allocs, rel*100, perfTol*100))
 		}
 	}
+	compareService(&cmp, baseline.Service, current.Service, samePerf, perfTol)
 	return cmp, nil
+}
+
+// compareService gates the service-throughput row. Like wall time it is
+// machine-dependent (same-host only) and protected by the absolute
+// noise floor; a row missing from either side downgrades to a note so
+// pre-service baselines keep gating energy.
+func compareService(cmp *BenchComparison, b, c *ServiceBench, samePerf bool, perfTol float64) {
+	switch {
+	case b == nil && c == nil:
+		return
+	case b == nil:
+		cmp.Notes = append(cmp.Notes,
+			"baseline has no service-throughput row: service gate skipped (refresh the baseline with -service to enable)")
+		return
+	case c == nil:
+		cmp.Notes = append(cmp.Notes,
+			"current report has no service-throughput row: service gate skipped")
+		return
+	case !samePerf:
+		return // covered by the host-fingerprint note
+	case b.Sessions != c.Sessions || b.AppsPerSession != c.AppsPerSession || b.Accesses != c.Accesses:
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"service rows ran different specs (%d×%d×%d vs %d×%d×%d): gate skipped",
+			b.Sessions, b.AppsPerSession, b.Accesses, c.Sessions, c.AppsPerSession, c.Accesses))
+		return
+	}
+	if rel := relDelta(c.WallSeconds, b.WallSeconds); rel > perfTol {
+		if c.WallSeconds-b.WallSeconds > wallNoiseFloorSeconds {
+			cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+				"service: %.1f sessions/s vs baseline %.1f (wall %.2fs vs %.2fs, +%.1f%% > %.1f%% tolerance)",
+				c.SessionsPerSec, b.SessionsPerSec, c.WallSeconds, b.WallSeconds, rel*100, perfTol*100))
+		} else {
+			cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+				"service: wall +%.1f%% but only %+.0f ms absolute (noise floor %d ms): ignored",
+				rel*100, (c.WallSeconds-b.WallSeconds)*1e3, int(wallNoiseFloorSeconds*1e3)))
+		}
+	}
 }
 
 // relDelta is (cur-base)/base, 0 when the baseline is 0.
@@ -295,6 +356,10 @@ func RenderBench(rep BenchReport) string {
 	for _, s := range rep.Schemes {
 		fmt.Fprintf(&b, "  %-34s %12.4f %7.1f%% %9.2f %12.0f %12d\n",
 			s.Label, s.EnergyPJPerBit, s.SavingPct, s.WallSeconds, s.AccessesPerSec, s.Allocs)
+	}
+	if s := rep.Service; s != nil {
+		fmt.Fprintf(&b, "  service: %d sessions × %d apps × %d accesses — %.2f s wall, %.1f sessions/s, %d snapshots streamed (%d dropped)\n",
+			s.Sessions, s.AppsPerSession, s.Accesses, s.WallSeconds, s.SessionsPerSec, s.Snapshots, s.Dropped)
 	}
 	return b.String()
 }

@@ -285,6 +285,15 @@ func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
 	return runFleet(workload.Fleet(), spec, opts)
 }
 
+// RunFleetApps is RunFleetOpts over an explicit application subset —
+// the telemetry service's session runner submits arbitrary app lists
+// (parsed from a RunSpecJSON) without paying for the full 42-app fleet.
+// All RunFleetOpts contracts hold: fleet-position seeds, deterministic
+// ordering, lowest-indexed-failure reporting.
+func RunFleetApps(fleet []workload.Profile, spec RunSpec, opts FleetOptions) (FleetResult, error) {
+	return runFleet(fleet, spec, opts)
+}
+
 // runFleet is RunFleetOpts over an explicit application list (the tests
 // exercise the empty-fleet and partial-failure contracts directly).
 func runFleet(fleet []workload.Profile, spec RunSpec, opts FleetOptions) (FleetResult, error) {

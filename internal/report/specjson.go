@@ -1,0 +1,235 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smores/internal/core"
+	"smores/internal/memctrl"
+	"smores/internal/workload"
+)
+
+// RunSpecJSON is the wire form of a RunSpec: the body a client POSTs to
+// the telemetry service to submit a session. Enumerations travel as the
+// same strings the controllers print (policy "baseline-mta" /
+// "optimized-mta" / "smores", specification "static" / "variable",
+// detection "exhaustive" / "conservative", pages "open" / "closed"), so
+// a spec copied out of any report or metric label round-trips.
+//
+// The zero value is a valid spec: baseline MTA over the full fleet at
+// the default access budget. Unknown fields are rejected at parse time
+// — a typoed "polciy" must not silently fall back to the baseline.
+type RunSpecJSON struct {
+	// Policy selects the encoding: "baseline-mta" (default),
+	// "optimized-mta", or "smores".
+	Policy string `json:"policy,omitempty"`
+	// Specification and Detection pick the SMOREs design point (only
+	// meaningful with Policy "smores"): "variable" (default) or
+	// "static"; "exhaustive" (default) or "conservative".
+	Specification string `json:"specification,omitempty"`
+	Detection     string `json:"detection,omitempty"`
+	// Accesses is the per-app workload length (default DefaultAccesses).
+	Accesses int64 `json:"accesses,omitempty"`
+	// Seed makes the run reproducible; the service assigns a recorded
+	// per-session seed when 0, so any session can be replayed offline.
+	Seed uint64 `json:"seed,omitempty"`
+	// UseLLC interposes the 6 MB sectored cache.
+	UseLLC bool `json:"use_llc,omitempty"`
+	// ExtraCodecLatency is the §V-A pipeline ablation in clocks.
+	ExtraCodecLatency int64 `json:"extra_codec_latency,omitempty"`
+	// WindowClocks overrides the conservative detection window.
+	WindowClocks int `json:"window_clocks,omitempty"`
+	// Pages selects the row-buffer policy: "open" (default) or "closed".
+	Pages string `json:"pages,omitempty"`
+	// Apps names the workload subset (by workload.Profile name); empty
+	// selects the full 42-app fleet.
+	Apps []string `json:"apps,omitempty"`
+	// MaxApps truncates the selected fleet to its first N apps (0 keeps
+	// all) — the knob load tests use to keep hundreds of concurrent
+	// sessions cheap.
+	MaxApps int `json:"max_apps,omitempty"`
+	// Workers bounds concurrent app simulations inside the session
+	// (default 1: a session is one unit of fleet-level parallelism).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParseRunSpecJSON decodes a request body strictly: unknown fields and
+// trailing garbage are errors, and the decoded spec is validated.
+func ParseRunSpecJSON(r io.Reader) (RunSpecJSON, error) {
+	var j RunSpecJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return j, fmt.Errorf("report: bad run spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return j, fmt.Errorf("report: trailing data after run spec")
+	}
+	if err := j.Validate(); err != nil {
+		return j, err
+	}
+	return j, nil
+}
+
+// Validate checks every enumeration and range without building a spec.
+func (j RunSpecJSON) Validate() error {
+	if _, err := j.policy(); err != nil {
+		return err
+	}
+	if _, err := j.scheme(); err != nil {
+		return err
+	}
+	if _, err := j.pages(); err != nil {
+		return err
+	}
+	if j.Accesses < 0 {
+		return fmt.Errorf("report: negative accesses %d", j.Accesses)
+	}
+	if j.ExtraCodecLatency < 0 {
+		return fmt.Errorf("report: negative extra codec latency")
+	}
+	if j.WindowClocks < 0 {
+		return fmt.Errorf("report: negative window clocks")
+	}
+	if j.MaxApps < 0 || j.Workers < 0 {
+		return fmt.Errorf("report: negative max_apps/workers")
+	}
+	_, err := j.Fleet()
+	return err
+}
+
+func (j RunSpecJSON) policy() (memctrl.EncodingPolicy, error) {
+	switch j.Policy {
+	case "", "baseline-mta":
+		return memctrl.BaselineMTA, nil
+	case "optimized-mta":
+		return memctrl.OptimizedMTA, nil
+	case "smores":
+		return memctrl.SMOREs, nil
+	default:
+		return 0, fmt.Errorf("report: unknown policy %q (want baseline-mta, optimized-mta, or smores)", j.Policy)
+	}
+}
+
+func (j RunSpecJSON) scheme() (core.Scheme, error) {
+	var s core.Scheme
+	switch j.Specification {
+	case "", "variable":
+		s.Specification = core.VariableCode
+	case "static":
+		s.Specification = core.StaticCode
+	default:
+		return s, fmt.Errorf("report: unknown specification %q (want static or variable)", j.Specification)
+	}
+	switch j.Detection {
+	case "", "exhaustive":
+		s.Detection = core.Exhaustive
+	case "conservative":
+		s.Detection = core.Conservative
+	default:
+		return s, fmt.Errorf("report: unknown detection %q (want exhaustive or conservative)", j.Detection)
+	}
+	return s, nil
+}
+
+func (j RunSpecJSON) pages() (memctrl.PagePolicy, error) {
+	switch j.Pages {
+	case "", "open", "open-page":
+		return memctrl.OpenPage, nil
+	case "closed", "closed-page":
+		return memctrl.ClosedPage, nil
+	default:
+		return 0, fmt.Errorf("report: unknown page policy %q (want open or closed)", j.Pages)
+	}
+}
+
+// RunSpec builds the simulator configuration. Observability handles
+// (Obs/Profile/Tracer) are left nil — the session runner attaches its
+// per-session instances.
+func (j RunSpecJSON) RunSpec() (RunSpec, error) {
+	pol, err := j.policy()
+	if err != nil {
+		return RunSpec{}, err
+	}
+	sch, err := j.scheme()
+	if err != nil {
+		return RunSpec{}, err
+	}
+	pages, err := j.pages()
+	if err != nil {
+		return RunSpec{}, err
+	}
+	spec := RunSpec{
+		Policy:            pol,
+		Accesses:          j.Accesses,
+		Seed:              j.Seed,
+		UseLLC:            j.UseLLC,
+		ExtraCodecLatency: j.ExtraCodecLatency,
+		WindowClocks:      j.WindowClocks,
+		Pages:             pages,
+	}
+	if pol == memctrl.SMOREs {
+		spec.Scheme = sch
+	}
+	if spec.Accesses == 0 {
+		spec.Accesses = DefaultAccesses
+	}
+	return spec, nil
+}
+
+// Fleet resolves the spec's application subset against the workload
+// catalog: named apps in the order given (unknown names are errors),
+// or the full fleet, truncated to MaxApps when set.
+func (j RunSpecJSON) Fleet() ([]workload.Profile, error) {
+	var fleet []workload.Profile
+	if len(j.Apps) == 0 {
+		fleet = workload.Fleet()
+	} else {
+		fleet = make([]workload.Profile, 0, len(j.Apps))
+		for _, name := range j.Apps {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("report: unknown app %q", name)
+			}
+			fleet = append(fleet, p)
+		}
+	}
+	if j.MaxApps > 0 && j.MaxApps < len(fleet) {
+		fleet = fleet[:j.MaxApps]
+	}
+	return fleet, nil
+}
+
+// Label renders a short human identity for session listings (the full
+// controller Describe string only exists once a controller is built).
+func (j RunSpecJSON) Label() string {
+	pol := j.Policy
+	if pol == "" {
+		pol = "baseline-mta"
+	}
+	if pol != "smores" {
+		return pol
+	}
+	spec, det := j.Specification, j.Detection
+	if spec == "" {
+		spec = "variable"
+	}
+	if det == "" {
+		det = "exhaustive"
+	}
+	return fmt.Sprintf("smores/%s/%s", spec, det)
+}
+
+// Canonical re-encodes the spec as compact JSON (for echoing in session
+// listings and reproducibility records).
+func (j RunSpecJSON) Canonical() string {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(j); err != nil {
+		return "{}"
+	}
+	return string(bytes.TrimSpace(b.Bytes()))
+}

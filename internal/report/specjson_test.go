@@ -1,0 +1,181 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"smores/internal/core"
+	"smores/internal/memctrl"
+	"smores/internal/workload"
+)
+
+func TestParseRunSpecJSON(t *testing.T) {
+	j, err := ParseRunSpecJSON(strings.NewReader(`{
+		"policy": "smores", "specification": "static", "detection": "conservative",
+		"accesses": 500, "seed": 7, "use_llc": true, "pages": "closed",
+		"apps": ["` + workload.Fleet()[0].Name + `"], "workers": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := j.RunSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Policy != memctrl.SMOREs || spec.Scheme.Specification != core.StaticCode ||
+		spec.Scheme.Detection != core.Conservative {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Accesses != 500 || spec.Seed != 7 || !spec.UseLLC || spec.Pages != memctrl.ClosedPage {
+		t.Errorf("spec knobs = %+v", spec)
+	}
+	fleet, err := j.Fleet()
+	if err != nil || len(fleet) != 1 || fleet[0].Name != workload.Fleet()[0].Name {
+		t.Errorf("fleet = %v, %v", fleet, err)
+	}
+	if got := j.Label(); got != "smores/static/conservative" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestParseRunSpecJSONDefaults(t *testing.T) {
+	j, err := ParseRunSpecJSON(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := j.RunSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Policy != memctrl.BaselineMTA || spec.Accesses != DefaultAccesses {
+		t.Errorf("defaults = %+v", spec)
+	}
+	fleet, _ := j.Fleet()
+	if len(fleet) != len(workload.Fleet()) {
+		t.Errorf("default fleet = %d apps", len(fleet))
+	}
+	if j.Label() != "baseline-mta" {
+		t.Errorf("label = %q", j.Label())
+	}
+
+	// SMOREs defaults: variable/exhaustive (the paper's headline point).
+	j2, err := ParseRunSpecJSON(strings.NewReader(`{"policy": "smores"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, _ := j2.RunSpec()
+	if spec2.Scheme.Specification != core.VariableCode || spec2.Scheme.Detection != core.Exhaustive {
+		t.Errorf("smores defaults = %+v", spec2.Scheme)
+	}
+}
+
+func TestParseRunSpecJSONRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown field":     `{"polciy": "smores"}`,
+		"unknown policy":    `{"policy": "pam5"}`,
+		"unknown spec":      `{"policy": "smores", "specification": "adaptive"}`,
+		"unknown detection": `{"policy": "smores", "detection": "psychic"}`,
+		"unknown pages":     `{"pages": "ajar"}`,
+		"unknown app":       `{"apps": ["nonesuch"]}`,
+		"negative accesses": `{"accesses": -1}`,
+		"negative workers":  `{"workers": -2}`,
+		"trailing garbage":  `{} {"policy": "smores"}`,
+		"not json":          `policy=smores`,
+	} {
+		if _, err := ParseRunSpecJSON(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+func TestRunSpecJSONMaxApps(t *testing.T) {
+	j := RunSpecJSON{MaxApps: 3}
+	fleet, err := j.Fleet()
+	if err != nil || len(fleet) != 3 {
+		t.Fatalf("fleet = %d, %v", len(fleet), err)
+	}
+	// MaxApps beyond the catalog keeps everything.
+	j = RunSpecJSON{MaxApps: 10_000}
+	fleet, _ = j.Fleet()
+	if len(fleet) != len(workload.Fleet()) {
+		t.Fatalf("oversized MaxApps truncated to %d", len(fleet))
+	}
+}
+
+// TestRunFleetApps runs a two-app subset end to end and checks the
+// per-app seeds match fleet-position derivation.
+func TestRunFleetApps(t *testing.T) {
+	fleet := workload.Fleet()[:2]
+	spec := RunSpec{Policy: memctrl.BaselineMTA, Accesses: 200, Seed: 11}
+	fr, err := RunFleetApps(fleet, spec, FleetOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Results) != 2 {
+		t.Fatalf("results = %d", len(fr.Results))
+	}
+	// Same subset through the worker pool is identical.
+	fr2, err := RunFleetApps(fleet, spec, FleetOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fr.Results {
+		if fr.Results[i].Bus.TotalEnergy() != fr2.Results[i].Bus.TotalEnergy() {
+			t.Errorf("app %d energy differs across worker counts", i)
+		}
+	}
+}
+
+func TestCompareBenchServiceRow(t *testing.T) {
+	base := BenchReport{Version: BenchVersion, Host: benchHost(), Accesses: 60, Apps: 1,
+		Schemes: []BenchScheme{{Label: "x", EnergyPJPerBit: 1}}}
+	cur := base
+	svc := &ServiceBench{Sessions: 10, AppsPerSession: 2, Accesses: 100,
+		WallSeconds: 1.0, SessionsPerSec: 10}
+
+	// Baseline without a row: note, no regression.
+	cur.Service = svc
+	cmp, err := CompareBench(base, cur, 0.05, 0.3)
+	if err != nil || len(cmp.Regressions) != 0 {
+		t.Fatalf("missing-baseline row must not regress: %v %v", cmp.Regressions, err)
+	}
+	found := false
+	for _, n := range cmp.Notes {
+		if strings.Contains(n, "service") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a service note, got %v", cmp.Notes)
+	}
+
+	// Matching rows, large same-host slowdown: regression.
+	base.Service = &ServiceBench{Sessions: 10, AppsPerSession: 2, Accesses: 100,
+		WallSeconds: 1.0, SessionsPerSec: 10}
+	cur.Service = &ServiceBench{Sessions: 10, AppsPerSession: 2, Accesses: 100,
+		WallSeconds: 2.0, SessionsPerSec: 5}
+	cmp, err = CompareBench(base, cur, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 1 || !strings.Contains(cmp.Regressions[0], "service") {
+		t.Fatalf("expected a service regression, got %v", cmp.Regressions)
+	}
+
+	// Sub-noise-floor slowdown: note only.
+	cur.Service = &ServiceBench{Sessions: 10, AppsPerSession: 2, Accesses: 100,
+		WallSeconds: 1.05, SessionsPerSec: 9.5}
+	base.Service.WallSeconds = 1.0
+	base.Service.SessionsPerSec = 10
+	cmp, _ = CompareBench(base, cur, 0.05, 0.03)
+	if len(cmp.Regressions) != 0 {
+		t.Fatalf("sub-floor service delta must not regress: %v", cmp.Regressions)
+	}
+
+	// Different fixed specs: skipped with a note.
+	cur.Service = &ServiceBench{Sessions: 20, AppsPerSession: 2, Accesses: 100,
+		WallSeconds: 9, SessionsPerSec: 2.2}
+	cmp, _ = CompareBench(base, cur, 0.05, 0.3)
+	if len(cmp.Regressions) != 0 {
+		t.Fatalf("mismatched service specs must not regress: %v", cmp.Regressions)
+	}
+}
