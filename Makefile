@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress fault-smoke serve-smoke
+.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress fault-smoke serve-smoke federate-smoke
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/obs/session/ ./internal/report/ ./internal/memctrl/ ./internal/gpu/
+	$(GO) test -race ./internal/obs/ ./internal/obs/session/ ./internal/obs/fedclient/ ./internal/report/ ./internal/memctrl/ ./internal/gpu/
 
 # lint runs the in-repo gates that need no network. CI layers
 # staticcheck and govulncheck on top (installed there with go install,
@@ -48,3 +48,12 @@ fault-smoke:
 # inspection / CI artifact upload.
 serve-smoke:
 	$(GO) run ./cmd/smores-serve -smoke -smoke-sessions 3 -out fleet-rollup.json
+
+# federate-smoke boots two in-process service instances (each under a
+# tiny retention cap so the retired accumulator is on the scraped path),
+# federates them through the scrape client, and asserts the merged
+# /federation/metrics and /federation/profile documents are
+# byte-identical to fetching both peers' fleet roll-ups and merging them
+# in peer order.
+federate-smoke:
+	$(GO) run ./cmd/smores-serve -smoke -federate self -smoke-sessions 3 -out federation-rollup.json

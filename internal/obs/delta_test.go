@@ -138,6 +138,68 @@ func TestStreamStateGapDetection(t *testing.T) {
 	}
 }
 
+// TestDeltaMidStreamRegistration pins the late-registration contract in
+// isolation: a counter family created after the stream started reaches a
+// receiver that joined at seq 0, and the encoder's Full reflects it.
+func TestDeltaMidStreamRegistration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pre_total", "h").Add(1)
+	enc := NewDeltaEncoder(reg)
+	rx := NewStreamState()
+	s1, _ := enc.Next()
+	if !rx.Apply(s1) {
+		t.Fatal("seq 1 must apply")
+	}
+
+	// New family and a new labeled series in an existing family, both
+	// registered mid-stream; the zero-valued one must stream too (the
+	// receiver has to learn the series exists).
+	reg.Counter("mid_total", "h", L("app", "bfs")).Add(7)
+	reg.Counter("pre_total", "h", L("app", "late"))
+	s2, emitted := enc.Next()
+	if !emitted || len(s2.Points) != 2 {
+		t.Fatalf("mid-stream registration must emit both new series: %+v", s2)
+	}
+	if !rx.Apply(s2) {
+		t.Fatal("seq 2 must apply")
+	}
+	if v, ok := rx.Value("mid_total", map[string]string{"app": "bfs"}); !ok || !floats.Eq(v, 7) {
+		t.Fatalf("mid-stream family = %v, %v", v, ok)
+	}
+	if v, ok := rx.Value("pre_total", map[string]string{"app": "late"}); !ok || !floats.IsZero(v) {
+		t.Fatalf("zero-valued mid-stream series = %v, %v", v, ok)
+	}
+	if !EqualPoints(rx.Points(), enc.Full().Points) {
+		t.Fatal("reconstruction diverged after mid-stream registration")
+	}
+}
+
+// TestStreamStateResetEmptyRegistry: a Reset snapshot from an encoder
+// over an empty registry (a session that never emitted) carries no
+// points but must still apply, clearing any stale receiver state.
+func TestStreamStateResetEmptyRegistry(t *testing.T) {
+	enc := NewDeltaEncoder(NewRegistry())
+	full := enc.Full()
+	if !full.Reset || full.Seq != 0 || len(full.Points) != 0 {
+		t.Fatalf("empty-registry Full = %+v", full)
+	}
+
+	rx := NewStreamState()
+	rx.Apply(DeltaSnapshot{Seq: 5, Reset: true, Points: []DeltaPoint{{Name: "stale_total", Value: 3}}})
+	if len(rx.Points()) != 1 {
+		t.Fatal("seed state missing")
+	}
+	if !rx.Apply(full) {
+		t.Fatal("empty reset must apply over populated state")
+	}
+	if got := rx.Points(); len(got) != 0 {
+		t.Fatalf("empty reset did not clear state: %+v", got)
+	}
+	if rx.Seq() != 0 {
+		t.Fatalf("reset must adopt the snapshot's seq, got %d", rx.Seq())
+	}
+}
+
 func TestDeltaNilSafe(t *testing.T) {
 	var enc *DeltaEncoder
 	if _, emitted := enc.Next(); emitted {

@@ -1,0 +1,372 @@
+// Package fedclient is the cross-process federation side of the
+// telemetry service: a client that periodically scrapes peer services'
+// fleet roll-ups (/fleet/metrics.json and /fleet/profile?format=json),
+// keeps each peer's last good snapshot, and serves an exactly-conserved
+// merge across all of them. A smores-serve started with -federate wires
+// one of these behind its /federation/* endpoints.
+//
+// The client is deliberately pull-based and stateless on the wire: peers
+// are ordinary services with no knowledge of being federated, and every
+// scrape is a full roll-up document, so a missed interval costs freshness
+// but never correctness. Peer failures are absorbed by keeping the last
+// good scrape (marked stale once older than StaleAfter) and retried with
+// exponential backoff, all observable through per-peer counters in the
+// owning service's registry.
+package fedclient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"smores/internal/obs"
+)
+
+// Options tunes the federation client.
+type Options struct {
+	// Interval is the scrape period (default 2s).
+	Interval time.Duration
+	// Timeout bounds one peer scrape (both documents; default 5s).
+	Timeout time.Duration
+	// StaleAfter marks a peer's last good snapshot stale once it is older
+	// than this (default 3×Interval). Stale data still merges — a fleet
+	// total that silently dropped a peer would be worse — but the peer
+	// status makes the staleness visible.
+	StaleAfter time.Duration
+	// BackoffMax caps the exponential retry backoff after consecutive
+	// scrape failures (default 1 minute; the first retry waits Interval).
+	BackoffMax time.Duration
+	// Client overrides the HTTP client (default: a fresh one using
+	// Timeout).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 3 * o.Interval
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Minute
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: o.Timeout}
+	}
+	return o
+}
+
+// PeerStatus is one peer's scrape health, served by /federation/peers.
+type PeerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Stale means the last good scrape is older than StaleAfter (the
+	// merge still includes it).
+	Stale    bool    `json:"stale"`
+	LastGood string  `json:"last_good,omitempty"`
+	AgeSecs  float64 `json:"age_seconds,omitempty"`
+	Scrapes  uint64  `json:"scrapes"`
+	Failures uint64  `json:"failures"`
+	// ConsecFails drives the backoff; BackoffSecs is how long the loop
+	// will keep skipping this peer.
+	ConsecFails int     `json:"consecutive_failures,omitempty"`
+	BackoffSecs float64 `json:"backoff_seconds,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+type peer struct {
+	url      string
+	scrapesC *obs.Counter
+	failsC   *obs.Counter
+	healthyG *obs.Gauge
+
+	mu           sync.Mutex
+	lastReg      *obs.Registry
+	lastProf     *obs.Profile
+	lastGood     time.Time
+	lastErr      error
+	scrapes      uint64
+	failures     uint64
+	consecFails  int
+	backoffUntil time.Time
+}
+
+// Client scrapes a fixed peer set and serves the merged roll-up.
+type Client struct {
+	peers []*peer
+	opts  Options
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// New builds a client over the peer base URLs (e.g.
+// "http://host:9090"). Per-peer scrape/failure counters and a health
+// gauge are registered in serviceObs — normally the owning service's
+// registry, so the federation's own health shows up on its /metrics.
+func New(peerURLs []string, serviceObs *obs.Registry, opts Options) *Client {
+	opts = opts.withDefaults()
+	if serviceObs == nil {
+		serviceObs = obs.NewRegistry()
+	}
+	c := &Client{opts: opts}
+	for _, u := range peerURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		c.peers = append(c.peers, &peer{
+			url:      u,
+			scrapesC: serviceObs.Counter("smores_federation_scrapes_total", "Successful peer roll-up scrapes.", obs.L("peer", u)),
+			failsC:   serviceObs.Counter("smores_federation_scrape_failures_total", "Failed peer roll-up scrapes.", obs.L("peer", u)),
+			healthyG: serviceObs.Gauge("smores_federation_peer_healthy", "1 when the peer's latest scrape succeeded and is fresh.", obs.L("peer", u)),
+		})
+	}
+	return c
+}
+
+// Peers returns the normalized peer URLs in merge order.
+func (c *Client) Peers() []string {
+	if c == nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p.url)
+	}
+	return out
+}
+
+// Start launches the periodic scrape loop (one immediate scrape, then
+// every Interval, honoring per-peer backoff). Idempotent while running.
+func (c *Client) Start() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.stopped = make(chan struct{})
+	go c.loop(c.stop, c.stopped)
+}
+
+// Stop halts the scrape loop and waits for it. The last good snapshots
+// stay served. Idempotent.
+func (c *Client) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	stop, stopped := c.stop, c.stopped
+	c.stop, c.stopped = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+}
+
+func (c *Client) loop(stop, stopped chan struct{}) {
+	defer close(stopped)
+	c.scrapeDue(time.Now())
+	t := time.NewTicker(c.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			c.scrapeDue(now)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// scrapeDue scrapes, concurrently, every peer whose backoff has lapsed.
+func (c *Client) scrapeDue(now time.Time) {
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		p.mu.Lock()
+		due := !now.Before(p.backoffUntil)
+		p.mu.Unlock()
+		if !due {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			c.scrapeOne(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// ScrapeNow scrapes every peer immediately (ignoring backoff) and
+// returns the combined failures, if any — the synchronous path the
+// federation smoke test and -federate startup use.
+func (c *Client) ScrapeNow() error {
+	if c == nil {
+		return fmt.Errorf("fedclient: nil client")
+	}
+	errs := make([]error, len(c.peers))
+	var wg sync.WaitGroup
+	for i, p := range c.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			errs[i] = c.scrapeOne(p)
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (c *Client) scrapeOne(p *peer) error {
+	reg, rerr := c.fetchRegistry(p.url + "/fleet/metrics.json")
+	var prof *obs.Profile
+	var perr error
+	if rerr == nil {
+		prof, perr = c.fetchProfile(p.url + "/fleet/profile?format=json")
+	}
+	err := rerr
+	if err == nil {
+		err = perr
+	}
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.failures++
+		p.consecFails++
+		p.lastErr = err
+		// Exponential backoff from one interval, capped: 1×, 2×, 4×, ...
+		backoff := c.opts.Interval << (p.consecFails - 1)
+		if backoff > c.opts.BackoffMax || backoff <= 0 {
+			backoff = c.opts.BackoffMax
+		}
+		p.backoffUntil = now.Add(backoff)
+		p.failsC.Inc()
+		p.healthyG.Set(0)
+		return fmt.Errorf("fedclient: %s: %w", p.url, err)
+	}
+	// Both documents parsed: install them together so Merged never pairs
+	// a new registry with an old profile.
+	p.lastReg, p.lastProf = reg, prof
+	p.lastGood = now
+	p.lastErr = nil
+	p.scrapes++
+	p.consecFails = 0
+	p.backoffUntil = time.Time{}
+	p.scrapesC.Inc()
+	p.healthyG.Set(1)
+	return nil
+}
+
+func (c *Client) fetchRegistry(url string) (*obs.Registry, error) {
+	body, err := c.fetch(url)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return obs.ParseRegistryJSON(body)
+}
+
+func (c *Client) fetchProfile(url string) (*obs.Profile, error) {
+	body, err := c.fetch(url)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return obs.ParseProfileJSON(body)
+}
+
+func (c *Client) fetch(url string) (io.ReadCloser, error) {
+	resp, err := c.opts.Client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s = %d: %.200s", url, resp.StatusCode, b)
+	}
+	return resp.Body, nil
+}
+
+// Merged returns the federated roll-up: every peer's last good registry
+// and profile merged in peer declaration order. Because each peer
+// snapshot is itself an exact roll-up and obs merges add series- and
+// cell-wise in a fixed order, the result is exactly the ordered sum of
+// the per-peer fleets — the property the federate smoke test asserts.
+// Peers that have never been scraped successfully contribute nothing.
+func (c *Client) Merged() (*obs.Registry, *obs.Profile, error) {
+	reg := obs.NewRegistry()
+	prof := obs.NewProfile()
+	if c == nil {
+		return reg, prof, nil
+	}
+	for _, p := range c.peers {
+		p.mu.Lock()
+		lastReg, lastProf := p.lastReg, p.lastProf
+		p.mu.Unlock()
+		if lastReg == nil {
+			continue
+		}
+		if err := reg.Merge(lastReg); err != nil {
+			return nil, nil, fmt.Errorf("fedclient: merge %s: %w", p.url, err)
+		}
+		prof.Merge(lastProf)
+	}
+	return reg, prof, nil
+}
+
+// Statuses returns per-peer scrape health in merge order.
+func (c *Client) Statuses() []PeerStatus {
+	if c == nil {
+		return nil
+	}
+	now := time.Now()
+	out := make([]PeerStatus, 0, len(c.peers))
+	for _, p := range c.peers {
+		p.mu.Lock()
+		st := PeerStatus{
+			URL:         p.url,
+			Scrapes:     p.scrapes,
+			Failures:    p.failures,
+			ConsecFails: p.consecFails,
+		}
+		if !p.lastGood.IsZero() {
+			st.LastGood = p.lastGood.UTC().Format(time.RFC3339Nano)
+			st.AgeSecs = now.Sub(p.lastGood).Seconds()
+			st.Stale = now.Sub(p.lastGood) > c.opts.StaleAfter
+		}
+		st.Healthy = p.lastErr == nil && !p.lastGood.IsZero() && !st.Stale
+		if p.lastErr != nil {
+			st.Error = p.lastErr.Error()
+		}
+		if until := p.backoffUntil; until.After(now) {
+			st.BackoffSecs = until.Sub(now).Seconds()
+		}
+		p.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// PeersJSON satisfies the session service's Federation interface.
+func (c *Client) PeersJSON() any { return c.Statuses() }

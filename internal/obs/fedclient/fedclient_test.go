@@ -1,0 +1,261 @@
+package fedclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smores/internal/obs"
+)
+
+// peerFixture builds a registry+profile pair with distinct, exactly
+// representable values per peer index so merge sums are checkable
+// bit-for-bit.
+func peerFixture(i int) (*obs.Registry, *obs.Profile) {
+	reg := obs.NewRegistry()
+	reg.Counter("f_reads_total", "reads", obs.L("app", "bfs")).Add(int64(100 * (i + 1)))
+	reg.FloatCounter("f_energy_fj", "energy").Add(0.25 * float64(i+1))
+	reg.Gauge("f_depth", "depth").Set(int64(i + 1))
+	h := reg.Histogram("f_gaps", "gaps", []float64{1, 4})
+	h.Observe(float64(i))
+	h.Observe(8)
+	prof := obs.NewProfile()
+	prof.AddSymbol(obs.PhaseMTAPayload, obs.ProfileCodecMTA, 2, 1, obs.Trans1DV, 0.5*float64(i+1))
+	prof.AddAggregate(obs.PhaseLogic, obs.ProfileCodecPAM4, float64(10*(i+1)), int64(i+1))
+	return reg, prof
+}
+
+// servePeer exposes the fixture the way a real service does: JSON fleet
+// roll-up documents on the two scraped paths.
+func servePeer(t *testing.T, reg *obs.Registry, prof *obs.Profile, fail *atomic.Bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && fail.Load() {
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		_ = obs.WriteJSON(w, reg)
+	})
+	mux.HandleFunc("/fleet/profile", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && fail.Load() {
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("format") != "json" {
+			http.Error(w, "test peer only speaks json", http.StatusBadRequest)
+			return
+		}
+		_ = obs.WriteProfileJSON(w, prof.Snapshot())
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestClientMergesPeersExactly: the federated roll-up equals the ordered
+// sum of the per-peer fleets, series- and cell-wise, and the service
+// registry carries per-peer scrape counters.
+func TestClientMergesPeersExactly(t *testing.T) {
+	regA, profA := peerFixture(0)
+	regB, profB := peerFixture(1)
+	pa := servePeer(t, regA, profA, nil)
+	pb := servePeer(t, regB, profB, nil)
+
+	svcObs := obs.NewRegistry()
+	c := New([]string{pa.URL, pb.URL + "/"}, svcObs, Options{Interval: time.Second})
+	if got := c.Peers(); len(got) != 2 || got[1] != pb.URL {
+		t.Fatalf("peers = %v (trailing slash must normalize away)", got)
+	}
+	if err := c.ScrapeNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, prof, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact ordered sums: peer A then peer B, identical to scraping and
+	// merging by hand.
+	if got := merged.Value("f_reads_total", obs.L("app", "bfs")); got != 300 {
+		t.Fatalf("merged counter = %v, want 300", got)
+	}
+	wantE := regA.Value("f_energy_fj") + regB.Value("f_energy_fj")
+	if got := merged.Value("f_energy_fj"); got != wantE {
+		t.Fatalf("merged energy = %v, want %v", got, wantE)
+	}
+	if got := merged.Value("f_depth"); got != 3 {
+		t.Fatalf("merged gauge = %v, want 3", got)
+	}
+	if h := merged.HistogramSeries("f_gaps"); h.Count() != 4 {
+		t.Fatalf("merged histogram count = %d, want 4", h.Count())
+	}
+	wantCells := obs.ProfileDeltaCells(func() obs.ProfileSnapshot {
+		sum := obs.NewProfile()
+		sum.Merge(profA)
+		sum.Merge(profB)
+		return sum.Snapshot()
+	}())
+	if !obs.EqualCells(obs.ProfileDeltaCells(prof.Snapshot()), wantCells) {
+		t.Fatalf("merged profile cells diverged")
+	}
+
+	sts := c.Statuses()
+	if len(sts) != 2 || !sts[0].Healthy || !sts[1].Healthy || sts[0].Scrapes != 1 {
+		t.Fatalf("statuses = %+v", sts)
+	}
+	for _, u := range c.Peers() {
+		if v := svcObs.Value("smores_federation_scrapes_total", obs.L("peer", u)); v != 1 {
+			t.Fatalf("scrapes{peer=%s} = %v, want 1", u, v)
+		}
+		if v := svcObs.Value("smores_federation_peer_healthy", obs.L("peer", u)); v != 1 {
+			t.Fatalf("healthy{peer=%s} = %v, want 1", u, v)
+		}
+	}
+}
+
+// TestClientKeepsLastGoodAndBacksOff: a peer that starts failing keeps
+// contributing its last good snapshot, accrues failure counters and
+// exponential backoff, and reports unhealthy.
+func TestClientKeepsLastGoodAndBacksOff(t *testing.T) {
+	reg, prof := peerFixture(2)
+	var fail atomic.Bool
+	p := servePeer(t, reg, prof, &fail)
+
+	svcObs := obs.NewRegistry()
+	c := New([]string{p.URL}, svcObs, Options{Interval: 100 * time.Millisecond, BackoffMax: time.Minute})
+	if err := c.ScrapeNow(); err != nil {
+		t.Fatal(err)
+	}
+	wantReads := reg.Value("f_reads_total", obs.L("app", "bfs"))
+
+	fail.Store(true)
+	for i := 0; i < 3; i++ {
+		if err := c.ScrapeNow(); err == nil {
+			t.Fatal("scrape of failing peer must error")
+		}
+	}
+
+	merged, mprof, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Value("f_reads_total", obs.L("app", "bfs")); got != wantReads {
+		t.Fatalf("last-good merge lost data: %v != %v", got, wantReads)
+	}
+	if len(obs.ProfileDeltaCells(mprof.Snapshot())) == 0 {
+		t.Fatal("last-good profile lost")
+	}
+
+	st := c.Statuses()[0]
+	if st.Healthy || st.Error == "" || st.ConsecFails != 3 || st.Failures != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.BackoffSecs <= 0 {
+		t.Fatalf("no backoff after 3 consecutive failures: %+v", st)
+	}
+	// 3 consecutive failures → 4× interval = 400ms backoff.
+	if st.BackoffSecs > 0.41 {
+		t.Fatalf("backoff %.3fs exceeds expected 4×interval", st.BackoffSecs)
+	}
+	if v := svcObs.Value("smores_federation_scrape_failures_total", obs.L("peer", p.URL)); v != 3 {
+		t.Fatalf("failures counter = %v", v)
+	}
+	if v := svcObs.Value("smores_federation_peer_healthy", obs.L("peer", p.URL)); v != 0 {
+		t.Fatalf("healthy gauge = %v, want 0", v)
+	}
+
+	// The periodic loop honors the backoff: with the peer due far in the
+	// future, scrapeDue must skip it entirely.
+	before := st.Failures
+	c.scrapeDue(time.Now())
+	if got := c.Statuses()[0].Failures; got != before {
+		t.Fatalf("scrapeDue ignored backoff: failures %d → %d", before, got)
+	}
+
+	// Recovery resets the failure streak and health.
+	fail.Store(false)
+	if err := c.ScrapeNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Statuses()[0]
+	if !st.Healthy || st.ConsecFails != 0 || st.BackoffSecs != 0 {
+		t.Fatalf("post-recovery status = %+v", st)
+	}
+}
+
+// TestClientStaleness: an aging last-good snapshot flips Stale (and
+// therefore Healthy) once it outlives StaleAfter.
+func TestClientStaleness(t *testing.T) {
+	reg, prof := peerFixture(0)
+	p := servePeer(t, reg, prof, nil)
+	c := New([]string{p.URL}, nil, Options{Interval: 5 * time.Millisecond, StaleAfter: 20 * time.Millisecond})
+	if err := c.ScrapeNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Statuses()[0]; st.Stale || !st.Healthy {
+		t.Fatalf("fresh scrape reported stale: %+v", st)
+	}
+	time.Sleep(40 * time.Millisecond)
+	st := c.Statuses()[0]
+	if !st.Stale || st.Healthy {
+		t.Fatalf("aged scrape not stale: %+v", st)
+	}
+	// Stale data still merges — visibility, not erasure.
+	merged, _, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Value("f_reads_total", obs.L("app", "bfs")) == 0 {
+		t.Fatal("stale peer dropped from merge")
+	}
+}
+
+// TestClientStartStop: the periodic loop scrapes on its own and stops
+// cleanly (idempotently).
+func TestClientStartStop(t *testing.T) {
+	reg, prof := peerFixture(0)
+	p := servePeer(t, reg, prof, nil)
+	c := New([]string{p.URL}, nil, Options{Interval: 5 * time.Millisecond})
+	c.Start()
+	c.Start() // idempotent while running
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Statuses()[0].Scrapes < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop never accumulated scrapes: %+v", c.Statuses()[0])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent when stopped
+	after := c.Statuses()[0].Scrapes
+	time.Sleep(30 * time.Millisecond)
+	if got := c.Statuses()[0].Scrapes; got != after {
+		t.Fatalf("loop still scraping after Stop: %d → %d", after, got)
+	}
+}
+
+// TestClientRejectsGarbagePeer: a peer serving non-JSON counts as a
+// failure, not a parse panic or a silent zero merge.
+func TestClientRejectsGarbagePeer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not json at all"))
+	}))
+	t.Cleanup(srv.Close)
+	c := New([]string{srv.URL}, nil, Options{})
+	if err := c.ScrapeNow(); err == nil {
+		t.Fatal("garbage peer must fail the scrape")
+	}
+	if st := c.Statuses()[0]; st.Error == "" || st.Healthy {
+		t.Fatalf("status = %+v", st)
+	}
+	merged, _, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams := merged.Gather(); len(fams) != 0 {
+		t.Fatalf("never-good peer contributed %d families", len(fams))
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"testing"
 
 	"smores/internal/floats"
@@ -78,6 +79,45 @@ func TestRegistryMergeBoundsMismatch(t *testing.T) {
 	src.Histogram("m", "h", []float64{1, 2, 3}).Observe(1)
 	if err := dst.Merge(src); err == nil {
 		t.Fatal("merging mismatched histogram bounds must error")
+	}
+}
+
+// TestRegistryMergeBoundValueMismatch: same bucket count but different
+// edge values is still a conflict (the bound-count check alone would
+// pass), and the error names the offending family.
+func TestRegistryMergeBoundValueMismatch(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("m_gaps", "h", []float64{1, 2}).Observe(1)
+	src := NewRegistry()
+	src.Histogram("m_gaps", "h", []float64{1, 3}).Observe(1)
+	err := dst.Merge(src)
+	if err == nil {
+		t.Fatal("merging mismatched bound values must error")
+	}
+	if !strings.Contains(err.Error(), "m_gaps") {
+		t.Fatalf("error must name the family: %v", err)
+	}
+	// The failed merge must not have corrupted dst's own counts.
+	if h := dst.HistogramSeries("m_gaps"); h.Count() != 1 {
+		t.Fatalf("failed merge mutated destination: count %d", h.Count())
+	}
+}
+
+// TestRegistryMergeKindConflictNames: the kind-conflict error carries
+// the metric name and both kinds, so a fleet 500 is actionable.
+func TestRegistryMergeKindConflictNames(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("m_mixed", "h", []float64{1})
+	src := NewRegistry()
+	src.FloatCounter("m_mixed", "h").Add(1)
+	err := dst.Merge(src)
+	if err == nil {
+		t.Fatal("kind conflict must error")
+	}
+	for _, want := range []string{"m_mixed", "histogram", "counter"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
 	}
 }
 

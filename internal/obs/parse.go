@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parsers for the service's own JSON exports — the inverse of WriteJSON
+// and WriteProfileJSON. The federation client scrapes peers'
+// /fleet/metrics.json and /fleet/profile?format=json and rebuilds live
+// Registry/Profile values from them, so the cross-process roll-up rides
+// the exact same nil-safe Merge paths the in-process fleet roll-up uses.
+//
+// Kind fidelity: the JSON export folds Counter and FloatCounter into one
+// "counter" kind string, so a parsed registry cannot distinguish them.
+// ParseRegistryJSON resolves every "counter" to a FloatCounter — exact
+// for any integer counter below 2^53 — which keeps all parsed registries
+// mutually mergeable. Federation therefore merges only parsed
+// registries (a process's own contribution enters via a self-scrape),
+// never a parsed registry into a native one.
+
+// ParseRegistryJSON reads a WriteJSON document and rebuilds a registry.
+// Series are created even at zero value, so the merged structure
+// mirrors the source exactly.
+func ParseRegistryJSON(r io.Reader) (*Registry, error) {
+	var fams []jsonFamily
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fams); err != nil {
+		return nil, fmt.Errorf("obs: parse registry: %w", err)
+	}
+	reg := NewRegistry()
+	for _, f := range fams {
+		for _, s := range f.Series {
+			labels := labelsFromMap(s.Labels)
+			switch f.Kind {
+			case "counter":
+				c := reg.FloatCounter(f.Name, f.Help, labels...)
+				if s.Value != nil {
+					c.Add(*s.Value)
+				}
+			case "gauge":
+				g := reg.Gauge(f.Name, f.Help, labels...)
+				if s.Value != nil {
+					g.Set(int64(*s.Value))
+				}
+			case "histogram":
+				if s.Hist == nil {
+					return nil, fmt.Errorf("obs: parse registry: histogram %q series missing histogram body", f.Name)
+				}
+				if len(s.Hist.Counts) != len(s.Hist.Bounds) {
+					return nil, fmt.Errorf("obs: parse registry: histogram %q has %d counts for %d bounds",
+						f.Name, len(s.Hist.Counts), len(s.Hist.Bounds))
+				}
+				h := reg.Histogram(f.Name, f.Help, s.Hist.Bounds, labels...)
+				snap := HistogramSnapshot{
+					Bounds: s.Hist.Bounds, Counts: s.Hist.Counts,
+					Inf: s.Hist.Inf, Sum: s.Hist.Sum, Count: s.Hist.Count,
+				}
+				if err := h.merge(snap); err != nil {
+					return nil, fmt.Errorf("obs: parse registry: %q: %w", f.Name, err)
+				}
+			default:
+				return nil, fmt.Errorf("obs: parse registry: family %q has unknown kind %q", f.Name, f.Kind)
+			}
+		}
+	}
+	return reg, nil
+}
+
+func labelsFromMap(m map[string]string) []Label {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Label, 0, len(m))
+	for k, v := range m {
+		out = append(out, L(k, v))
+	}
+	return out
+}
+
+// ParseProfileJSON reads a WriteProfileJSON document and rebuilds an
+// attribution profile by reverse-mapping the exported phase/codec/wire/
+// level/transition names to grid coordinates. Each cell is one exact
+// Add into a zero profile, so the parsed cells are bit-identical to the
+// exported ones.
+func ParseProfileJSON(r io.Reader) (*Profile, error) {
+	var doc profileJSONDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: parse profile: %w", err)
+	}
+	p := NewProfile()
+	for i, c := range doc.Cells {
+		ph, ok := phaseByName(c.Phase)
+		if !ok {
+			return nil, fmt.Errorf("obs: parse profile: cell %d: unknown phase %q", i, c.Phase)
+		}
+		codec, ok := codecByName(c.Codec)
+		if !ok {
+			return nil, fmt.Errorf("obs: parse profile: cell %d: unknown codec %q", i, c.Codec)
+		}
+		wire, err := wireByName(c.Wire)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse profile: cell %d: %w", i, err)
+		}
+		level, err := levelByName(c.Level)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse profile: cell %d: %w", i, err)
+		}
+		tc, ok := transByName(c.Transition)
+		if !ok {
+			return nil, fmt.Errorf("obs: parse profile: cell %d: unknown transition %q", i, c.Transition)
+		}
+		if cellIndex(ph, codec, wire, level, tc) < 0 {
+			return nil, fmt.Errorf("obs: parse profile: cell %d: coordinates out of range (%s/%s/%s/%s/%s)",
+				i, c.Phase, c.Codec, c.Wire, c.Level, c.Transition)
+		}
+		p.Add(ph, codec, wire, level, tc, c.FJ, c.Symbols)
+	}
+	return p, nil
+}
+
+func phaseByName(name string) (Phase, bool) {
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		if ph.String() == name {
+			return ph, true
+		}
+	}
+	return 0, false
+}
+
+func codecByName(name string) (int, bool) {
+	for c := 0; c < NumProfileCodecs; c++ {
+		if ProfileCodecName(c) == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func transByName(name string) (TransClass, bool) {
+	for tc := TransClass(0); tc < NumTransClasses; tc++ {
+		if tc.String() == name {
+			return tc, true
+		}
+	}
+	return 0, false
+}
+
+func wireByName(name string) (int, error) {
+	if name == "agg" {
+		return WireAgg, nil
+	}
+	w, err := strconv.Atoi(name)
+	if err != nil || w < 0 || w >= ProfileWires {
+		return 0, fmt.Errorf("unknown wire %q", name)
+	}
+	return w, nil
+}
+
+func levelByName(name string) (int, error) {
+	if name == "mix" {
+		return LevelMix, nil
+	}
+	rest, ok := strings.CutPrefix(name, "L")
+	if !ok {
+		return 0, fmt.Errorf("unknown level %q", name)
+	}
+	l, err := strconv.Atoi(rest)
+	if err != nil || l < 0 || l >= ProfileLevels {
+		return 0, fmt.Errorf("unknown level %q", name)
+	}
+	return l, nil
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"smores/internal/floats"
+)
+
+// TestProfileDeltaRoundTrip is the profile-streaming correctness gate:
+// at every emission point, a receiver that applied the delta sequence
+// holds exactly the encoder's full cell state — and both agree with a
+// direct Profile.Snapshot at the same instant.
+func TestProfileDeltaRoundTrip(t *testing.T) {
+	p := NewProfile()
+	enc := NewProfileDeltaEncoder(p)
+	rx := NewProfileStreamState()
+
+	check := func(stage string) {
+		t.Helper()
+		snap, emitted := enc.Next()
+		if !emitted {
+			t.Fatalf("%s: expected changes to emit", stage)
+		}
+		if !rx.Apply(snap) {
+			t.Fatalf("%s: apply rejected seq %d (held %d)", stage, snap.Seq, rx.Seq())
+		}
+		if !EqualCells(rx.Cells(), enc.Full().Cells) {
+			t.Fatalf("%s: reconstruction diverged from encoder state", stage)
+		}
+		if !EqualCells(rx.Cells(), ProfileDeltaCells(p.Snapshot())) {
+			t.Fatalf("%s: reconstruction diverged from profile snapshot", stage)
+		}
+	}
+
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 100)
+	p.AddSymbol(PhaseDBIWire, ProfileCodecMTA, 8, 3, Trans3DV, 45.5)
+	check("initial")
+
+	// Unchanged profile: nothing emitted, seq stays put.
+	if snap, emitted := enc.Next(); emitted || len(snap.Cells) != 0 {
+		t.Fatalf("no-change scan emitted %+v", snap)
+	}
+
+	p.Add(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 0.1+0.2, 2) // float dust
+	check("cell grows")
+
+	p.AddAggregate(PhaseLogic, ProfileCodecPAM4, 12.25, 64)
+	check("aggregate cell appears")
+
+	// Count-only change (Add with fj=0) must still stream.
+	p.Add(PhaseReplay, ProfileCodecIndex(4), 3, 2, Trans2DV, 0, 5)
+	check("count-only change")
+
+	if !floats.Eq(rx.TotalFJ(), p.TotalEnergy()) {
+		t.Fatalf("reconstructed total %v != profile total %v", rx.TotalFJ(), p.TotalEnergy())
+	}
+
+	// The wire format survives JSON, including inside a StreamLine.
+	full := enc.Full()
+	raw, err := json.Marshal(StreamLine{Profile: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line StreamLine
+	if err := json.Unmarshal(raw, &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Profile == nil {
+		t.Fatal("profile field lost in JSON round trip")
+	}
+	rx2 := NewProfileStreamState()
+	if !rx2.Apply(*line.Profile) {
+		t.Fatal("reset snapshot must always apply")
+	}
+	if !EqualCells(rx2.Cells(), full.Cells) {
+		t.Fatal("JSON round-trip diverged")
+	}
+}
+
+// TestProfileDeltaOnlyChangedCells pins the compression property: an
+// emission carries exactly the touched cells.
+func TestProfileDeltaOnlyChangedCells(t *testing.T) {
+	p := NewProfile()
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 10)
+	p.AddSymbol(PhaseSparsePayload, ProfileCodecIndex(3), 5, 0, Trans0DV, 20)
+	enc := NewProfileDeltaEncoder(p)
+	if snap, ok := enc.Next(); !ok || len(snap.Cells) != 2 {
+		t.Fatalf("first scan must carry both cells: %+v", snap)
+	}
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 10)
+	snap, ok := enc.Next()
+	if !ok || len(snap.Cells) != 1 {
+		t.Fatalf("second scan must carry only the touched cell: %+v", snap)
+	}
+	c := snap.Cells[0]
+	if c.Phase != PhaseMTAPayload || c.Wire != 0 || c.Level != 1 || c.Trans != Trans1DV {
+		t.Fatalf("wrong cell streamed: %+v", c)
+	}
+	if !floats.Eq(c.FJ, 20) || c.Count != 2 {
+		t.Fatalf("cell carries absolute values: got (%v, %d), want (20, 2)", c.FJ, c.Count)
+	}
+}
+
+// TestProfileStreamGapDetection: a receiver that missed an emission
+// refuses the out-of-order snapshot and accepts a Reset resync.
+func TestProfileStreamGapDetection(t *testing.T) {
+	p := NewProfile()
+	enc := NewProfileDeltaEncoder(p)
+	rx := NewProfileStreamState()
+
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 1)
+	s1, _ := enc.Next()
+	if !rx.Apply(s1) {
+		t.Fatal("seq 1 must apply")
+	}
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 1)
+	enc.Next() // dropped on the floor
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 1)
+	s3, _ := enc.Next()
+	if rx.Apply(s3) {
+		t.Fatal("gapped snapshot must be rejected")
+	}
+	if !rx.Apply(enc.Full()) {
+		t.Fatal("resync must apply")
+	}
+	if fj, n := rx.Cell(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV); !floats.Eq(fj, 3) || n != 3 {
+		t.Fatalf("post-resync cell = (%v, %d), want (3, 3)", fj, n)
+	}
+	p.AddSymbol(PhaseMTAPayload, ProfileCodecMTA, 0, 1, Trans1DV, 1)
+	s4, _ := enc.Next()
+	if !rx.Apply(s4) {
+		t.Fatal("post-resync delta must apply")
+	}
+}
+
+// TestProfileStreamResetClears: a Reset snapshot replaces held state
+// wholesale, so cells absent from it vanish.
+func TestProfileStreamResetClears(t *testing.T) {
+	rx := NewProfileStreamState()
+	rx.Apply(ProfileDeltaSnapshot{Seq: 3, Reset: true, Cells: []ProfileDeltaCell{
+		{Phase: PhaseLogic, Codec: ProfileCodecPAM4, Wire: WireAgg, Level: LevelMix, Trans: TransMix, FJ: 9, Count: 1},
+	}})
+	if len(rx.Cells()) != 1 {
+		t.Fatal("seed state missing")
+	}
+	// Empty reset (a session that never burned energy) clears everything.
+	if !rx.Apply(ProfileDeltaSnapshot{Seq: 0, Reset: true}) {
+		t.Fatal("empty reset must apply")
+	}
+	if got := rx.Cells(); len(got) != 0 {
+		t.Fatalf("reset did not clear state: %+v", got)
+	}
+	if rx.Seq() != 0 {
+		t.Fatalf("reset must adopt the snapshot's seq, got %d", rx.Seq())
+	}
+}
+
+func TestCellCoordsInvertsCellIndex(t *testing.T) {
+	for i := 0; i < ProfileCells; i++ {
+		ph, codec, wire, level, tc := cellCoords(i)
+		if got := cellIndex(ph, codec, wire, level, tc); got != i {
+			t.Fatalf("cellCoords(%d) = (%v,%d,%d,%d,%v) round-trips to %d",
+				i, ph, codec, wire, level, tc, got)
+		}
+	}
+}
+
+func TestEqualCells(t *testing.T) {
+	a := []ProfileDeltaCell{{Phase: PhaseLogic, Codec: 1, Wire: 2, Level: 3, Trans: Trans1DV, FJ: 1.5, Count: 2}}
+	if !EqualCells(a, append([]ProfileDeltaCell(nil), a...)) {
+		t.Fatal("identical sets must compare equal")
+	}
+	b := append([]ProfileDeltaCell(nil), a...)
+	b[0].FJ = 1.5000001
+	if EqualCells(a, b) {
+		t.Fatal("energy mismatch must compare unequal")
+	}
+	b = append([]ProfileDeltaCell(nil), a...)
+	b[0].Count = 3
+	if EqualCells(a, b) {
+		t.Fatal("count mismatch must compare unequal")
+	}
+	b = append([]ProfileDeltaCell(nil), a...)
+	b[0].Wire = 4
+	if EqualCells(a, b) {
+		t.Fatal("coordinate mismatch must compare unequal")
+	}
+	if EqualCells(a, nil) {
+		t.Fatal("length mismatch must compare unequal")
+	}
+	if !EqualCells(nil, nil) {
+		t.Fatal("two empty sets are equal")
+	}
+}
+
+func TestProfileDeltaNilSafe(t *testing.T) {
+	var enc *ProfileDeltaEncoder
+	if _, emitted := enc.Next(); emitted {
+		t.Fatal("nil encoder emitted")
+	}
+	if enc.Seq() != 0 || len(enc.Full().Cells) != 0 || !enc.Full().Reset {
+		t.Fatal("nil encoder state leak")
+	}
+	// Encoder over a nil profile is constructible and inert.
+	encNilProf := NewProfileDeltaEncoder(nil)
+	if _, emitted := encNilProf.Next(); emitted {
+		t.Fatal("encoder over nil profile emitted")
+	}
+	var rx *ProfileStreamState
+	if rx.Apply(ProfileDeltaSnapshot{}) {
+		t.Fatal("nil state applied")
+	}
+	if rx.Cells() != nil || rx.Seq() != 0 || !floats.IsZero(rx.TotalFJ()) {
+		t.Fatal("nil state not inert")
+	}
+	if fj, n := rx.Cell(PhaseLogic, 0, 0, 0, TransMix); !floats.IsZero(fj) || n != 0 {
+		t.Fatal("nil state has cells")
+	}
+	// Out-of-range cells in a snapshot are dropped, not applied.
+	rx2 := NewProfileStreamState()
+	rx2.Apply(ProfileDeltaSnapshot{Seq: 1, Cells: []ProfileDeltaCell{
+		{Phase: NumPhases + 1, Codec: 0, Wire: 0, Level: 0, Trans: 0, FJ: 5},
+	}})
+	if len(rx2.Cells()) != 0 {
+		t.Fatal("out-of-range cell applied")
+	}
+}

@@ -21,16 +21,26 @@ type BenchSpec struct {
 // exercise queueing and merging, small enough to finish in seconds.
 var DefaultBenchSpec = BenchSpec{Sessions: 64, Apps: 2, Accesses: 2000, Workers: 0}
 
+// benchRetainFinished runs the bench under a realistic retention cap so
+// the eviction/fold-in path is part of the measured service work.
+const benchRetainFinished = 16
+
 // RunServiceBench submits spec.Sessions identical sessions through a
 // fresh registry, waits for completion, and reports end-to-end
-// throughput plus streaming totals. The fleet roll-up is exercised (and
-// its conservation checked) so the benchmark covers the full service
-// path, not just the runner.
+// throughput plus streaming totals. The registry runs with a retention
+// cap so eviction and retired-accumulator folding are on the measured
+// path, and the fleet roll-up is exercised (and its conservation
+// checked) so the benchmark covers the full service path, not just the
+// runner.
 func RunServiceBench(spec BenchSpec) (*report.ServiceBench, error) {
 	if spec.Sessions <= 0 || spec.Apps <= 0 || spec.Accesses <= 0 {
 		return nil, fmt.Errorf("session: bench spec must be positive: %+v", spec)
 	}
-	g := NewRegistry(Options{Workers: spec.Workers, SampleInterval: 5 * time.Millisecond})
+	g := NewRegistry(Options{
+		Workers:        spec.Workers,
+		SampleInterval: 5 * time.Millisecond,
+		RetainFinished: benchRetainFinished,
+	})
 	js := report.RunSpecJSON{
 		Policy:   "smores",
 		Accesses: spec.Accesses,
@@ -67,6 +77,8 @@ func RunServiceBench(spec BenchSpec) (*report.ServiceBench, error) {
 		WallSeconds:    wall,
 		Snapshots:      snapshots,
 		Dropped:        dropped,
+		Retained:       g.RetainedCount(),
+		Retired:        int(g.Retired().Sessions),
 	}
 	if wall > 0 {
 		b.SessionsPerSec = float64(spec.Sessions) / wall

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -202,6 +203,321 @@ func TestLoad200Sessions(t *testing.T) {
 		t.Fatalf("fleet profile has no cells")
 	}
 	g.Drain()
+}
+
+// TestLoad2000SessionsWithRetention is the retention-era load test: 2000
+// sessions pushed through a registry that retains only 64 finished ones,
+// with ?include=profile stream followers riding along. Asserted at the
+// end:
+//
+//  1. every session completed (none lost, none failed) even though ~97%
+//     were retired mid-run — counted via the service counters and the
+//     retired tally, since the Session objects themselves are gone;
+//  2. the fleet roll-up equals, exactly, a shadow accumulator the evict
+//     hook maintained in retirement order plus the live sessions in
+//     submission order — series-wise for counters, cell-wise for the
+//     energy profile (conservation across eviction);
+//  3. every ?include=profile follower reconstructed its session's final
+//     profile to EqualCells equality against the late-join /profile
+//     scrape — or, when retention already 404'd the scrape, against the
+//     cells the evict hook captured at retirement.
+//
+// The shadow accumulator is the test's memory story too: retired
+// sessions must be garbage-collectable, so the hook folds and forgets
+// rather than holding 2000 profile grids live.
+func TestLoad2000SessionsWithRetention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	const sessions = 2000
+	const retain = 64
+	const streamed = 12   // ?include=profile followers
+	const submitters = 64 // bounded client-side submission concurrency
+
+	g := NewRegistry(Options{
+		SampleInterval: 2 * time.Millisecond,
+		RingCapacity:   64,
+		QueueDepth:     sessions + 48,
+		RetainFinished: retain,
+	})
+	svc := NewService(g)
+
+	// Shadow conservation state, maintained by the evict hook under the
+	// registry lock — the same critical section, and therefore the same
+	// order, as the retired-accumulator merges.
+	shadowReg := obs.NewRegistry()
+	shadowProf := obs.NewProfile()
+	retiredFinals := make(map[string]obs.DeltaSnapshot)     // followed ids only
+	retiredCells := make(map[string][]obs.ProfileDeltaCell) // ditto
+	followed := make(map[string]bool)
+	var followedMu sync.Mutex
+	var retireOrder []string
+	g.AddEvictHook(func(s *Session) {
+		if err := shadowReg.Merge(s.Registry()); err != nil {
+			t.Errorf("shadow merge %s: %v", s.ID(), err)
+		}
+		shadowProf.Merge(s.profileLoaded())
+		retireOrder = append(retireOrder, s.ID())
+		followedMu.Lock()
+		if followed[s.ID()] {
+			retiredFinals[s.ID()] = s.Full()
+			retiredCells[s.ID()] = obs.ProfileDeltaCells(s.Profile().Snapshot())
+		}
+		followedMu.Unlock()
+	})
+
+	srv := obs.NewServer(g.Obs(), nil)
+	svc.Attach(srv)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+	client := &http.Client{}
+
+	// Submit all sessions over HTTP with bounded concurrency.
+	ids := make([]string, sessions)
+	errs := make([]error, sessions)
+	rxs := make([]profileRxState, streamed)
+	var submitWG, streamWG sync.WaitGroup
+	sem := make(chan struct{}, submitters)
+	for i := 0; i < sessions; i++ {
+		submitWG.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; submitWG.Done() }()
+			body := fmt.Sprintf(`{"accesses": 100, "max_apps": 2, "seed": %d}`, i+1)
+			resp, err := client.Post(base+"/sessions", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				errs[i] = fmt.Errorf("POST = %d", resp.StatusCode)
+				return
+			}
+			var info Info
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = info.ID
+			if i < streamed {
+				followedMu.Lock()
+				followed[info.ID] = true
+				followedMu.Unlock()
+				streamWG.Add(1)
+				go func() {
+					defer streamWG.Done()
+					rxs[i] = followProfileStream(client, base, info.ID)
+				}()
+			}
+		}(i)
+	}
+	submitWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	streamWG.Wait()
+
+	// Wait for the whole fleet to settle: a session counts only once its
+	// post-completion bookkeeping (finish queue + retention sweep) ran, so
+	// when retired+retained reaches the total no sweep can still be
+	// mutating the accumulators we are about to compare against. The sum
+	// is monotone, so the two separately-locked reads cannot overshoot.
+	deadline := time.Now().Add(420 * time.Second)
+	for {
+		settled := g.Retired().Sessions + int64(g.RetainedCount())
+		if settled >= sessions {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d sessions settled", settled)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// 1: every session completed, none failed, and the books balance:
+	// retired + retained == submitted.
+	if v := g.Obs().Value("smores_sessions_failed_total"); v != 0 {
+		t.Fatalf("%v sessions failed", v)
+	}
+	if v := g.Obs().Value("smores_sessions_completed_total"); v != sessions {
+		t.Fatalf("completed = %v, want %d", v, sessions)
+	}
+	tal := g.Retired()
+	live := g.List()
+	if tal.Sessions+int64(len(live)) != sessions {
+		t.Fatalf("retired %d + live %d != %d", tal.Sessions, len(live), sessions)
+	}
+	if tal.Failed != 0 {
+		t.Fatalf("retired tally reports failures: %+v", tal)
+	}
+	if got := g.RetainedCount(); got > retain {
+		t.Fatalf("retained %d exceeds cap %d", got, retain)
+	}
+	t.Logf("%d sessions: %d retired, %d live, %v aggregate ring drops",
+		sessions, tal.Sessions, len(live), g.Obs().Value("smores_snapshots_dropped_total"))
+
+	// 2: exact conservation across eviction. The fleet roll-up merges the
+	// retired accumulator first, then live sessions in submission order;
+	// the shadow accumulator replayed the identical operations in the
+	// identical order, so equality is bit-for-bit, not approximate.
+	merged, err := g.FleetRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, fam := range merged.Gather() {
+		if fam.Kind == obs.KindHistogram {
+			continue // histogram merge covered by the obs merge tests
+		}
+		for _, series := range fam.Series {
+			want := shadowReg.Value(fam.Name, series.Labels...)
+			for _, s := range live {
+				want += s.Registry().Value(fam.Name, series.Labels...)
+			}
+			if series.Value != want {
+				t.Fatalf("%s%v: roll-up %v != shadow+live sum %v",
+					fam.Name, series.Labels, series.Value, want)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d series checked", checked)
+	}
+	cellsChecked := 0
+	for _, cell := range g.FleetProfile().Snapshot().Cells {
+		wantFJ, wantN := shadowProf.Cell(cell.Phase, cell.Codec, cell.Wire, cell.Level, cell.Trans)
+		for _, s := range live {
+			fj, n := s.profileLoaded().Cell(cell.Phase, cell.Codec, cell.Wire, cell.Level, cell.Trans)
+			wantFJ += fj
+			wantN += n
+		}
+		if cell.FJ != wantFJ || cell.Count != wantN {
+			t.Fatalf("profile cell %+v: roll-up (%v, %d) != shadow+live (%v, %d)",
+				cell, cell.FJ, cell.Count, wantFJ, wantN)
+		}
+		cellsChecked++
+	}
+	if cellsChecked == 0 {
+		t.Fatalf("fleet profile has no cells")
+	}
+
+	// 3: every profile follower reconstructed its session exactly —
+	// against the live scrape when the session survived retention, or the
+	// hook-captured state when it was retired first.
+	for i := 0; i < streamed; i++ {
+		rx := rxs[i]
+		if rx.err != nil {
+			t.Fatalf("stream %s: %v", rx.id, rx.err)
+		}
+		var wantCells []obs.ProfileDeltaCell
+		var wantPoints []obs.DeltaPoint
+		code, body := getBodyLoad(client, base+"/sessions/"+rx.id+"/profile?format=json")
+		if code == http.StatusOK {
+			prof, err := obs.ParseProfileJSON(strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("stream %s: /profile parse: %v", rx.id, err)
+			}
+			wantCells = obs.ProfileDeltaCells(prof.Snapshot())
+			s, ok := g.Get(rx.id)
+			if !ok {
+				// Retired between the scrape and the lookup: fall back.
+				followedMu.Lock()
+				wantCells = retiredCells[rx.id]
+				wantPoints = retiredFinals[rx.id].Points
+				followedMu.Unlock()
+			} else {
+				wantPoints = s.Full().Points
+			}
+		} else {
+			followedMu.Lock()
+			wantCells = retiredCells[rx.id]
+			wantPoints = retiredFinals[rx.id].Points
+			followedMu.Unlock()
+			if wantCells == nil {
+				t.Fatalf("stream %s: scrape = %d and no hook capture", rx.id, code)
+			}
+		}
+		if !obs.EqualCells(rx.prof.Cells(), wantCells) {
+			t.Fatalf("stream %s: profile reconstruction (%d cells) != reference (%d cells)",
+				rx.id, len(rx.prof.Cells()), len(wantCells))
+		}
+		if !obs.EqualPoints(rx.state.Points(), wantPoints) {
+			t.Fatalf("stream %s: counter reconstruction != reference", rx.id)
+		}
+	}
+	_ = retireOrder
+	g.Drain()
+}
+
+func getBodyLoad(client *http.Client, url string) (int, string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+type profileRxState struct {
+	id    string
+	state *obs.StreamState
+	prof  *obs.ProfileStreamState
+	err   error
+}
+
+// followProfileStream consumes one session's ?include=profile NDJSON
+// stream to completion, applying counter lines to a StreamState and
+// profile lines to a ProfileStreamState.
+func followProfileStream(client *http.Client, base, id string) (rx profileRxState) {
+	rx.id = id
+	rx.state = obs.NewStreamState()
+	rx.prof = obs.NewProfileStreamState()
+	resp, err := client.Get(base + "/sessions/" + id + "/stream?include=profile")
+	if err != nil {
+		rx.err = err
+		return rx
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 4<<20)
+	var counterDone, profileDone bool
+	for sc.Scan() {
+		var line obs.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			rx.err = err
+			return rx
+		}
+		if line.Profile != nil {
+			if !rx.prof.Apply(*line.Profile) {
+				rx.err = fmt.Errorf("profile seq gap: %d after %d", line.Profile.Seq, rx.prof.Seq())
+				return rx
+			}
+			profileDone = profileDone || line.Profile.Final
+			continue
+		}
+		if !rx.state.Apply(line.DeltaSnapshot) {
+			rx.err = fmt.Errorf("counter seq gap: %d after %d", line.Seq, rx.state.Seq())
+			return rx
+		}
+		counterDone = counterDone || line.Final
+	}
+	if err := sc.Err(); err != nil {
+		rx.err = err
+		return rx
+	}
+	if !counterDone || !profileDone {
+		rx.err = fmt.Errorf("stream ended without finals: counters=%v profile=%v", counterDone, profileDone)
+	}
+	return rx
 }
 
 type rxState struct {

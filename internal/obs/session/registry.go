@@ -27,6 +27,17 @@ type Options struct {
 	// DefaultQueueDepth). A full queue rejects submissions — explicit
 	// backpressure at the API instead of unbounded memory.
 	QueueDepth int
+	// RetainFinished caps the finished sessions kept individually
+	// addressable (0 = keep forever). When exceeded, the oldest-finished
+	// sessions are retired: their final registry and profile fold into
+	// the registry's persistent retired accumulator — so the fleet
+	// roll-up stays exactly conserved — and the per-session surface
+	// (scrapes, stream late-joins) 404s afterwards.
+	RetainFinished int
+	// RetainTTL additionally retires finished sessions older than this
+	// (0 = no age limit). Sweeps run on session completion and on
+	// submission, so an idle service retires on its next interaction.
+	RetainTTL time.Duration
 }
 
 // DefaultSampleInterval is the delta emission period. Sessions at small
@@ -53,15 +64,42 @@ type Registry struct {
 	rejected  *obs.Counter
 	queued    *obs.Gauge
 	running   *obs.Gauge
+	retainedG *obs.Gauge
+	retiredC  *obs.Counter
+	dropsC    *obs.Counter // aggregate ring evictions, shared by every session ring
 
 	mu       sync.Mutex
 	sessions map[string]*Session
 	order    []string
+	finished []string // finish order — the retirement queue
 	nextID   uint64
 	closed   bool
 
+	// The retired accumulator: evicted sessions fold their final
+	// registry/profile (and Info tallies) in here before removal, so
+	// FleetRegistry/FleetProfile stay exactly conserved across eviction.
+	retiredReg  *obs.Registry
+	retiredProf *obs.Profile
+	retired     RetiredTally
+	evictFns    []func(*Session) // run under mu, in retirement order
+
 	queue chan *Session
 	wg    sync.WaitGroup
+}
+
+// RetiredTally summarizes the sessions folded into the retired
+// accumulator — what the landing page and service gauges report for
+// sessions that are no longer individually addressable.
+type RetiredTally struct {
+	Sessions  int64  `json:"sessions"`
+	Done      int64  `json:"done"`
+	Failed    int64  `json:"failed"`
+	Snapshots uint64 `json:"snapshots"`
+	Dropped   int64  `json:"dropped_snapshots"`
+	// MergeErrors counts retirement attempts abandoned because the
+	// session's registry conflicted with the accumulator (the session is
+	// kept addressable instead of losing its data).
+	MergeErrors int64 `json:"merge_errors,omitempty"`
 }
 
 // NewRegistry builds a registry and starts its worker pool.
@@ -88,8 +126,15 @@ func NewRegistry(opts Options) *Registry {
 		rejected:  reg.Counter("smores_sessions_rejected_total", "Submissions rejected (bad spec or full queue)."),
 		queued:    reg.Gauge("smores_sessions_queued", "Sessions accepted but not yet running."),
 		running:   reg.Gauge("smores_sessions_running", "Sessions currently executing."),
+		retainedG: reg.Gauge("smores_sessions_retained", "Finished sessions still individually addressable."),
+		retiredC:  reg.Counter("smores_sessions_retired_total", "Finished sessions folded into the retired accumulator."),
+		dropsC:    reg.Counter("smores_snapshots_dropped_total", "Ring-evicted snapshots aggregated across all sessions."),
 		sessions:  make(map[string]*Session),
-		queue:     make(chan *Session, opts.QueueDepth),
+		// Created eagerly, never nil: a lazily-created accumulator risks
+		// the silently inert nil-receiver Merge losing evicted data.
+		retiredReg:  obs.NewRegistry(),
+		retiredProf: obs.NewProfile(),
+		queue:       make(chan *Session, opts.QueueDepth),
 	}
 	for w := 0; w < opts.Workers; w++ {
 		g.wg.Add(1)
@@ -110,7 +155,161 @@ func (g *Registry) worker() {
 		} else {
 			g.completed.Inc()
 		}
+		g.finishSession(sess)
 	}
+}
+
+// finishSession enrolls a just-completed session in the retirement queue
+// and sweeps — completion is one of the two moments retention policy is
+// enforced (submission is the other, so TTLs apply on an idle service's
+// next interaction).
+func (g *Registry) finishSession(sess *Session) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.finished = append(g.finished, sess.ID())
+	g.retainedG.Set(int64(len(g.finished)))
+	g.sweepLocked(time.Now())
+}
+
+// sweepLocked retires finished sessions from the front of the finish
+// queue while the retention cap is exceeded or the TTL has lapsed.
+// Callers hold g.mu.
+func (g *Registry) sweepLocked(now time.Time) {
+	for len(g.finished) > 0 {
+		over := g.opts.RetainFinished > 0 && len(g.finished) > g.opts.RetainFinished
+		expired := false
+		if !over && g.opts.RetainTTL > 0 {
+			if s, ok := g.sessions[g.finished[0]]; ok {
+				if fin := s.finishedAt(); !fin.IsZero() && now.Sub(fin) >= g.opts.RetainTTL {
+					expired = true
+				}
+			} else {
+				expired = true // dangling entry; drop it below via retireLocked
+			}
+		}
+		if !over && !expired {
+			return
+		}
+		g.retireLocked(g.finished[0])
+	}
+}
+
+// retireLocked folds one finished session into the retired accumulator
+// and removes it from every index. The registry merge, profile merge,
+// tally update, and evict hooks all run inside the same g.mu critical
+// section, so their order across sessions equals retirement order — the
+// invariant that keeps float summation bit-exact between the live
+// roll-up and any conservation bookkeeping an evict hook maintains.
+// Callers hold g.mu.
+func (g *Registry) retireLocked(id string) {
+	// Unlink from the finish queue first: even the error path below must
+	// not loop forever in sweepLocked.
+	for i, fid := range g.finished {
+		if fid == id {
+			g.finished = append(g.finished[:i], g.finished[i+1:]...)
+			break
+		}
+	}
+	g.retainedG.Set(int64(len(g.finished)))
+	s, ok := g.sessions[id]
+	if !ok {
+		return
+	}
+	if err := g.retiredReg.Merge(s.Registry()); err != nil {
+		// A conflicting registry cannot be folded in without losing data;
+		// keep the session addressable (out of the finish queue so the
+		// sweep terminates) and count the anomaly.
+		g.retired.MergeErrors++
+		return
+	}
+	g.retiredProf.Merge(s.profileLoaded())
+	info := s.Info()
+	g.retired.Sessions++
+	if _, err := s.State(); err != nil {
+		g.retired.Failed++
+	} else {
+		g.retired.Done++
+	}
+	g.retired.Snapshots += info.Snapshots
+	g.retired.Dropped += info.Dropped
+	g.retiredC.Inc()
+	delete(g.sessions, id)
+	for i, oid := range g.order {
+		if oid == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	for _, fn := range g.evictFns {
+		fn(s)
+	}
+}
+
+// AddEvictHook registers a function called — under the registry lock, in
+// retirement order — for every session folded into the retired
+// accumulator. The service uses it to purge per-session handler caches;
+// tests use it to keep conservation bookkeeping in merge order. Hooks
+// must not call back into the registry.
+func (g *Registry) AddEvictHook(fn func(*Session)) {
+	if g == nil || fn == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictFns = append(g.evictFns, fn)
+}
+
+// Sentinel errors for Retire, mapped by the service to 404 and 409.
+var (
+	ErrNoSession     = fmt.Errorf("session: no such session")
+	ErrSessionActive = fmt.Errorf("session: session is still queued or running")
+)
+
+// Retire folds one finished session into the retired accumulator on
+// demand (DELETE /sessions/{id}) — the same path the retention sweep
+// takes, so the fleet roll-up stays exactly conserved.
+func (g *Registry) Retire(id string) error {
+	if g == nil {
+		return ErrNoSession
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sessions[id]
+	if !ok {
+		return ErrNoSession
+	}
+	select {
+	case <-s.Done():
+	default:
+		return ErrSessionActive
+	}
+	before := g.retired.MergeErrors
+	g.retireLocked(id)
+	if g.retired.MergeErrors != before {
+		return fmt.Errorf("session: %s: registry conflicts with retired accumulator", id)
+	}
+	return nil
+}
+
+// Retired returns the tally of sessions folded into the accumulator.
+func (g *Registry) Retired() RetiredTally {
+	if g == nil {
+		return RetiredTally{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.retired
+}
+
+// RetainedCount returns how many finished sessions are still
+// individually addressable.
+func (g *Registry) RetainedCount() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.finished)
 }
 
 // Obs returns the registry's service-level metrics (distinct from any
@@ -151,6 +350,10 @@ func (g *Registry) Submit(spec report.RunSpecJSON) (*Session, error) {
 		seed = sessionSeed(g.nextID)
 	}
 	sess := newSession(id, spec, seed, g.opts.RingCapacity)
+	sess.Ring().CountDrops(g.dropsC)
+	// A TTL sweep on every interaction: an idle service retires expired
+	// sessions the next time anyone submits.
+	g.sweepLocked(time.Now())
 	// Raise the queued gauge before the channel send: a worker may pick
 	// the session up the instant it lands, and the gauge must never go
 	// negative. Gauges take negative deltas, so the full-queue path can
@@ -209,17 +412,27 @@ func (g *Registry) Infos() []Info {
 	return out
 }
 
-// FleetRegistry merges every session's registry — live or finished —
-// into a fresh one, in submission order. Because obs.Registry.Merge adds
-// series-wise and the order is deterministic, the roll-up's totals are
-// exactly the ordered sum of the per-session values (the conservation
-// property the load test asserts).
+// FleetRegistry merges the retired accumulator and then every remaining
+// session's registry — live or finished — into a fresh one, in
+// submission order. Because obs.Registry.Merge adds series-wise, the
+// merge order is deterministic, and eviction folds sessions in through
+// the same Merge before removing them, the roll-up's totals are exactly
+// the ordered sum over every session ever submitted (the conservation
+// property the load test asserts across retention-cap evictions). The
+// whole merge holds g.mu so a concurrent sweep cannot double- or
+// zero-count a session mid-roll-up.
 func (g *Registry) FleetRegistry() (*obs.Registry, error) {
 	merged := obs.NewRegistry()
 	if g == nil {
 		return merged, nil
 	}
-	for _, s := range g.List() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := merged.Merge(g.retiredReg); err != nil {
+		return nil, fmt.Errorf("session: roll-up of retired accumulator: %w", err)
+	}
+	for _, id := range g.order {
+		s := g.sessions[id]
 		if err := merged.Merge(s.Registry()); err != nil {
 			return nil, fmt.Errorf("session: roll-up of %s: %w", s.ID(), err)
 		}
@@ -227,14 +440,20 @@ func (g *Registry) FleetRegistry() (*obs.Registry, error) {
 	return merged, nil
 }
 
-// FleetProfile merges every session's energy profile in submission order.
+// FleetProfile merges the retired accumulator and then every remaining
+// session's energy profile in submission order. Sessions that never ran
+// hold no profile grid and merge inertly (profileLoaded returns nil), so
+// a large queued backlog costs no memory here.
 func (g *Registry) FleetProfile() *obs.Profile {
 	merged := obs.NewProfile()
 	if g == nil {
 		return merged
 	}
-	for _, s := range g.List() {
-		merged.Merge(s.Profile())
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	merged.Merge(g.retiredProf)
+	for _, id := range g.order {
+		merged.Merge(g.sessions[id].profileLoaded())
 	}
 	return merged
 }

@@ -153,6 +153,160 @@ func TestFailedSessionState(t *testing.T) {
 	}
 }
 
+// TestRetentionCapConserves: with RetainFinished set, old finished
+// sessions fold into the retired accumulator and drop out of the
+// individually-addressable surface — and the fleet roll-up stays exactly
+// the ordered sum over every session ever submitted.
+func TestRetentionCapConserves(t *testing.T) {
+	g := NewRegistry(Options{Workers: 1, SampleInterval: time.Millisecond, RetainFinished: 2})
+	var evicted []*Session // retirement order == retired-accumulator merge order
+	g.AddEvictHook(func(s *Session) { evicted = append(evicted, s) })
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := g.Submit(tinySpec(uint64(40 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Drain()
+
+	if got := g.RetainedCount(); got != 2 {
+		t.Fatalf("retained = %d, want 2", got)
+	}
+	tal := g.Retired()
+	if tal.Sessions != n-2 || tal.Done != n-2 || tal.Failed != 0 {
+		t.Fatalf("retired tally = %+v", tal)
+	}
+	if len(evicted) != n-2 {
+		t.Fatalf("evict hook ran %d times, want %d", len(evicted), n-2)
+	}
+	for _, s := range evicted {
+		if _, ok := g.Get(s.ID()); ok {
+			t.Fatalf("retired session %s still addressable", s.ID())
+		}
+	}
+	if v := g.Obs().Value("smores_sessions_retained"); v != 2 {
+		t.Fatalf("retained gauge = %v", v)
+	}
+	if v := g.Obs().Value("smores_sessions_retired_total"); v != n-2 {
+		t.Fatalf("retired counter = %v", v)
+	}
+
+	// Conservation: fleet == retired (in retirement order) + live (in
+	// submission order), exactly. The evict hook ran inside the same
+	// critical section as the accumulator merge, so this order is the
+	// merge order bit-for-bit.
+	ordered := append(append([]*Session{}, evicted...), g.List()...)
+	merged, err := g.FleetRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := workload.Fleet()[:2]
+	for _, name := range []string{
+		"smores_bus_wire_energy_femtojoules_total",
+		"smores_ctrl_reads_served_total",
+	} {
+		for _, app := range apps {
+			var want float64
+			for _, s := range ordered {
+				want += s.Registry().Value(name, obs.L("app", app.Name))
+			}
+			if want == 0 {
+				t.Fatalf("series %s{app=%s} absent", name, app.Name)
+			}
+			if got := merged.Value(name, obs.L("app", app.Name)); got != want {
+				t.Fatalf("%s{app=%s}: roll-up %v != ordered sum %v", name, app.Name, got, want)
+			}
+		}
+	}
+	snap := g.FleetProfile().Snapshot()
+	if len(snap.Cells) == 0 {
+		t.Fatalf("fleet profile empty after eviction")
+	}
+	for _, cell := range snap.Cells {
+		var wantFJ float64
+		var wantN int64
+		for _, s := range ordered {
+			fj, n := s.profileLoaded().Cell(cell.Phase, cell.Codec, cell.Wire, cell.Level, cell.Trans)
+			wantFJ += fj
+			wantN += n
+		}
+		if cell.FJ != wantFJ || cell.Count != wantN {
+			t.Fatalf("profile cell %+v: roll-up (%v, %d) != ordered sum (%v, %d)",
+				cell, cell.FJ, cell.Count, wantFJ, wantN)
+		}
+	}
+}
+
+// TestRetentionTTL: finished sessions older than RetainTTL retire on the
+// service's next interaction (here, a later submission).
+func TestRetentionTTL(t *testing.T) {
+	g := NewRegistry(Options{Workers: 1, SampleInterval: time.Millisecond, RetainTTL: 20 * time.Millisecond})
+	defer g.Drain()
+	a, err := g.Submit(tinySpec(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-a.Done()
+	time.Sleep(40 * time.Millisecond)
+	b, err := g.Submit(tinySpec(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Get(a.ID()); ok {
+		t.Fatalf("expired session %s survived the submit-time sweep", a.ID())
+	}
+	if tal := g.Retired(); tal.Sessions != 1 {
+		t.Fatalf("retired tally = %+v", tal)
+	}
+	<-b.Done()
+	// b just finished: its TTL has not lapsed, so it stays addressable.
+	if _, ok := g.Get(b.ID()); !ok {
+		t.Fatalf("fresh session %s retired prematurely", b.ID())
+	}
+}
+
+// TestRetireSemantics: manual retirement rejects unknown and active
+// sessions and removes finished ones through the same conserving path.
+func TestRetireSemantics(t *testing.T) {
+	g := NewRegistry(Options{Workers: 1, SampleInterval: time.Millisecond})
+	defer g.Drain()
+	if err := g.Retire("s-999999"); err != ErrNoSession {
+		t.Fatalf("retire unknown = %v, want ErrNoSession", err)
+	}
+	// A session that never runs (inserted directly, no worker): Done stays
+	// open, so retirement must refuse.
+	hang := newSession("s-hang", tinySpec(1), 1, 4)
+	g.mu.Lock()
+	g.sessions[hang.id] = hang
+	g.order = append(g.order, hang.id)
+	g.mu.Unlock()
+	if err := g.Retire("s-hang"); err != ErrSessionActive {
+		t.Fatalf("retire active = %v, want ErrSessionActive", err)
+	}
+	s, err := g.Submit(tinySpec(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s.Done()
+	if err := g.Retire(s.ID()); err != nil {
+		t.Fatalf("retire finished: %v", err)
+	}
+	if _, ok := g.Get(s.ID()); ok {
+		t.Fatalf("retired session still addressable")
+	}
+	if err := g.Retire(s.ID()); err != ErrNoSession {
+		t.Fatalf("double retire = %v, want ErrNoSession", err)
+	}
+	if tal := g.Retired(); tal.Sessions != 1 || tal.Done != 1 {
+		t.Fatalf("retired tally = %+v", tal)
+	}
+	// Cleanup: drop the hanging fake so Drain has nothing to wait on.
+	g.mu.Lock()
+	delete(g.sessions, "s-hang")
+	g.order = g.order[:0]
+	g.mu.Unlock()
+}
+
 func TestFleetRollupConserves(t *testing.T) {
 	g := NewRegistry(Options{Workers: 2, SampleInterval: time.Millisecond})
 	var sessions []*Session

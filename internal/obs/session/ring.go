@@ -26,6 +26,15 @@ import (
 // plenty for a stream consumer to join late or stall briefly.
 const DefaultRingCapacity = 256
 
+// Item is one ring entry: either a counter delta snapshot or an
+// energy-profile delta snapshot (exactly one is set). The two snapshot
+// kinds share one ring so a stream follower observes them in emission
+// order; followers that did not ask for profile data skip Profile items.
+type Item struct {
+	Counters obs.DeltaSnapshot
+	Profile  *obs.ProfileDeltaSnapshot
+}
+
 // Ring is a bounded drop-oldest buffer of delta snapshots with absolute
 // positions: entry i of the session's lifetime keeps position i forever,
 // so a follower can detect eviction (its position fell off the tail) and
@@ -39,10 +48,11 @@ const DefaultRingCapacity = 256
 //smores:nilsafe
 type Ring struct {
 	mu      sync.Mutex
-	buf     []obs.DeltaSnapshot
+	buf     []Item
 	start   uint64 // absolute position of buf[0]
 	limit   int
 	dropped int64
+	drops   *obs.Counter // optional service-wide aggregate, bumped per eviction
 	notify  chan struct{}
 	closed  bool
 }
@@ -56,9 +66,21 @@ func NewRing(capacity int) *Ring {
 	return &Ring{limit: capacity, notify: make(chan struct{})}
 }
 
+// CountDrops registers a shared counter (the service-level aggregate
+// DroppedSnapshots metric) bumped on every eviction, alongside the
+// ring's own Dropped tally. Call before any Push.
+func (r *Ring) CountDrops(c *obs.Counter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drops = c
+}
+
 // Push appends a snapshot, evicting the oldest when full. Pushing to a
 // closed ring is a no-op (the session already emitted its final state).
-func (r *Ring) Push(s obs.DeltaSnapshot) {
+func (r *Ring) Push(it Item) {
 	if r == nil {
 		return
 	}
@@ -72,8 +94,9 @@ func (r *Ring) Push(s obs.DeltaSnapshot) {
 		r.buf = r.buf[:n]
 		r.start++
 		r.dropped++
+		r.drops.Inc()
 	}
-	r.buf = append(r.buf, s)
+	r.buf = append(r.buf, it)
 	close(r.notify)
 	r.notify = make(chan struct{})
 }
@@ -128,7 +151,7 @@ func (r *Ring) End() uint64 {
 // to resume from, and whether entries at >= pos were already evicted
 // (the follower fell behind the drop-oldest window and should resync
 // from a full snapshot).
-func (r *Ring) Since(pos uint64) (snaps []obs.DeltaSnapshot, next uint64, gapped bool) {
+func (r *Ring) Since(pos uint64) (items []Item, next uint64, gapped bool) {
 	if r == nil {
 		return nil, pos, false
 	}
@@ -142,8 +165,8 @@ func (r *Ring) Since(pos uint64) (snaps []obs.DeltaSnapshot, next uint64, gapped
 	if pos >= end {
 		return nil, end, gapped
 	}
-	snaps = append(snaps, r.buf[pos-r.start:]...)
-	return snaps, end, gapped
+	items = append(items, r.buf[pos-r.start:]...)
+	return items, end, gapped
 }
 
 // Wait returns a channel closed on the next Push or on Close. After

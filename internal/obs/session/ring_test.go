@@ -6,8 +6,8 @@ import (
 	"smores/internal/obs"
 )
 
-func snap(seq uint64) obs.DeltaSnapshot {
-	return obs.DeltaSnapshot{Seq: seq, Points: []obs.DeltaPoint{{Name: "x", Value: float64(seq)}}}
+func snap(seq uint64) Item {
+	return Item{Counters: obs.DeltaSnapshot{Seq: seq, Points: []obs.DeltaPoint{{Name: "x", Value: float64(seq)}}}}
 }
 
 func TestRingDropOldest(t *testing.T) {
@@ -22,7 +22,7 @@ func TestRingDropOldest(t *testing.T) {
 	if !gapped {
 		t.Fatalf("reading from position 0 after eviction must report a gap")
 	}
-	if len(snaps) != 3 || snaps[0].Seq != 3 || snaps[2].Seq != 5 {
+	if len(snaps) != 3 || snaps[0].Counters.Seq != 3 || snaps[2].Counters.Seq != 5 {
 		t.Fatalf("snaps = %+v", snaps)
 	}
 	if next != 5 {

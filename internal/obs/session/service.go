@@ -36,11 +36,52 @@ type Service struct {
 	mu       sync.Mutex
 	handlers map[string]http.Handler // per-session mounted obs handlers
 	srv      *obs.Server             // set by Attach; streams watch its drain
+	fed      Federation              // set by AttachFederation; nil → 404s
 }
 
-// NewService wraps a registry.
+// Federation is what the service needs from a cross-process federation
+// client to serve /federation/*: the merged roll-up across every scraped
+// peer and the per-peer health listing. The session package defines the
+// interface (rather than importing the client) to keep the dependency
+// arrow pointing fedclient → session-free obs, with cmd wiring the two.
+type Federation interface {
+	// Merged returns the federated registry and profile roll-up — the
+	// exact ordered sum of the peers' last-good scrapes.
+	Merged() (*obs.Registry, *obs.Profile, error)
+	// PeersJSON returns the per-peer status listing as a JSON-encodable
+	// value (health, staleness, scrape/failure counts).
+	PeersJSON() any
+}
+
+// NewService wraps a registry. Retired sessions drop out of the
+// per-session handler cache via the registry's evict hook (the hook runs
+// under the registry lock; the service lock nests inside it and nothing
+// takes them in the reverse order).
 func NewService(reg *Registry) *Service {
-	return &Service{reg: reg, handlers: make(map[string]http.Handler)}
+	s := &Service{reg: reg, handlers: make(map[string]http.Handler)}
+	reg.AddEvictHook(func(sess *Session) {
+		s.mu.Lock()
+		delete(s.handlers, sess.ID())
+		s.mu.Unlock()
+	})
+	return s
+}
+
+// AttachFederation wires a federation client into the /federation/*
+// endpoints. Call before Attach/Handler serves traffic.
+func (s *Service) AttachFederation(f Federation) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fed = f
+	s.mu.Unlock()
+}
+
+func (s *Service) federation() Federation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fed
 }
 
 // Attach mounts the service on an obs.Server: the server keeps its base
@@ -74,6 +115,10 @@ func (s *Service) Handler(base http.Handler) http.Handler {
 	mux.HandleFunc("/fleet/metrics", s.handleFleetMetrics(false))
 	mux.HandleFunc("/fleet/metrics.json", s.handleFleetMetrics(true))
 	mux.HandleFunc("/fleet/profile", s.handleFleetProfile)
+	mux.HandleFunc("/federation/metrics", s.handleFederationMetrics(false))
+	mux.HandleFunc("/federation/metrics.json", s.handleFederationMetrics(true))
+	mux.HandleFunc("/federation/profile", s.handleFederationProfile)
+	mux.HandleFunc("/federation/peers", s.handleFederationPeers)
 	return mux
 }
 
@@ -117,6 +162,19 @@ func (s *Service) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 	switch sub {
 	case "":
+		if r.Method == http.MethodDelete {
+			switch err := s.reg.Retire(id); err {
+			case nil:
+				w.WriteHeader(http.StatusNoContent)
+			case ErrSessionActive:
+				http.Error(w, err.Error(), http.StatusConflict)
+			case ErrNoSession:
+				http.Error(w, err.Error(), http.StatusNotFound)
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, sess.Info())
 	case "stream":
@@ -143,6 +201,16 @@ func (s *Service) sessionHandler(sess *Session) http.Handler {
 	return h
 }
 
+// profileLine is the wire shape of a profile stream line: the profile
+// snapshot nested under "profile" so counter lines (flat, unchanged from
+// before profile streaming existed) stay backward compatible. Followers
+// unmarshal every line into obs.StreamLine and discriminate on whether
+// Profile is set.
+type profileLine struct {
+	Session string                    `json:"session,omitempty"`
+	Profile *obs.ProfileDeltaSnapshot `json:"profile"`
+}
+
 // stream serves the NDJSON delta stream: one full Reset snapshot on
 // join, then every subsequent delta in sequence. A consumer that falls
 // behind the ring's drop-oldest window is resynced with a fresh full
@@ -150,12 +218,19 @@ func (s *Service) sessionHandler(sess *Session) http.Handler {
 // session's Final snapshot. The consumer applies each line to an
 // obs.StreamState; at every point its reconstruction equals a full
 // scrape at the same instant.
+//
+// With ?include=profile the stream interleaves energy-profile delta
+// lines (profileLine wrapper, independent sequence space) with the
+// counter lines; the profile stream obeys the same join/resync/Final
+// protocol against an obs.ProfileStreamState, and the session's profile
+// Final is always delivered before the stream terminates.
 func (s *Service) stream(w http.ResponseWriter, r *http.Request, sess *Session) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	includeProfile := strings.Contains(r.URL.Query().Get("include"), "profile")
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -175,13 +250,40 @@ func (s *Service) stream(w http.ResponseWriter, r *http.Request, sess *Session) 
 		fl.Flush()
 		return true
 	}
+	sendProfile := func(psnap obs.ProfileDeltaSnapshot) bool {
+		if err := enc.Encode(profileLine{Session: psnap.Session, Profile: &psnap}); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
 
 	full := sess.Full()
 	if !send(full) {
 		return
 	}
 	seq := full.Seq
+	var pseq uint64
+	pdone := !includeProfile // "profile side finished" is vacuous without it
+	if includeProfile {
+		pfull := sess.FullProfile()
+		if !sendProfile(pfull) {
+			return
+		}
+		pseq = pfull.Seq
+		pdone = pfull.Final
+	}
+	// closeOutProfile delivers the final profile state when the counter
+	// Final arrives with the profile side still open (the follower
+	// resynced past the profile Final in the ring, or joined a session
+	// whose profile never emitted).
+	closeOutProfile := func() {
+		if !pdone {
+			sendProfile(sess.FullProfile())
+		}
+	}
 	if full.Final {
+		closeOutProfile()
 		return
 	}
 	ring := sess.Ring()
@@ -190,9 +292,37 @@ func (s *Service) stream(w http.ResponseWriter, r *http.Request, sess *Session) 
 		// Take the wakeup channel before polling: a push that lands
 		// between the poll and the park closes exactly this channel.
 		wait := ring.Wait()
-		snaps, next, _ := ring.Since(pos)
+		items, next, _ := ring.Since(pos)
 		pos = next
-		for _, snap := range snaps {
+		for _, it := range items {
+			if it.Profile != nil {
+				if !includeProfile || pdone {
+					continue
+				}
+				psnap := *it.Profile
+				switch {
+				case psnap.Seq <= pseq && !psnap.Final:
+					// Already covered by the join/resync snapshot.
+					continue
+				case psnap.Reset || psnap.Seq == pseq+1:
+					if !sendProfile(psnap) {
+						return
+					}
+					pseq, pdone = psnap.Seq, psnap.Final
+				default:
+					// Gap on the profile sequence: resync from the full
+					// profile state (which carries Final once finalized —
+					// the profile side then closes, but the stream runs on
+					// until the counter Final).
+					pfull := sess.FullProfile()
+					if !sendProfile(pfull) {
+						return
+					}
+					pseq, pdone = pfull.Seq, pfull.Final
+				}
+				continue
+			}
+			snap := it.Counters
 			switch {
 			case snap.Seq <= seq && !snap.Final:
 				// Already covered by the join/resync snapshot.
@@ -207,21 +337,27 @@ func (s *Service) stream(w http.ResponseWriter, r *http.Request, sess *Session) 
 				// with the current full state, which is always at least
 				// as new as anything evicted.
 				full := sess.Full()
-				if !send(full) || full.Final {
+				if !send(full) {
+					return
+				}
+				if full.Final {
+					closeOutProfile()
 					return
 				}
 				seq = full.Seq
 			}
 			if snap.Final {
+				closeOutProfile()
 				return
 			}
 		}
-		if len(snaps) > 0 {
+		if len(items) > 0 {
 			continue // more may have landed while we were sending
 		}
 		if ring.Closed() {
 			// Drained a closed ring without a Final line (the consumer
-			// resynced past it): close out with the final full state.
+			// resynced past it): close out with the final full states.
+			closeOutProfile()
 			send(sess.Full())
 			return
 		}
@@ -268,16 +404,78 @@ func (s *Service) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Service) handleFederationMetrics(asJSON bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fed := s.federation()
+		if fed == nil {
+			http.Error(w, "federation disabled (start with -federate)", http.StatusNotFound)
+			return
+		}
+		merged, _, err := fed.Merged()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if asJSON || r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteJSON(w, merged)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, merged)
+	}
+}
+
+func (s *Service) handleFederationProfile(w http.ResponseWriter, r *http.Request) {
+	fed := s.federation()
+	if fed == nil {
+		http.Error(w, "federation disabled (start with -federate)", http.StatusNotFound)
+		return
+	}
+	_, prof, err := fed.Merged()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	snap := prof.Snapshot()
+	switch r.URL.Query().Get("format") {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteProfileJSON(w, snap)
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WriteProfilePrometheus(w, snap)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, obs.RenderProfile(snap, 0))
+	}
+}
+
+func (s *Service) handleFederationPeers(w http.ResponseWriter, r *http.Request) {
+	fed := s.federation()
+	if fed == nil {
+		http.Error(w, "federation disabled (start with -federate)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, fed.PeersJSON())
+}
+
 // indexExtra renders the live session index into the obs.Server landing
-// page (between its endpoint list and the closing tags).
+// page (between its endpoint list and the closing tags). Rows are capped
+// and newest-first — on a long-lived service the interesting sessions
+// are the recent ones, and the retained/retired split shows where the
+// rest went.
 func (s *Service) indexExtra() string {
 	infos := s.reg.Infos()
+	retired := s.reg.Retired()
 	counts := map[string]int{}
 	for _, in := range infos {
 		counts[in.State]++
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "<h2>sessions</h2><p>%d total", len(infos))
+	fmt.Fprintf(&b, "<h2>sessions</h2><p>%d retained · %d retired · %d total",
+		len(infos), retired.Sessions, int64(len(infos))+retired.Sessions)
 	states := make([]string, 0, len(counts))
 	for st := range counts {
 		states = append(states, st)
@@ -288,15 +486,23 @@ func (s *Service) indexExtra() string {
 	}
 	b.WriteString(`</p><ul>
 <li><a href="/sessions">/sessions</a> — session listing (POST a run spec here to submit)</li>
-<li><a href="/fleet/metrics">/fleet/metrics</a> — roll-up merged across all sessions</li>
-<li><a href="/fleet/profile">/fleet/profile</a> — roll-up energy attribution</li>
+<li><a href="/fleet/metrics">/fleet/metrics</a> — roll-up merged across all sessions (incl. retired)</li>
+<li><a href="/fleet/profile">/fleet/profile</a> — roll-up energy attribution</li>`)
+	if s.federation() != nil {
+		b.WriteString(`
+<li><a href="/federation/metrics">/federation/metrics</a> — cross-process roll-up</li>
+<li><a href="/federation/profile">/federation/profile</a> — cross-process energy attribution</li>
+<li><a href="/federation/peers">/federation/peers</a> — peer scrape health</li>`)
+	}
+	b.WriteString(`
 </ul><ul>`)
 	const maxListed = 20
-	for i, in := range infos {
-		if i == maxListed {
-			fmt.Fprintf(&b, "<li>… %d more</li>", len(infos)-maxListed)
+	for i := len(infos) - 1; i >= 0; i-- {
+		if shown := len(infos) - 1 - i; shown == maxListed {
+			fmt.Fprintf(&b, "<li>… %d more</li>", i+1)
 			break
 		}
+		in := infos[i]
 		fmt.Fprintf(&b,
 			`<li><a href="/sessions/%s">%s</a> [%s] %s seed=%d — <a href="/sessions/%s/metrics">metrics</a> <a href="/sessions/%s/stream">stream</a></li>`,
 			in.ID, in.ID, in.State, in.Label, in.Seed, in.ID, in.ID)

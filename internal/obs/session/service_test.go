@@ -352,6 +352,199 @@ func TestServiceFleetRollup(t *testing.T) {
 	}
 }
 
+// TestServiceDeleteSession: DELETE /sessions/{id} retires a finished
+// session (404 afterwards), refuses active ones with 409, and the fleet
+// roll-up is byte-identical before and after — retirement moves data
+// into the accumulator, it never loses it.
+func TestServiceDeleteSession(t *testing.T) {
+	g, _, base := newTestService(t, Options{Workers: 1})
+	info := submit(t, base, `{"accesses": 300, "max_apps": 2, "seed": 31}`)
+	waitDone(t, g, info.ID)
+
+	_, before := get(t, base+"/fleet/metrics.json")
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d, want 204", resp.StatusCode)
+	}
+	if code, _ := get(t, base+"/sessions/"+info.ID); code != http.StatusNotFound {
+		t.Fatalf("GET retired session = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/sessions/"+info.ID+"/metrics"); code != http.StatusNotFound {
+		t.Fatalf("retired session /metrics = %d, want 404", code)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double DELETE = %d, want 404", resp.StatusCode)
+	}
+
+	// Conservation over HTTP: the roll-up before retirement (empty
+	// accumulator + one live session) equals the roll-up after (one
+	// retired session) byte for byte.
+	_, after := get(t, base+"/fleet/metrics.json")
+	if before != after {
+		t.Fatalf("fleet roll-up changed across retirement:\nbefore %.300s\nafter  %.300s", before, after)
+	}
+
+	// An active (never-run, directly inserted) session refuses DELETE.
+	hang := newSession("s-hang", tinySpec(1), 1, 4)
+	g.mu.Lock()
+	g.sessions[hang.id] = hang
+	g.order = append(g.order, hang.id)
+	g.mu.Unlock()
+	req, _ = http.NewRequest(http.MethodDelete, base+"/sessions/s-hang", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE active = %d, want 409", resp.StatusCode)
+	}
+
+	// The service gauges on the base /metrics reflect the retirement.
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "smores_sessions_retired_total 1") ||
+		!strings.Contains(body, "smores_sessions_retained 0") {
+		t.Fatalf("service /metrics after retire = %d:\n%.600s", code, body)
+	}
+}
+
+// TestServiceStreamWithProfile: a ?include=profile follower interleaves
+// counter and profile delta lines; applying each kind to its stream
+// state reconstructs, at the final lines, exactly the session's final
+// counters and energy-profile cells — the late-join /profile scrape
+// agrees cell for cell.
+func TestServiceStreamWithProfile(t *testing.T) {
+	g, _, base := newTestService(t, Options{Workers: 1})
+	info := submit(t, base, `{"accesses": 4000, "max_apps": 2, "seed": 13}`)
+
+	resp, err := http.Get(base + "/sessions/" + info.ID + "/stream?include=profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	rx := obs.NewStreamState()
+	prx := obs.NewProfileStreamState()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 4<<20)
+	var sawProfileFinal, sawCounterFinal bool
+	for sc.Scan() {
+		var line obs.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line: %v\n%s", err, sc.Bytes())
+		}
+		if line.Profile != nil {
+			if !prx.Apply(*line.Profile) {
+				t.Fatalf("profile seq gap: %d after %d", line.Profile.Seq, prx.Seq())
+			}
+			if line.Profile.Final {
+				sawProfileFinal = true
+			}
+			continue
+		}
+		// Counter lines stay flat (no "profile" key) for back-compat with
+		// pre-profile followers.
+		if strings.Contains(string(sc.Bytes()), `"profile"`) {
+			t.Fatalf("counter line carries a profile key: %s", sc.Bytes())
+		}
+		if !rx.Apply(line.DeltaSnapshot) {
+			t.Fatalf("counter seq gap: %d after %d", line.Seq, rx.Seq())
+		}
+		if line.Final {
+			sawCounterFinal = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawCounterFinal || !sawProfileFinal {
+		t.Fatalf("stream ended without finals: counters=%v profile=%v", sawCounterFinal, sawProfileFinal)
+	}
+
+	sess := waitDone(t, g, info.ID)
+	if !obs.EqualPoints(rx.Points(), sess.Full().Points) {
+		t.Fatalf("counter reconstruction != final state")
+	}
+	want := obs.ProfileDeltaCells(sess.Profile().Snapshot())
+	if len(want) == 0 {
+		t.Fatalf("session profile is empty")
+	}
+	if !obs.EqualCells(prx.Cells(), want) {
+		t.Fatalf("profile reconstruction (%d cells) != session profile (%d cells)",
+			len(prx.Cells()), len(want))
+	}
+
+	// The late-join scrape agrees with the streamed reconstruction.
+	code, body := get(t, base+"/sessions/"+info.ID+"/profile?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/profile = %d", code)
+	}
+	scraped, err := obs.ParseProfileJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.EqualCells(prx.Cells(), obs.ProfileDeltaCells(scraped.Snapshot())) {
+		t.Fatalf("streamed profile != late-join /profile scrape")
+	}
+
+	// A late ?include=profile join on the finished session gets both
+	// final Reset snapshots immediately.
+	code, body = get(t, base+"/sessions/"+info.ID+"/stream?include=profile")
+	if code != http.StatusOK {
+		t.Fatalf("late stream = %d", code)
+	}
+	lateRx := obs.NewProfileStreamState()
+	var lateLines int
+	for _, ln := range strings.Split(strings.TrimSpace(body), "\n") {
+		var line obs.StreamLine
+		if err := json.Unmarshal([]byte(ln), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Profile != nil {
+			if !lateRx.Apply(*line.Profile) {
+				t.Fatalf("late profile line did not apply")
+			}
+		}
+		lateLines++
+	}
+	if lateLines != 2 {
+		t.Fatalf("late join streamed %d lines, want 2 (counter + profile finals)", lateLines)
+	}
+	if !obs.EqualCells(lateRx.Cells(), want) {
+		t.Fatalf("late-join profile reconstruction diverged")
+	}
+
+	// Without include=profile the same finished session streams only the
+	// single flat counter final — the pre-profile wire format.
+	if _, body := get(t, base+"/sessions/"+info.ID+"/stream"); strings.Contains(body, `"profile"`) ||
+		len(strings.Split(strings.TrimSpace(body), "\n")) != 1 {
+		t.Fatalf("plain stream changed shape:\n%s", body)
+	}
+}
+
+// TestServiceFederationDisabled: without an attached federation client
+// the /federation endpoints 404 with a hint.
+func TestServiceFederationDisabled(t *testing.T) {
+	_, _, base := newTestService(t, Options{Workers: 1})
+	for _, p := range []string{"/federation/metrics", "/federation/metrics.json", "/federation/profile", "/federation/peers"} {
+		code, body := get(t, base+p)
+		if code != http.StatusNotFound || !strings.Contains(body, "federation disabled") {
+			t.Fatalf("%s = %d: %s", p, code, body)
+		}
+	}
+}
+
 // TestServiceStreamEndsOnShutdown: an open stream terminates promptly
 // when the server closes (the obs.Server drain contract, end to end).
 func TestServiceStreamEndsOnShutdown(t *testing.T) {

@@ -47,16 +47,18 @@ type Session struct {
 
 	reg  *obs.Registry
 	prog *obs.Progress
-	prof *obs.Profile
 	ring *Ring
-	enc  *obs.DeltaEncoder // owned by the sampler goroutine
+	enc  *obs.DeltaEncoder        // owned by the sampler goroutine
+	penc *obs.ProfileDeltaEncoder // ditto; created when the run starts
 
 	mu       sync.Mutex
+	prof     *obs.Profile // lazily allocated: a queued session holds no cell grid
 	state    State
 	err      error
 	started  time.Time
 	finished time.Time
-	full     obs.DeltaSnapshot // last full state, for stream joins/resyncs
+	full     obs.DeltaSnapshot        // last full counter state, for stream joins/resyncs
+	pfull    obs.ProfileDeltaSnapshot // last full profile state (Reset set once emitted)
 
 	done chan struct{} // closed when the run finishes (either way)
 }
@@ -70,7 +72,6 @@ func newSession(id string, spec report.RunSpecJSON, seed uint64, ringCap int) *S
 		created: time.Now(),
 		reg:     reg,
 		prog:    obs.NewProgress(0),
-		prof:    obs.NewProfile(),
 		ring:    NewRing(ringCap),
 		enc:     obs.NewDeltaEncoder(reg),
 		done:    make(chan struct{}),
@@ -118,11 +119,30 @@ func (s *Session) Progress() *obs.Progress {
 	return s.prog
 }
 
-// Profile returns the session's energy-attribution profile.
+// Profile returns the session's energy-attribution profile, allocating
+// it on first use. The grid is ~0.8 MB of atomic cells, so thousands of
+// queued sessions must not each hold one before they run — the run path
+// and the per-session /profile scrape allocate it, roll-ups use
+// profileLoaded and treat never-run sessions as nil (inert merges).
 func (s *Session) Profile() *obs.Profile {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prof == nil {
+		s.prof = obs.NewProfile()
+	}
+	return s.prof
+}
+
+// profileLoaded returns the profile only if it was ever allocated.
+func (s *Session) profileLoaded() *obs.Profile {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.prof
 }
 
@@ -176,6 +196,39 @@ func (s *Session) setFull(snap obs.DeltaSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.full = snap
+}
+
+// FullProfile returns the most recent complete profile state as a Reset
+// snapshot — the profile analogue of Full, applied by ?include=profile
+// stream consumers on join or after falling behind the ring.
+func (s *Session) FullProfile() obs.ProfileDeltaSnapshot {
+	if s == nil {
+		return obs.ProfileDeltaSnapshot{Reset: true}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pfull.Reset {
+		// Nothing emitted yet: an empty reset at seq 0 is a valid join
+		// point (the first profile delta has seq 1).
+		return obs.ProfileDeltaSnapshot{Session: s.id, Reset: true}
+	}
+	return s.pfull
+}
+
+func (s *Session) setFullProfile(snap obs.ProfileDeltaSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pfull = snap
+}
+
+// finishedAt returns when the run completed (zero while queued/running).
+func (s *Session) finishedAt() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finished
 }
 
 // Info is the session listing entry (GET /sessions).
@@ -272,7 +325,8 @@ func (s *Session) execute(interval time.Duration) error {
 	}
 	spec.Seed = s.seed
 	spec.Obs = s.reg
-	spec.Profile = s.prof
+	spec.Profile = s.Profile() // first allocation for a queued session
+	s.penc = obs.NewProfileDeltaEncoder(spec.Profile)
 	s.prog.SetTotal(int64(len(fleet)))
 	s.prog.SetPhase("running")
 
@@ -318,29 +372,49 @@ func (s *Session) sample(interval time.Duration, stop, done chan struct{}) {
 	}
 }
 
-// emit pushes one delta emission (if anything changed) and refreshes
-// the cached full state stream joiners copy.
+// emit pushes one delta emission per snapshot kind (if anything
+// changed) and refreshes the cached full states stream joiners copy.
 func (s *Session) emit() {
-	snap, emitted := s.enc.Next()
-	if !emitted {
-		return
+	if snap, emitted := s.enc.Next(); emitted {
+		snap.Session = s.id
+		full := s.enc.Full()
+		full.Session = s.id
+		s.setFull(full)
+		s.ring.Push(Item{Counters: snap})
 	}
-	snap.Session = s.id
-	full := s.enc.Full()
-	full.Session = s.id
-	s.setFull(full)
-	s.ring.Push(snap)
+	if psnap, emitted := s.penc.Next(); emitted {
+		psnap.Session = s.id
+		pfull := s.penc.Full()
+		pfull.Session = s.id
+		s.setFullProfile(pfull)
+		s.ring.Push(Item{Profile: &psnap})
+	}
 }
 
-// finalize emits the last delta, then pushes the complete final state as
-// a Reset+Final snapshot and closes the ring: every consumer — however
-// far behind — converges on exactly the final counter values.
+// finalize emits the last deltas, then pushes the complete final states
+// as Reset+Final snapshots and closes the ring: every consumer —
+// however far behind — converges on exactly the final values. The
+// profile final precedes the counter final, so an ?include=profile
+// follower has both by the time the counter Final terminates its
+// stream. Afterwards the encoders (the profile one shadows the whole
+// ~0.8 MB cell grid) are released — retained finished sessions keep
+// only their registry, profile, and cached full snapshots.
 func (s *Session) finalize() {
 	s.emit()
+	if s.penc != nil {
+		pfull := s.penc.Full()
+		pfull.Session = s.id
+		pfull.Final = true
+		s.setFullProfile(pfull)
+		s.ring.Push(Item{Profile: &pfull})
+	}
 	full := s.enc.Full()
 	full.Session = s.id
 	full.Final = true
 	s.setFull(full)
-	s.ring.Push(full)
+	s.ring.Push(Item{Counters: full})
 	s.ring.Close()
+	// Safe: the sampler has joined (or never started) on every path here,
+	// and emit is never called again after the ring closes.
+	s.enc, s.penc = nil, nil
 }

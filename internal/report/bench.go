@@ -97,6 +97,11 @@ type ServiceBench struct {
 	// overwrites under backpressure (drops never block the simulation).
 	Snapshots int64 `json:"snapshots_streamed"`
 	Dropped   int64 `json:"snapshots_dropped"`
+	// Retained/Retired record where the finished sessions ended up when
+	// the bench ran with a retention cap (informational, never gated —
+	// compareService ignores them).
+	Retained int `json:"retained,omitempty"`
+	Retired  int `json:"retired,omitempty"`
 }
 
 // BenchReport is the full smores-bench output.
