@@ -11,6 +11,7 @@
 //
 //	smores-bench -out BENCH_baseline.json          # seed a baseline
 //	smores-bench -compare BENCH_baseline.json      # gate (exit 1 on regression)
+//	smores-bench -multichannel 8 -compare ...      # also gate the sharded fleet row
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		tol      = flag.String("tolerance", "5%", "relative energy tolerance ('5%' or '0.05')")
 		perfTol  = flag.String("perf-tolerance", "30%", "relative wall-time/alloc tolerance (same-host only)")
 		service  = flag.Bool("service", false, "add the telemetry-service throughput row (sessions/sec at a fixed spec)")
+		multi    = flag.Int("multichannel", 0, "add the sharded multi-channel fleet row at this channel count (0 = off)")
+		multiJ   = flag.Int("multichannel-j", 0, "worker pool for the multichannel row (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("q", false, "suppress the report table")
 	)
 	flag.Parse()
@@ -50,6 +53,9 @@ func main() {
 		svc, err := session.RunServiceBench(session.DefaultBenchSpec)
 		fail(err)
 		rep.Service = svc
+	}
+	if *multi > 0 {
+		fail(report.RunMultiChannelBench(&rep, *multi, *multiJ))
 	}
 	if !*quiet {
 		fmt.Print(report.RenderBench(rep))

@@ -33,6 +33,7 @@ func main() {
 		accesses = flag.Int64("accesses", report.DefaultAccesses, "per-app workload length")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		workers  = flag.Int("j", 0, "concurrent app simulations per fleet (0 = GOMAXPROCS, 1 = sequential)")
+		channels = flag.Int("channels", 1, "interleaved GDDR6X channels per app; >1 switches to the sharded multi-channel evaluation")
 		listen   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /progress with ETA, pprof) on this address for the duration of the run")
 	)
 	flag.Parse()
@@ -47,6 +48,10 @@ func main() {
 		pts, err = sweep.ReadLatency(cfg, []int64{20, 25, 30, 35, 40})
 		fail(err)
 		fmt.Println(sweep.Render("Read-latency sensitivity (exhaustive/static)", "RL clocks", pts))
+		return
+	}
+	if *channels > 1 {
+		runMultiChannel(*channels, *accesses, *seed, *workers, *listen, *jsonOut)
 		return
 	}
 	if !(*fig5 || *fig8a || *fig8b || *table5 || *perf || *power || *wfall) {
@@ -149,6 +154,59 @@ func main() {
 		fail(report.ExportTable4JSON(f, pam4.DefaultEnergyModel()))
 		fail(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote CSV/JSON artifacts to %s\n", *csvDir)
+	}
+}
+
+// runMultiChannel is the `-channels N` evaluation: every policy's fleet
+// runs through the shard-per-goroutine engine, where -j bounds the
+// worker pool packing all apps × channels shard simulations. For a
+// fixed seed the summary and the -json export are byte-identical at
+// every -j (the report package's differential tests enforce it).
+func runMultiChannel(channels int, accesses int64, seed uint64, workers int, listen, jsonOut string) {
+	specs := report.PolicySpecs(accesses, seed, false)
+	labels := []string{"baseline", "optimized", "variable", "static", "conservative"}
+
+	// Energy attribution rides the variable-SMOREs fleet (specs[2]),
+	// mirroring the single-channel evaluation: each shard profiles
+	// privately and the merge folds the cells in channel order.
+	prof := obs.NewProfile()
+	specs[2].Profile = prof
+
+	opts := report.ShardOptions{Workers: workers}
+	var srv *obs.Server
+	if listen != "" {
+		opts.Obs = obs.NewRegistry()
+		opts.Progress = obs.NewProgress(int64(len(specs) * len(workload.Fleet()) * channels))
+		srv = obs.NewServer(opts.Obs, opts.Progress)
+		srv.AttachProfile(prof)
+		addr, err := srv.Start(listen)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "smores-eval: telemetry on http://%s/metrics (energy attribution at /profile)\n", addr)
+		defer srv.Close()
+	}
+
+	mfrs := make([]report.MultiFleetResult, len(specs))
+	for i, s := range specs {
+		fmt.Fprintf(os.Stderr, "running %d-channel fleet under %s...\n", channels, labels[i])
+		opts.Progress.SetPhase("fleet: " + labels[i])
+		fr, err := report.RunFleetMultiChannel(s, channels, opts)
+		fail(err)
+		mfrs[i] = fr
+	}
+	fmt.Println(report.RenderMultiChannelSummary(mfrs))
+
+	if jsonOut != "" {
+		out := os.Stdout
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
+			fail(err)
+			defer f.Close()
+			out = f
+		}
+		fail(report.ExportMultiEvalJSON(out, mfrs))
+		if jsonOut != "-" {
+			fmt.Fprintf(os.Stderr, "wrote multi-channel evaluation JSON to %s\n", jsonOut)
+		}
 	}
 }
 

@@ -135,6 +135,44 @@ func (s Stats) Utilization() float64 {
 	return float64(s.BusyUIs) / float64(total)
 }
 
+// Merge adds another channel's accumulated statistics into s — the
+// multi-channel roll-up path. Every field is additive; merging shard
+// snapshots in a fixed channel order yields byte-identical float sums
+// regardless of how the shards were scheduled (the sharded-runner
+// differential test rests on this).
+func (s *Stats) Merge(o Stats) {
+	s.DataBits += o.DataBits
+	s.WireEnergy += o.WireEnergy
+	s.PostambleEnergy += o.PostambleEnergy
+	s.LogicEnergy += o.LogicEnergy
+	s.ReplayEnergy += o.ReplayEnergy
+	s.MTABursts += o.MTABursts
+	s.SparseBursts += o.SparseBursts
+	s.ReplayBursts += o.ReplayBursts
+	s.Postambles += o.Postambles
+	s.BusyUIs += o.BusyUIs
+	s.IdleUIs += o.IdleUIs
+	s.Violations += o.Violations
+}
+
+// Equal reports exact equality of two snapshots. Float fields compare
+// bit-identically (floats.Eq) — this is the comparison the sequential
+// vs. sharded differential gates use, not a tolerance check.
+func (s Stats) Equal(o Stats) bool {
+	return floats.Eq(s.DataBits, o.DataBits) &&
+		floats.Eq(s.WireEnergy, o.WireEnergy) &&
+		floats.Eq(s.PostambleEnergy, o.PostambleEnergy) &&
+		floats.Eq(s.LogicEnergy, o.LogicEnergy) &&
+		floats.Eq(s.ReplayEnergy, o.ReplayEnergy) &&
+		s.MTABursts == o.MTABursts &&
+		s.SparseBursts == o.SparseBursts &&
+		s.ReplayBursts == o.ReplayBursts &&
+		s.Postambles == o.Postambles &&
+		s.BusyUIs == o.BusyUIs &&
+		s.IdleUIs == o.IdleUIs &&
+		s.Violations == o.Violations
+}
+
 // Channel is a single GDDR6X data channel. Not safe for concurrent use.
 type Channel struct {
 	model       *pam4.EnergyModel

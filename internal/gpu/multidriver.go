@@ -11,6 +11,16 @@ import (
 // the RTX 3090's 384-bit bus does across its 24 16-bit channels. All
 // channels share one MSHR pool and advance in lockstep with the GPU
 // clock.
+//
+// This is the legacy lockstep engine: one goroutine ticks every channel
+// each clock, and it never event-skips, so it costs O(clocks × channels)
+// regardless of idle time. The shard-per-goroutine engine in
+// internal/shard replays the same sector-striped streams through
+// independent per-channel drivers on a worker pool — prefer it for
+// anything performance-sensitive (report.RunAppMultiChannelSharded).
+// The two model MSHR contention differently (shared pool here,
+// per-channel share there), so their clock counts are close but not
+// identical; energy and traffic agree.
 type MultiDriver struct {
 	cfg   DriverConfig
 	llc   *LLC

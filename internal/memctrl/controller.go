@@ -42,6 +42,49 @@ type Stats struct {
 	MaxGapClocks int64
 }
 
+// Merge folds another controller's snapshot into s — the multi-channel
+// roll-up path. Counters add; Clock and MaxGapClocks take the maximum,
+// because sharded channels advance in parallel wall-clock (the merged
+// Clock is the slowest shard, exactly like the lockstep interleaver's
+// shared clock).
+func (s *Stats) Merge(o Stats) {
+	if o.Clock > s.Clock {
+		s.Clock = o.Clock
+	}
+	s.ReadsServed += o.ReadsServed
+	s.WritesServed += o.WritesServed
+	s.ReadLatencySum += o.ReadLatencySum
+	s.SparseReads += o.SparseReads
+	s.SparseWrites += o.SparseWrites
+	s.DecisionMismatches += o.DecisionMismatches
+	s.BusConflicts += o.BusConflicts
+	s.Replays += o.Replays
+	s.ReplayClocks += o.ReplayClocks
+	s.ReplayFailures += o.ReplayFailures
+	s.DegradedBursts += o.DegradedBursts
+	if o.MaxGapClocks > s.MaxGapClocks {
+		s.MaxGapClocks = o.MaxGapClocks
+	}
+}
+
+// Equal reports exact equality of two snapshots — the comparison the
+// sequential vs. sharded differential gates use.
+func (s Stats) Equal(o Stats) bool {
+	return s.Clock == o.Clock &&
+		s.ReadsServed == o.ReadsServed &&
+		s.WritesServed == o.WritesServed &&
+		s.ReadLatencySum == o.ReadLatencySum &&
+		s.SparseReads == o.SparseReads &&
+		s.SparseWrites == o.SparseWrites &&
+		s.DecisionMismatches == o.DecisionMismatches &&
+		s.BusConflicts == o.BusConflicts &&
+		s.Replays == o.Replays &&
+		s.ReplayClocks == o.ReplayClocks &&
+		s.ReplayFailures == o.ReplayFailures &&
+		s.DegradedBursts == o.DegradedBursts &&
+		s.MaxGapClocks == o.MaxGapClocks
+}
+
 // Controller drives one GDDR6X channel. Not safe for concurrent use;
 // advance it with Tick.
 type Controller struct {

@@ -104,6 +104,26 @@ type ServiceBench struct {
 	Retired  int `json:"retired,omitempty"`
 }
 
+// MultiChannelBench is the sharded multi-channel fleet row: the full
+// fleet under the variable-SMOREs scheme across N channels on the
+// shard-per-goroutine engine. Energy is deterministic (gated like the
+// scheme rows); wall time and shard throughput are machine-dependent
+// (same-host only).
+type MultiChannelBench struct {
+	// Channels, Apps, Accesses, Workers pin the spec so rows are only
+	// compared like-for-like.
+	Channels int   `json:"channels"`
+	Apps     int   `json:"apps"`
+	Accesses int64 `json:"accesses"`
+	Workers  int   `json:"workers"`
+	// EnergyPJPerBit is the fleet-mean transfer energy. Deterministic.
+	EnergyPJPerBit float64 `json:"energy_pj_per_bit"`
+	// WallSeconds covers front-end planning through the last shard
+	// merge; ShardsPerSec is the derived pool throughput.
+	WallSeconds  float64 `json:"wall_seconds"`
+	ShardsPerSec float64 `json:"shards_per_sec"`
+}
+
 // BenchReport is the full smores-bench output.
 type BenchReport struct {
 	Version  int           `json:"version"`
@@ -117,6 +137,10 @@ type BenchReport struct {
 	// Service is the optional service-mode throughput row (smores-bench
 	// -service); absent from older baselines, which skips its gate.
 	Service *ServiceBench `json:"service,omitempty"`
+	// MultiChannel is the optional sharded-fleet row (smores-bench
+	// -multichannel N); absent from older baselines, which skips its
+	// gate.
+	MultiChannel *MultiChannelBench `json:"multichannel,omitempty"`
 }
 
 // BenchConfig parameterizes RunBench.
@@ -183,6 +207,36 @@ func RunBench(cfg BenchConfig) (BenchReport, error) {
 		rep.Schemes = append(rep.Schemes, row)
 	}
 	return rep, nil
+}
+
+// RunMultiChannelBench runs the variable-SMOREs fleet through the
+// sharded engine and fills rep.MultiChannel. It reuses the report's
+// accesses/seed so the row is pinned to the same traffic as the scheme
+// rows.
+func RunMultiChannelBench(rep *BenchReport, channels, workers int) error {
+	if channels < 2 {
+		return fmt.Errorf("bench: multichannel row needs ≥2 channels, got %d", channels)
+	}
+	spec := PolicySpecs(rep.Accesses, rep.Seed, false)[2]
+	start := time.Now()
+	fr, err := RunFleetMultiChannel(spec, channels, ShardOptions{Workers: workers})
+	wall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("bench: multichannel fleet: %w", err)
+	}
+	row := MultiChannelBench{
+		Channels:       channels,
+		Apps:           len(fr.Results),
+		Accesses:       rep.Accesses,
+		Workers:        workers,
+		EnergyPJPerBit: fr.MeanPerBit() / 1000, // fJ → pJ
+		WallSeconds:    wall.Seconds(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		row.ShardsPerSec = float64(len(fr.Results)*channels) / s
+	}
+	rep.MultiChannel = &row
+	return nil
 }
 
 // WriteBench serializes a report as indented JSON.
@@ -303,7 +357,55 @@ func CompareBench(baseline, current BenchReport, energyTol, perfTol float64) (Be
 		}
 	}
 	compareService(&cmp, baseline.Service, current.Service, samePerf, perfTol)
+	compareMultiChannel(&cmp, baseline.MultiChannel, current.MultiChannel, samePerf, energyTol, perfTol)
 	return cmp, nil
+}
+
+// compareMultiChannel gates the sharded-fleet row. Energy is enforced
+// whenever both rows ran the same channels/apps/accesses spec (it is
+// deterministic, like the scheme rows); wall time follows the same-host
+// rule with the absolute noise floor. A row missing from either side
+// downgrades to a note so pre-sharding baselines keep gating the rest.
+func compareMultiChannel(cmp *BenchComparison, b, c *MultiChannelBench, samePerf bool, energyTol, perfTol float64) {
+	switch {
+	case b == nil && c == nil:
+		return
+	case b == nil:
+		cmp.Notes = append(cmp.Notes,
+			"baseline has no multichannel row: multichannel gate skipped (refresh the baseline with -multichannel to enable)")
+		return
+	case c == nil:
+		cmp.Notes = append(cmp.Notes,
+			"current report has no multichannel row: multichannel gate skipped")
+		return
+	case b.Channels != c.Channels || b.Apps != c.Apps || b.Accesses != c.Accesses:
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"multichannel rows ran different specs (%dch×%d×%d vs %dch×%d×%d): gate skipped",
+			b.Channels, b.Apps, b.Accesses, c.Channels, c.Apps, c.Accesses))
+		return
+	}
+	if rel := relDelta(c.EnergyPJPerBit, b.EnergyPJPerBit); rel > energyTol {
+		cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+			"multichannel: energy %.4f pJ/bit vs baseline %.4f (+%.2f%% > %.2f%% tolerance)",
+			c.EnergyPJPerBit, b.EnergyPJPerBit, rel*100, energyTol*100))
+	} else if rel < -energyTol {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"multichannel: energy improved %.2f%% — consider refreshing the baseline", -rel*100))
+	}
+	if !samePerf || b.Workers != c.Workers {
+		return // covered by the host-fingerprint note / different pool sizes
+	}
+	if rel := relDelta(c.WallSeconds, b.WallSeconds); rel > perfTol {
+		if c.WallSeconds-b.WallSeconds > wallNoiseFloorSeconds {
+			cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+				"multichannel: %.1f shards/s vs baseline %.1f (wall %.2fs vs %.2fs, +%.1f%% > %.1f%% tolerance)",
+				c.ShardsPerSec, b.ShardsPerSec, c.WallSeconds, b.WallSeconds, rel*100, perfTol*100))
+		} else {
+			cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+				"multichannel: wall +%.1f%% but only %+.0f ms absolute (noise floor %d ms): ignored",
+				rel*100, (c.WallSeconds-b.WallSeconds)*1e3, int(wallNoiseFloorSeconds*1e3)))
+		}
+	}
 }
 
 // compareService gates the service-throughput row. Like wall time it is
@@ -365,6 +467,10 @@ func RenderBench(rep BenchReport) string {
 	if s := rep.Service; s != nil {
 		fmt.Fprintf(&b, "  service: %d sessions × %d apps × %d accesses — %.2f s wall, %.1f sessions/s, %d snapshots streamed (%d dropped)\n",
 			s.Sessions, s.AppsPerSession, s.Accesses, s.WallSeconds, s.SessionsPerSec, s.Snapshots, s.Dropped)
+	}
+	if m := rep.MultiChannel; m != nil {
+		fmt.Fprintf(&b, "  multichannel: %d channels × %d apps × %d accesses, %d worker(s) — %.4f pJ/bit, %.2f s wall, %.1f shards/s\n",
+			m.Channels, m.Apps, m.Accesses, m.Workers, m.EnergyPJPerBit, m.WallSeconds, m.ShardsPerSec)
 	}
 	return b.String()
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"smores/internal/floats"
 )
 
 // TestBenchDeterministicEnergy runs the bench matrix twice at small
@@ -129,6 +131,85 @@ func TestCompareBenchGates(t *testing.T) {
 	cur.Schemes = nil
 	if _, err := CompareBench(base, cur, 0.05, 0.30); err == nil {
 		t.Error("scheme count mismatch must error")
+	}
+}
+
+func TestCompareMultiChannelGates(t *testing.T) {
+	host := BenchHost{Hostname: "a", OS: "linux", Arch: "amd64", CPUs: 4}
+	mk := func(m *MultiChannelBench) BenchReport {
+		return BenchReport{
+			Version: BenchVersion, Accesses: 100, Seed: 1, Apps: 2, Workers: 1, Host: host,
+			Schemes:      []BenchScheme{{Label: "x", EnergyPJPerBit: 1.0}},
+			MultiChannel: m,
+		}
+	}
+	row := MultiChannelBench{Channels: 8, Apps: 42, Accesses: 100, Workers: 4,
+		EnergyPJPerBit: 2.0, WallSeconds: 10.0, ShardsPerSec: 33.6}
+
+	// Missing row on either side: note, never a regression.
+	for _, tc := range []struct{ b, c *MultiChannelBench }{{nil, &row}, {&row, nil}} {
+		cmp, err := CompareBench(mk(tc.b), mk(tc.c), 0.05, 0.30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmp.Regressions) != 0 {
+			t.Errorf("missing multichannel row must not regress: %v", cmp.Regressions)
+		}
+		if len(cmp.Notes) == 0 {
+			t.Error("missing multichannel row must be noted")
+		}
+	}
+
+	// Energy is gated even same-spec same-host.
+	hot := row
+	hot.EnergyPJPerBit = 2.3
+	cmp, _ := CompareBench(mk(&row), mk(&hot), 0.05, 0.30)
+	if len(cmp.Regressions) != 1 || !strings.Contains(cmp.Regressions[0], "multichannel: energy") {
+		t.Errorf("15%% multichannel energy rise must regress: %v", cmp.Regressions)
+	}
+
+	// Wall blowup same host: regress; different channel count: skipped.
+	slow := row
+	slow.WallSeconds = 20
+	if cmp, _ = CompareBench(mk(&row), mk(&slow), 0.05, 0.30); len(cmp.Regressions) != 1 {
+		t.Errorf("2x multichannel wall on same host must regress: %v", cmp.Regressions)
+	}
+	slow.Channels = 4
+	if cmp, _ = CompareBench(mk(&row), mk(&slow), 0.05, 0.30); len(cmp.Regressions) != 0 {
+		t.Errorf("different channel count must skip the gate: %v", cmp.Regressions)
+	}
+	// Different worker count: energy still gated, wall skipped.
+	slow = row
+	slow.WallSeconds = 20
+	slow.Workers = 8
+	if cmp, _ = CompareBench(mk(&row), mk(&slow), 0.05, 0.30); len(cmp.Regressions) != 0 {
+		t.Errorf("different pool size must skip the wall gate: %v", cmp.Regressions)
+	}
+}
+
+func TestRunMultiChannelBench(t *testing.T) {
+	rep := BenchReport{Accesses: 150, Seed: 3}
+	if err := RunMultiChannelBench(&rep, 1, 0); err == nil {
+		t.Error("single channel must be rejected")
+	}
+	if err := RunMultiChannelBench(&rep, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := rep.MultiChannel
+	if m == nil || m.Channels != 2 || m.Apps == 0 || m.EnergyPJPerBit <= 0 {
+		t.Fatalf("bad multichannel row: %+v", m)
+	}
+	if !strings.Contains(RenderBench(rep), "multichannel:") {
+		t.Error("render must include the multichannel row")
+	}
+	// Deterministic energy at any pool size.
+	seq := BenchReport{Accesses: 150, Seed: 3}
+	if err := RunMultiChannelBench(&seq, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(seq.MultiChannel.EnergyPJPerBit, m.EnergyPJPerBit) {
+		t.Errorf("multichannel energy depends on workers: %v vs %v",
+			seq.MultiChannel.EnergyPJPerBit, m.EnergyPJPerBit)
 	}
 }
 

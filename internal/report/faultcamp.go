@@ -175,7 +175,7 @@ func RunCampaign(spec CampaignSpec) (CampaignResult, error) {
 				EDC:      co.edc,
 				BurstLen: spec.BurstLen,
 				// Seed depends only on (campaign seed, point, app).
-				Seed: spec.Seed + uint64(pi)*69061 + uint64(ai)*1000003 + 1,
+				Seed: campaignJobSeed(spec.Seed, pi, ai),
 			}
 			jobs = append(jobs, campaignJob{point: pi, app: ai, spec: RunSpec{
 				Policy:   co.scheme.Policy,

@@ -2,32 +2,137 @@ package report
 
 import (
 	"fmt"
+	"math"
 
 	"smores/internal/bus"
+	"smores/internal/fault"
 	"smores/internal/floats"
 	"smores/internal/gpu"
 	"smores/internal/memctrl"
+	"smores/internal/stats"
 	"smores/internal/workload"
 )
 
-// MultiResult is the outcome of a multi-channel simulation.
+// MultiResult is the outcome of a multi-channel simulation (lockstep or
+// sharded — see Sharded).
 type MultiResult struct {
 	App      workload.Profile
 	Channels int
 	Label    string
+	// Sharded reports which engine produced the result: the
+	// shard-per-goroutine engine (RunAppMultiChannelSharded) or the
+	// legacy lockstep interleaver (RunAppMultiChannel).
+	Sharded bool
 	// PerBit is the aggregate fJ per data bit across all channels.
 	PerBit float64
-	// PerChannel holds each channel's bus statistics.
+	// PerChannel holds each channel's bus statistics; Bus is their
+	// deterministic channel-order merge.
 	PerChannel []bus.Stats
-	Clocks     int64
-	Reads      int64
-	Writes     int64
+	Bus        bus.Stats
+	// Ctrl merges the per-channel controller counters (Clock and
+	// MaxGapClocks take the maximum — see memctrl.Stats.Merge).
+	Ctrl memctrl.Stats
+	// ReadGaps and WriteGaps merge the per-channel idle-gap histograms.
+	ReadGaps  *stats.Histogram
+	WriteGaps *stats.Histogram
+	// Fault sums the per-channel injector accounting (zero value on a
+	// clean link).
+	Fault fault.Stats
+	// LLC is the shared cache's statistics (zero value without -llc).
+	LLC    gpu.LLCStats
+	Clocks int64
+	Reads  int64
+	Writes int64
+}
+
+// channelSpec derives channel i's spec from the run spec: the channel
+// id keeps telemetry series and trace tracks distinguishable
+// (channel="0"..N-1), and a configured fault injector gets a
+// channel-decorrelated seed so the channels see independent error
+// processes. Both multi-channel engines — lockstep and sharded — derive
+// their channels through this one helper.
+func channelSpec(spec RunSpec, i int) RunSpec {
+	chSpec := spec
+	chSpec.Channel = i
+	if chSpec.Fault != nil {
+		// Each channel gets its own injector (they are stateful) with a
+		// channel-decorrelated seed.
+		fc := *spec.Fault
+		fc.Seed = DecorrelateSeed(fc.Seed, i)
+		chSpec.Fault = &fc
+	}
+	return chSpec
+}
+
+// buildChannelController assembles channel i's controller and optional
+// fault injector for a multi-channel run.
+func buildChannelController(spec RunSpec, i int) (*memctrl.Controller, *fault.Injector, error) {
+	chSpec := channelSpec(spec, i)
+	in, err := chSpec.faultInjector()
+	if err != nil {
+		return nil, nil, err
+	}
+	ccfg := chSpec.controllerConfig()
+	if in != nil {
+		ccfg.Fault = in
+	}
+	ctrl, err := memctrl.New(ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, in, nil
+}
+
+// mergeChannels folds the per-channel outcomes into mr in channel order
+// (the deterministic merge both engines share). It validates the label
+// and invariant contracts; on any violation the caller must discard mr.
+func mergeChannels(mr *MultiResult, ctrls []*memctrl.Controller, injectors []*fault.Injector) error {
+	mr.Label = ctrls[0].Describe()
+	mr.ReadGaps = ctrls[0].ReadGapHistogram()
+	mr.WriteGaps = ctrls[0].WriteGapHistogram()
+	for i, c := range ctrls {
+		if got := c.Describe(); got != mr.Label {
+			return fmt.Errorf("report: channel %d label %q disagrees with channel 0's %q", i, got, mr.Label)
+		}
+		st := c.BusStats()
+		mr.PerChannel = append(mr.PerChannel, st)
+		mr.Bus.Merge(st)
+		mr.Ctrl.Merge(c.Stats())
+		if i > 0 {
+			if err := mr.ReadGaps.Merge(c.ReadGapHistogram()); err != nil {
+				return fmt.Errorf("report: merging channel %d read gaps: %w", i, err)
+			}
+			if err := mr.WriteGaps.Merge(c.WriteGapHistogram()); err != nil {
+				return fmt.Errorf("report: merging channel %d write gaps: %w", i, err)
+			}
+		}
+		if cs := c.Stats(); cs.DecisionMismatches != 0 || cs.BusConflicts != 0 {
+			return fmt.Errorf("report: channel %d invariant violated: %+v", i, cs)
+		}
+		if in := injectors[i]; in != nil {
+			fs := in.Stats()
+			if !fs.Conserves() {
+				return fmt.Errorf("report: channel %d: fault detection layers do not partition corrupted bursts: %v", i, fs)
+			}
+			mr.Fault.Add(fs)
+		}
+	}
+	mr.PerBit = mr.Bus.PerBit()
+	return nil
 }
 
 // RunAppMultiChannel simulates one application over several interleaved
 // GDDR6X channels (the RTX 3090 has 24). Sectors stripe round-robin
 // across channels; every channel runs the same encoding policy, and the
-// MSHR pool scales with the channel count.
+// MSHR pool scales with the channel count. This is the legacy lockstep
+// engine — one driver loop stepping every channel each clock with a
+// shared MSHR pool. RunAppMultiChannelSharded is the
+// shard-per-goroutine engine that scales with cores.
+//
+// On any error — construction, invariant violation, label disagreement
+// — the zero MultiResult is returned: a populated result never rides
+// alongside an error, so callers cannot accidentally consume
+// half-merged statistics.
 func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiResult, error) {
 	if channels < 1 {
 		return MultiResult{}, fmt.Errorf("report: channel count must be positive, got %d", channels)
@@ -37,27 +142,9 @@ func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiRe
 		return MultiResult{}, err
 	}
 	ctrls := make([]*memctrl.Controller, channels)
+	injectors := make([]*fault.Injector, channels)
 	for i := range ctrls {
-		// Each controller gets its own channel id so telemetry series and
-		// trace tracks stay distinguishable (channel="0"..N-1, pid=i).
-		chSpec := spec
-		chSpec.Channel = i
-		if chSpec.Fault != nil {
-			// Each channel gets its own injector (they are stateful) with a
-			// channel-decorrelated seed.
-			fc := *spec.Fault
-			fc.Seed += uint64(i) * 1000003
-			chSpec.Fault = &fc
-		}
-		in, err := chSpec.faultInjector()
-		if err != nil {
-			return MultiResult{}, err
-		}
-		ccfg := chSpec.controllerConfig()
-		if in != nil {
-			ccfg.Fault = in
-		}
-		ctrls[i], err = memctrl.New(ccfg)
+		ctrls[i], injectors[i], err = buildChannelController(spec, i)
 		if err != nil {
 			return MultiResult{}, err
 		}
@@ -85,45 +172,38 @@ func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiRe
 		Clocks:   res.Clocks,
 		Reads:    res.DRAMReads,
 		Writes:   res.DRAMWrites,
+		LLC:      res.LLC,
 	}
-	var energy, bits float64
-	for _, c := range ctrls {
-		st := c.BusStats()
-		mr.PerChannel = append(mr.PerChannel, st)
-		energy += st.TotalEnergy()
-		bits += st.DataBits
-		mr.Label = c.Describe()
-		if cs := c.Stats(); cs.DecisionMismatches != 0 || cs.BusConflicts != 0 {
-			return mr, fmt.Errorf("report: channel invariant violated: %+v", cs)
-		}
-	}
-	if bits > 0 {
-		mr.PerBit = energy / bits
+	if err := mergeChannels(&mr, ctrls, injectors); err != nil {
+		return MultiResult{}, err
 	}
 	return mr, nil
 }
 
 // ChannelBalance returns the max/min ratio of per-channel transferred
-// bits (1.0 = perfectly balanced striping).
+// bits: 1.0 means perfectly balanced striping (including the degenerate
+// all-channels-idle case), larger means skew. The two failure shapes
+// are distinct sentinels rather than ambiguous zeros: NaN for a result
+// with no channels at all, +Inf when at least one channel moved data
+// while another moved none (infinitely imbalanced).
 func (m MultiResult) ChannelBalance() float64 {
-	var xs []float64
+	if len(m.PerChannel) == 0 {
+		return math.NaN()
+	}
+	lo, hi := m.PerChannel[0].DataBits, m.PerChannel[0].DataBits
 	for _, st := range m.PerChannel {
-		xs = append(xs, st.DataBits)
-	}
-	if len(xs) == 0 {
-		return 0
-	}
-	lo, hi := xs[0], xs[0]
-	for _, x := range xs {
-		if x < lo {
-			lo = x
+		if st.DataBits < lo {
+			lo = st.DataBits
 		}
-		if x > hi {
-			hi = x
+		if st.DataBits > hi {
+			hi = st.DataBits
 		}
 	}
-	if floats.Eq(lo, 0) {
-		return 0
+	if floats.IsZero(hi) {
+		return 1 // nothing moved anywhere: trivially balanced
+	}
+	if floats.IsZero(lo) {
+		return math.Inf(1)
 	}
 	return hi / lo
 }

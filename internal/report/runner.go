@@ -193,10 +193,14 @@ func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
 		AvgReadLatency: ctrl.AverageReadLatency(),
 		ReplayedReads:  res.ReplayedReads,
 	}
+	// Invariant violations return the zero AppResult: a populated result
+	// must never ride alongside an error, or callers can accidentally
+	// consume statistics the violation just invalidated (the same
+	// contract as the multi-channel runners).
 	if in != nil {
 		ar.Fault = in.Stats()
 		if !ar.Fault.Conserves() {
-			return ar, fmt.Errorf("report: %s: fault detection layers do not partition corrupted bursts: %v",
+			return AppResult{}, fmt.Errorf("report: %s: fault detection layers do not partition corrupted bursts: %v",
 				p.Name, ar.Fault)
 		}
 	}
@@ -205,10 +209,10 @@ func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
 		ar.IdleFrequency = gapped / float64(t)
 	}
 	if ar.Ctrl.DecisionMismatches != 0 {
-		return ar, fmt.Errorf("report: %s: %d DRAM/GPU decision mismatches", p.Name, ar.Ctrl.DecisionMismatches)
+		return AppResult{}, fmt.Errorf("report: %s: %d DRAM/GPU decision mismatches", p.Name, ar.Ctrl.DecisionMismatches)
 	}
 	if ar.Ctrl.BusConflicts != 0 {
-		return ar, fmt.Errorf("report: %s: %d data-bus conflicts", p.Name, ar.Ctrl.BusConflicts)
+		return AppResult{}, fmt.Errorf("report: %s: %d data-bus conflicts", p.Name, ar.Ctrl.BusConflicts)
 	}
 	return ar, nil
 }
@@ -258,7 +262,7 @@ type FleetOptions struct {
 // appSeed derives the per-app seed: it depends only on the spec seed and
 // the app's fleet position, never on worker count or completion order,
 // so parallel runs replay exactly the sequential traffic.
-func appSeed(seed uint64, i int) uint64 { return seed + uint64(i)*1000003 }
+func appSeed(seed uint64, i int) uint64 { return DecorrelateSeed(seed, i) }
 
 // fleetAppSpec builds the per-app spec: deterministic seed plus
 // app-scoped observability labels when a registry is attached.

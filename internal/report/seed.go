@@ -1,0 +1,28 @@
+package report
+
+// Seed decorrelation: every place the harness derives a family of
+// deterministic seeds from one base seed — per-app fleet seeds,
+// per-channel fault-injector seeds, per-(point, app) campaign seeds —
+// must use the same stride so the derivations stay mutually pinned and
+// a run's JSON is reproducible from its base seed alone. PR 5
+// introduced the scheme inline in two places; this file is the single
+// owner (seed_test.go pins the exact values).
+
+// seedStride is the prime spacing between sibling seeds. It is large
+// and odd, so the xorshift-style generators downstream see unrelated
+// streams, and small enough that i*seedStride never wraps for
+// realistic family sizes.
+const seedStride = 1000003
+
+// DecorrelateSeed returns the i-th seed of the family rooted at base:
+// base + i*1000003. Index 0 is the base itself.
+func DecorrelateSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*seedStride
+}
+
+// campaignJobSeed derives a fault campaign's injector seed for
+// (point pi, app ai). The formula is pinned by seed_test.go — changing
+// it silently changes every committed campaign JSON.
+func campaignJobSeed(seed uint64, pi, ai int) uint64 {
+	return DecorrelateSeed(seed+uint64(pi)*69061+1, ai)
+}

@@ -1,0 +1,60 @@
+package report
+
+import "testing"
+
+// The decorrelation stride is a published contract: campaign JSON,
+// fleet results, and fault sweeps from earlier releases were produced
+// with these exact formulas, and reproducibility promises pin them.
+// These tests compare against independently written-out arithmetic so a
+// refactor of the helper cannot silently reshuffle every seed.
+func TestDecorrelateSeedPinned(t *testing.T) {
+	cases := []struct {
+		base uint64
+		i    int
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1000003},
+		{0, 7, 7000021},
+		{42, 0, 42},
+		{42, 3, 42 + 3*1000003},
+		{1 << 60, 5, 1<<60 + 5*1000003},
+	}
+	for _, c := range cases {
+		if got := DecorrelateSeed(c.base, c.i); got != c.want {
+			t.Errorf("DecorrelateSeed(%d, %d) = %d, want %d", c.base, c.i, got, c.want)
+		}
+	}
+}
+
+// campaignJobSeed must keep producing the historical inline formula
+// seed + pi*69061 + ai*1000003 + 1 — byte-identical campaign JSON
+// across releases depends on it (TestCampaignReproducible pins the
+// worker-count half of that promise).
+func TestCampaignJobSeedPinned(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		pi, ai int
+		want   uint64
+	}{
+		{0, 0, 0, 1},
+		{0, 1, 0, 69061 + 1},
+		{0, 0, 1, 1000003 + 1},
+		{11, 2, 3, 11 + 2*69061 + 3*1000003 + 1},
+		{977, 5, 7, 977 + 5*69061 + 7*1000003 + 1},
+	}
+	for _, c := range cases {
+		if got := campaignJobSeed(c.seed, c.pi, c.ai); got != c.want {
+			t.Errorf("campaignJobSeed(%d, %d, %d) = %d, want %d", c.seed, c.pi, c.ai, got, c.want)
+		}
+	}
+}
+
+// appSeed rides the same helper; fleet position i maps to seed+i·stride.
+func TestAppSeedUsesSharedStride(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		if got, want := appSeed(9, i), DecorrelateSeed(9, i); got != want {
+			t.Errorf("appSeed(9, %d) = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"smores/internal/fault"
+	"smores/internal/floats"
+	"smores/internal/memctrl"
+	"smores/internal/obs"
+	"smores/internal/workload"
+)
+
+// requireIdentical asserts two sharded multichannel results are
+// bit-identical: stats, per-channel stats, histograms, counters.
+func requireIdentical(t *testing.T, tag string, a, b MultiResult) {
+	t.Helper()
+	if !a.Bus.Equal(b.Bus) {
+		t.Fatalf("%s: merged bus stats diverged:\n%+v\nvs\n%+v", tag, a.Bus, b.Bus)
+	}
+	if !a.Ctrl.Equal(b.Ctrl) {
+		t.Fatalf("%s: merged controller stats diverged:\n%+v\nvs\n%+v", tag, a.Ctrl, b.Ctrl)
+	}
+	if len(a.PerChannel) != len(b.PerChannel) {
+		t.Fatalf("%s: channel counts diverged (%d vs %d)", tag, len(a.PerChannel), len(b.PerChannel))
+	}
+	for i := range a.PerChannel {
+		if !a.PerChannel[i].Equal(b.PerChannel[i]) {
+			t.Fatalf("%s: channel %d bus stats diverged:\n%+v\nvs\n%+v",
+				tag, i, a.PerChannel[i], b.PerChannel[i])
+		}
+	}
+	if !a.ReadGaps.Equal(b.ReadGaps) || !a.WriteGaps.Equal(b.WriteGaps) {
+		t.Fatalf("%s: gap histograms diverged", tag)
+	}
+	if !floats.Eq(a.PerBit, b.PerBit) {
+		t.Fatalf("%s: per-bit energy diverged: %v vs %v", tag, a.PerBit, b.PerBit)
+	}
+	if a.Clocks != b.Clocks || a.Reads != b.Reads || a.Writes != b.Writes {
+		t.Fatalf("%s: clocks/reads/writes diverged: %d/%d/%d vs %d/%d/%d",
+			tag, a.Clocks, a.Reads, a.Writes, b.Clocks, b.Reads, b.Writes)
+	}
+	if a.Fault != b.Fault {
+		t.Fatalf("%s: fault stats diverged:\n%+v\nvs\n%+v", tag, a.Fault, b.Fault)
+	}
+	if a.LLC != b.LLC {
+		t.Fatalf("%s: LLC stats diverged: %+v vs %+v", tag, a.LLC, b.LLC)
+	}
+	if a.Label != b.Label {
+		t.Fatalf("%s: labels diverged: %q vs %q", tag, a.Label, b.Label)
+	}
+}
+
+// The differential gate: for a fixed seed, the sharded engine must
+// produce byte-identical results — stats, histograms, profile cells —
+// at every worker count, across all 5 policies and several channel
+// counts. The sequential run (workers=1) is the reference; any
+// divergence means a shard leaked state or the merge order depends on
+// scheduling. Because the waterfall and every JSON export are pure
+// functions of these stats and cells, their identity follows.
+func TestShardedDeterministicMatrix(t *testing.T) {
+	p, ok := workload.ByName("bfs")
+	if !ok {
+		t.Fatal("no bfs app")
+	}
+	for pi, spec := range PolicySpecs(1200, 11, true) {
+		for _, channels := range []int{2, 4, 8} {
+			seqProf := obs.NewProfile()
+			s := spec
+			s.Profile = seqProf
+			seq, err := RunAppMultiChannelSharded(p, s, channels, ShardOptions{Workers: 1})
+			if err != nil {
+				t.Fatalf("policy %d channels %d sequential: %v", pi, channels, err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				parProf := obs.NewProfile()
+				s.Profile = parProf
+				par, err := RunAppMultiChannelSharded(p, s, channels, ShardOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("policy %d channels %d workers %d: %v", pi, channels, workers, err)
+				}
+				tag := fmt.Sprintf("policy %d channels %d workers %d", pi, channels, workers)
+				requireIdentical(t, tag, seq, par)
+				if !obs.EqualCells(obs.ProfileDeltaCells(seqProf.Snapshot()), obs.ProfileDeltaCells(parProf.Snapshot())) {
+					t.Fatalf("%s: profile cells diverged", tag)
+				}
+			}
+		}
+	}
+}
+
+// Exact-data mode with a fault injector exercises the stateful per-
+// channel error processes; decorrelated seeds must keep the result
+// worker-count-invariant too.
+func TestShardedDeterministicWithFaults(t *testing.T) {
+	p, _ := workload.ByName("srad")
+	spec := RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   PolicySpecs(0, 0, false)[2].Scheme,
+		Accesses: 1500,
+		Seed:     13,
+		Fault:    &fault.Config{Model: fault.ModelUniform, Rate: 1e-3, EDC: true, Seed: 99},
+	}
+	seq, err := RunAppMultiChannelSharded(p, spec, 4, ShardOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Fault.CorruptedBursts == 0 {
+		t.Fatal("injector never fired — the test is vacuous")
+	}
+	par, err := RunAppMultiChannelSharded(p, spec, 4, ShardOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "faulted", seq, par)
+}
+
+// The sharded engine must uphold the multichannel physics contracts:
+// striping balance, bit conservation, SMOREs savings, throughput
+// scaling with channel count.
+func TestShardedPhysics(t *testing.T) {
+	p, _ := workload.ByName("srad")
+	base, err := RunAppMultiChannelSharded(p, RunSpec{
+		Policy: memctrl.BaselineMTA, Accesses: 4000, Seed: 5,
+	}, 4, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Sharded {
+		t.Error("result must be marked sharded")
+	}
+	if bal := base.ChannelBalance(); bal > 1.3 {
+		t.Errorf("channel imbalance %.2f, want ≤1.3", bal)
+	}
+	var bits float64
+	for _, st := range base.PerChannel {
+		bits += st.DataBits
+	}
+	if want := float64(base.Reads+base.Writes) * 32 * 8; !floats.Near(bits, want, 1e-6) {
+		t.Errorf("bits accounted %.0f, want %.0f", bits, want)
+	}
+	if !floats.Eq(bits, base.Bus.DataBits) {
+		t.Errorf("merged DataBits %.0f disagrees with per-channel sum %.0f", base.Bus.DataBits, bits)
+	}
+	one, err := RunAppMultiChannelSharded(p, RunSpec{
+		Policy: memctrl.BaselineMTA, Accesses: 4000, Seed: 5,
+	}, 1, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Clocks >= one.Clocks {
+		t.Errorf("4 shards (%d clocks) not faster than 1 (%d)", base.Clocks, one.Clocks)
+	}
+	sm, err := RunAppMultiChannelSharded(p, RunSpec{
+		Policy:   memctrl.SMOREs,
+		Scheme:   PolicySpecs(0, 0, false)[3].Scheme,
+		Accesses: 4000, Seed: 5,
+	}, 4, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.PerBit >= base.PerBit {
+		t.Errorf("sharded SMOREs (%.1f) not cheaper than baseline (%.1f)", sm.PerBit, base.PerBit)
+	}
+	if sm.Label != "smores(exhaustive/static)" {
+		t.Errorf("label = %q", sm.Label)
+	}
+}
+
+// A single no-LLC shard replays exactly the generator stream, so the
+// data it moves must match the single-channel RunApp path bit for bit
+// (timing differs by the end-of-stream detection clock, so only the
+// traffic-shaped fields are compared).
+func TestShardedSingleChannelMatchesRunAppTraffic(t *testing.T) {
+	p, _ := workload.ByName("bert")
+	spec := RunSpec{Policy: memctrl.OptimizedMTA, Accesses: 2500, Seed: 21}
+	app, err := RunApp(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := RunAppMultiChannelSharded(p, spec, 1, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(sh.Bus.DataBits, app.Bus.DataBits) {
+		t.Errorf("data bits diverged: %.0f vs %.0f", sh.Bus.DataBits, app.Bus.DataBits)
+	}
+	if sh.Reads != app.Reads || sh.Writes != app.Writes {
+		t.Errorf("traffic diverged: %d/%d vs %d/%d", sh.Reads, sh.Writes, app.Reads, app.Writes)
+	}
+	if sh.Bus.MTABursts+sh.Bus.SparseBursts != app.Bus.MTABursts+app.Bus.SparseBursts {
+		t.Errorf("burst counts diverged")
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	p, _ := workload.ByName("bfs")
+	if _, err := RunAppMultiChannelSharded(p, RunSpec{Policy: memctrl.BaselineMTA, Accesses: 10}, 0, ShardOptions{}); err == nil {
+		t.Error("zero channels must error")
+	}
+	bad := p
+	bad.MSHRs = 0
+	if mr, err := RunAppMultiChannelSharded(bad, RunSpec{Accesses: 10}, 2, ShardOptions{}); err == nil {
+		t.Error("invalid profile must error")
+	} else if mr.Channels != 0 || mr.PerChannel != nil {
+		t.Error("error must come with the zero MultiResult")
+	}
+	if _, err := RunAppMultiChannelSharded(p, RunSpec{Policy: memctrl.BaselineMTA}, 2, ShardOptions{}); err == nil {
+		t.Error("zero access budget must error (generators are endless)")
+	}
+}
+
+// The fleet scheduler must be worker-count invariant end to end: the
+// exported JSON — every row of every app — is byte-identical between a
+// sequential and a saturated pool, and errors surface as the lowest-
+// indexed app with a zero-value result.
+func TestFleetMultiChannelDeterministic(t *testing.T) {
+	fleet := workload.Fleet()[:5]
+	spec := PolicySpecs(800, 17, true)[2]
+	render := func(workers int) ([]byte, MultiFleetResult) {
+		fr, err := RunFleetAppsMultiChannel(fleet, spec, 3, ShardOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := ExportMultiEvalJSON(&b, []MultiFleetResult{fr}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes(), fr
+	}
+	seqJSON, seqFR := render(1)
+	parJSON, parFR := render(8)
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatalf("fleet JSON depends on worker count:\n%s\nvs\n%s", seqJSON, parJSON)
+	}
+	if len(seqFR.Results) != len(fleet) {
+		t.Fatalf("got %d results, want %d", len(seqFR.Results), len(fleet))
+	}
+	for i := range seqFR.Results {
+		requireIdentical(t, fmt.Sprintf("fleet app %d", i), seqFR.Results[i], parFR.Results[i])
+	}
+	if seqFR.Label == "" || seqFR.Label != parFR.Label {
+		t.Fatalf("fleet labels diverged: %q vs %q", seqFR.Label, parFR.Label)
+	}
+}
+
+func TestFleetMultiChannelErrorContract(t *testing.T) {
+	fleet := workload.Fleet()[:3]
+	bad := fleet[1]
+	bad.MSHRs = 0
+	fleet = append(append([]workload.Profile{}, fleet[0]), bad, fleet[2])
+	fr, err := RunFleetAppsMultiChannel(fleet, RunSpec{Policy: memctrl.BaselineMTA, Accesses: 100, Seed: 1}, 2, ShardOptions{})
+	if err == nil {
+		t.Fatal("invalid app must fail the fleet")
+	}
+	if fr.Results != nil || fr.Label != "" {
+		t.Fatalf("error must come with the zero fleet result, got %+v", fr)
+	}
+}
+
+// The render surface must not panic on empty input and must include
+// every scheme row.
+func TestRenderMultiChannelSummary(t *testing.T) {
+	if s := RenderMultiChannelSummary(nil); s != "" {
+		t.Errorf("empty summary = %q", s)
+	}
+	fleet := workload.Fleet()[:2]
+	var mfrs []MultiFleetResult
+	for _, spec := range PolicySpecs(400, 3, false)[:2] {
+		fr, err := RunFleetAppsMultiChannel(fleet, spec, 2, ShardOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mfrs = append(mfrs, fr)
+	}
+	out := RenderMultiChannelSummary(mfrs)
+	for _, fr := range mfrs {
+		if !bytes.Contains([]byte(out), []byte(fr.Label)) {
+			t.Errorf("summary missing scheme %q:\n%s", fr.Label, out)
+		}
+	}
+}

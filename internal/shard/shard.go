@@ -1,0 +1,245 @@
+// Package shard turns the multi-channel memory system into
+// shard-per-goroutine units. The legacy gpu.MultiDriver steps every
+// channel in lockstep inside one loop — correct, but serial and unable
+// to use the controllers' next-event skipping. This package decomposes
+// a multi-channel run into two epochs separated by the MSHR/LLC
+// boundary:
+//
+//  1. Front-end epoch (BuildPlan): the workload generator and the
+//     shared LLC run once, sequentially, producing one deterministic
+//     DRAM-operation stream per channel behind the sector-striping
+//     address interleaver (sector % channels picks the channel,
+//     sector / channels is the channel-local address — the same
+//     routing the lockstep interleaver uses). LLC content decisions
+//     depend only on access order, never on DRAM timing, so this
+//     epoch is exact, not an approximation.
+//
+//  2. Shard epoch (Unit/RunUnits): each channel replays its stream
+//     through its own controller + single-channel driver — a Unit —
+//     with nothing shared between units. Units therefore run on any
+//     number of goroutines and produce results that are byte-identical
+//     to running them one at a time; a bounded worker pool packs units
+//     from any number of applications onto the machine's cores.
+//
+// The model difference versus the lockstep interleaver is intentional:
+// each shard is a channel(-pair) device with its own command queue and
+// MSHR share, so cross-channel MSHR contention disappears (compute
+// think time rides with the operation it precedes). What the package
+// guarantees — and what the report-level differential tests enforce —
+// is that for a fixed seed the sharded results are bit-identical
+// across every worker count, including the sequential one.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smores/internal/gpu"
+	"smores/internal/memctrl"
+)
+
+// Plan holds the front-end epoch's output: one channel-local access
+// stream per shard, plus the shared front-end statistics.
+type Plan struct {
+	// Channels is the shard count the plan was built for.
+	Channels int
+	// Streams[i] is channel i's operation stream in issue order, with
+	// channel-local sector addresses.
+	Streams [][]gpu.Access
+	// Accesses counts the LLC-level accesses the front end consumed.
+	Accesses int64
+	// Reads and Writes count the DRAM-level operations emitted across
+	// all streams (after LLC filtering when a cache was configured).
+	Reads, Writes int64
+	// LLC is the shared cache's statistics (zero value when the plan
+	// was built without one).
+	LLC gpu.LLCStats
+}
+
+// BuildPlan runs the front-end epoch: it consumes maxAccesses accesses
+// from gen, filters them through an optional shared LLC, and routes the
+// resulting DRAM operations across channels by sector striping. The
+// plan is a pure function of (generator stream, channels, llcCfg):
+// building it twice yields identical streams.
+//
+// Think (compute) clocks attach to the first DRAM operation emitted at
+// or after the access that carried them, so no think time is lost even
+// when LLC hits elide the operation itself.
+func BuildPlan(gen gpu.Generator, channels int, maxAccesses int64, llcCfg *gpu.LLCConfig) (*Plan, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("shard: plan needs a generator")
+	}
+	if channels < 1 {
+		return nil, fmt.Errorf("shard: channel count must be positive, got %d", channels)
+	}
+	if maxAccesses <= 0 {
+		return nil, fmt.Errorf("shard: plan needs a positive access budget (generators are endless)")
+	}
+	var llc *gpu.LLC
+	if llcCfg != nil {
+		l, err := gpu.NewLLC(*llcCfg)
+		if err != nil {
+			return nil, err
+		}
+		llc = l
+	}
+	p := &Plan{Channels: channels, Streams: make([][]gpu.Access, channels)}
+	var pendingThink int64
+	emit := func(sector uint64, write bool) {
+		ch := int(sector % uint64(channels))
+		op := gpu.Access{Sector: sector / uint64(channels), Write: write, Think: pendingThink}
+		pendingThink = 0
+		p.Streams[ch] = append(p.Streams[ch], op)
+		if write {
+			p.Writes++
+		} else {
+			p.Reads++
+		}
+	}
+	for p.Accesses < maxAccesses {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		p.Accesses++
+		pendingThink += a.Think
+		if llc == nil {
+			emit(a.Sector, a.Write)
+			continue
+		}
+		// Writebacks first, then the demand read — the order the
+		// lockstep driver issues them in.
+		needRead, wbs := llc.Access(a.Sector, a.Write)
+		for _, wb := range wbs {
+			emit(wb, true)
+		}
+		if needRead {
+			emit(a.Sector, false)
+		}
+	}
+	if llc != nil {
+		p.LLC = llc.Stats()
+	}
+	return p, nil
+}
+
+// StreamGen replays a fixed operation stream; it implements
+// gpu.Generator. The zero value is an exhausted stream.
+type StreamGen struct {
+	ops []gpu.Access
+	i   int
+}
+
+// NewStreamGen builds a generator over ops (not copied — the plan owns
+// the slice and shards never share streams).
+func NewStreamGen(ops []gpu.Access) *StreamGen { return &StreamGen{ops: ops} }
+
+// Next implements gpu.Generator.
+func (g *StreamGen) Next() (gpu.Access, bool) {
+	if g.i >= len(g.ops) {
+		return gpu.Access{}, false
+	}
+	a := g.ops[g.i]
+	g.i++
+	return a, true
+}
+
+// Unit is one shard: a channel's controller plus the single-channel
+// driver replaying that channel's stream. Units share no mutable state,
+// so any scheduling of Run calls across goroutines yields identical
+// results.
+type Unit struct {
+	// Channel is the shard's channel id (its position in the plan).
+	Channel int
+	// Ctrl is the shard's controller; after Run it holds the channel's
+	// final bus statistics, gap histograms, and controller counters.
+	Ctrl *memctrl.Controller
+
+	drv    *gpu.Driver
+	result gpu.RunResult
+	err    error
+	ran    bool
+}
+
+// NewUnit wires a shard from a freshly constructed controller, a driver
+// configuration (MSHRs should be the per-channel share, not the pooled
+// total), and the channel's planned stream. The unit owns the
+// controller's completion callback; cfg.LLC must be nil — the shared
+// cache already ran in the front-end epoch.
+func NewUnit(channel int, ctrl *memctrl.Controller, cfg gpu.DriverConfig, stream []gpu.Access) (*Unit, error) {
+	if cfg.LLC != nil {
+		return nil, fmt.Errorf("shard: unit %d: the LLC belongs to the front-end epoch, not the shard", channel)
+	}
+	drv, err := gpu.NewDriver(cfg, ctrl, NewStreamGen(stream))
+	if err != nil {
+		return nil, fmt.Errorf("shard: unit %d: %w", channel, err)
+	}
+	return &Unit{Channel: channel, Ctrl: ctrl, drv: drv}, nil
+}
+
+// Run drives the shard to completion. It is called once per unit (by
+// RunUnits or directly).
+func (u *Unit) Run() error {
+	u.result, u.err = u.drv.Run()
+	u.ran = true
+	if u.err != nil {
+		u.err = fmt.Errorf("shard: unit %d: %w", u.Channel, u.err)
+	}
+	return u.err
+}
+
+// Result returns the shard's driver-side outcome (zero until Run).
+func (u *Unit) Result() gpu.RunResult { return u.result }
+
+// Err returns Run's error (nil until Run, or on success).
+func (u *Unit) Err() error { return u.err }
+
+// RunUnits executes every unit on a bounded worker pool. workers ≤ 0
+// selects GOMAXPROCS; 1 runs sequentially with no goroutines. Every
+// unit runs regardless of other units' failures (they are independent),
+// and the returned error is the lowest-indexed unit's — the same error
+// every worker count reports. onDone, when non-nil, is invoked after
+// each unit finishes (possibly concurrently) — the progress-bar hook.
+func RunUnits(units []*Unit, workers int, onDone func(*Unit)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			u.Run()
+			if onDone != nil {
+				onDone(u)
+			}
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					units[i].Run()
+					if onDone != nil {
+						onDone(units[i])
+					}
+				}
+			}()
+		}
+		for i := range units {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, u := range units {
+		if u.err != nil {
+			return u.err
+		}
+	}
+	return nil
+}
