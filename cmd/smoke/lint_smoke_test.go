@@ -54,15 +54,88 @@ func TestLintCleanTree(t *testing.T) {
 		t.Errorf("-json reported %d findings on a clean tree", len(findings))
 	}
 
-	// -list names the full suite.
+	// -list names the full ten-analyzer catalog.
 	out, _, err = run("-list")
 	if err != nil {
 		t.Fatalf("smores-lint -list: %v", err)
 	}
-	for _, name := range []string{"codebookconst", "floateq", "hotpathalloc", "nilsafeobs", "statsmirror"} {
+	for _, name := range []string{
+		"atomicmix", "codebookconst", "detorder", "floateq", "hotpathalloc",
+		"nilsafeobs", "seedderive", "statsmirror", "wallclock", "zeroonerr",
+	} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
 		}
+	}
+
+	// -sarif on a clean tree: a complete SARIF 2.1.0 document with the
+	// full rule catalog and an empty (but present) results array, so CI
+	// can upload it unconditionally.
+	out, errOut, err = run("-sarif", "./...")
+	if err != nil {
+		t.Fatalf("smores-lint -sarif: %v\n%s", err, errOut)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("-sarif document shape: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	if got := len(doc.Runs[0].Tool.Driver.Rules); got != 10 {
+		t.Errorf("-sarif rule catalog has %d rules, want 10", got)
+	}
+	if got := len(doc.Runs[0].Results); got != 0 {
+		t.Errorf("-sarif reported %d results on a clean tree", got)
+	}
+
+	// -sarif against a knowingly dirty fixture package carries results
+	// with repo-relative artifact URIs (what code-scanning upload needs).
+	out, _, err = run("-only", "seedderive", "-sarif", "./internal/analyzers/seedderive/testdata/src/a")
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("-sarif on dirty fixture: err=%v, want exit code 1", err)
+	}
+	doc.Runs = nil
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("-sarif (dirty) output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("-sarif on dirty fixture produced no results:\n%s", out)
+	}
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID != "seedderive" {
+			t.Errorf("-sarif dirty-fixture result has ruleId %q, want seedderive", r.RuleID)
+		}
+		uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if filepath.IsAbs(uri) || !strings.HasPrefix(uri, "internal/analyzers/seedderive/testdata/") {
+			t.Errorf("-sarif artifact URI not repo-relative: %q", uri)
+		}
+	}
+
+	// -json and -sarif are mutually exclusive (usage error, exit 2).
+	_, _, err = run("-json", "-sarif", "./...")
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("-json -sarif: err=%v, want exit code 2", err)
 	}
 
 	// An unknown -only selection is a usage error (exit 2).

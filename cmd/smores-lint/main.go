@@ -15,6 +15,7 @@
 // Flags:
 //
 //	-json   emit findings as a JSON array on stdout instead of text
+//	-sarif  emit findings as a SARIF 2.1.0 document on stdout
 //	-fix    apply suggested fixes in place (then report what remains)
 //	-list   list the registered analyzers and exit
 //	-only   comma-separated analyzer names to run (default: all)
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("smores-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 document on stdout")
 	fix := fs.Bool("fix", false, "apply suggested fixes in place")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
@@ -50,6 +52,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "smores-lint: -json and -sarif are mutually exclusive\n")
 		return 2
 	}
 
@@ -112,7 +118,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "smores-lint: rewrote %d file(s); %d finding(s) remain\n", len(fixedFiles), len(findings))
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		// A clean tree still emits a complete document (empty results
+		// array) so CI can upload it unconditionally.
+		if err := writeSARIF(stdout, dir, suite, findings); err != nil {
+			fmt.Fprintf(stderr, "smores-lint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -122,7 +136,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "smores-lint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			suffix := ""
 			if f.Fixable {

@@ -6,11 +6,13 @@
 // under internal/analyzers can migrate to the real framework by changing
 // nothing but its import path once the dependency is available.
 //
-// Supported surface: single-pass analyzers over one type-checked package
-// (Analyzer.Run with Pass.Files/Pkg/TypesInfo/Report), diagnostics with
-// positions and suggested fixes expressed as text edits. Not supported:
-// facts, cross-pass Requires/ResultOf plumbing, and per-analyzer flag
-// sets — none of which the SMOREs analyzers need.
+// Supported surface: analyzers over type-checked packages (Analyzer.Run
+// with Pass.Files/Pkg/TypesInfo/Report), diagnostics with positions and
+// suggested fixes expressed as text edits, cross-analyzer dependencies
+// (Requires/ResultOf), and modular facts: package- and object-level
+// messages gob-serialized between passes so an annotation or summary
+// computed in one package is visible when its dependents are analyzed.
+// Not supported: per-analyzer flag sets.
 package analysis
 
 import (
@@ -29,12 +31,48 @@ type Analyzer struct {
 	// is a one-sentence summary.
 	Doc string
 	// Run applies the analyzer to one package. It may report
-	// diagnostics via pass.Report and may return a result (unused by
-	// this subset's driver, kept for upstream compatibility).
+	// diagnostics via pass.Report and may return a result, which the
+	// driver makes available to dependents via Pass.ResultOf.
 	Run func(*Pass) (interface{}, error)
+
+	// Requires lists analyzers that must run on the same package first;
+	// their results appear in Pass.ResultOf. The driver runs required
+	// analyzers automatically (without reporting their diagnostics
+	// unless they were requested too) and rejects dependency cycles.
+	Requires []*Analyzer
+
+	// FactTypes declares the concrete fact types this analyzer exports
+	// and imports, one zero value per type. Every type must be a
+	// pointer to a gob-encodable struct. An analyzer that touches facts
+	// without declaring the type gets an error at export/import time.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
+
+// Fact is a message from one package's analysis to the analyses of its
+// dependents: an object- or package-attached summary that survives the
+// package boundary. Concrete fact types must be pointers to
+// gob-encodable structs (the driver serializes every exported fact, so
+// a fact that cannot round-trip is rejected at export time) and must be
+// declared in the owning Analyzer's FactTypes.
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// ObjectFact is an (object, fact) pair, as enumerated by AllObjectFacts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact is a (package, fact) pair, as enumerated by
+// AllPackageFacts.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
 
 // Pass provides one analyzer with the input it needs to inspect a
 // single type-checked package, mirroring x/tools' analysis.Pass.
@@ -49,8 +87,82 @@ type Pass struct {
 	// model (the loader fills in the gc sizes for the build host).
 	TypesSizes types.Sizes
 
+	// ResultOf maps each analyzer in Analyzer.Requires to its result
+	// for this package.
+	ResultOf map[*Analyzer]interface{}
+
 	// Report emits one diagnostic. The driver fills this in.
 	Report func(Diagnostic)
+
+	// Fact plumbing, installed by the driver. Nil only when a Pass is
+	// constructed by hand outside a Session.
+	exportObjectFact  func(obj types.Object, fact Fact) error
+	importObjectFact  func(obj types.Object, fact Fact) bool
+	exportPackageFact func(fact Fact) error
+	importPackageFact func(pkg *types.Package, fact Fact) bool
+	allObjectFacts    func() []ObjectFact
+	allPackageFacts   func() []PackageFact
+}
+
+// ExportObjectFact associates fact with obj, which must belong to the
+// package under analysis. The fact is serialized immediately; an
+// unserializable or undeclared fact type is a hard analyzer error
+// surfaced by the driver.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.exportObjectFact == nil {
+		panic("analysis: ExportObjectFact called outside a driver session")
+	}
+	if err := p.exportObjectFact(obj, fact); err != nil {
+		panic(fmt.Sprintf("analysis: %s: ExportObjectFact: %v", p.Analyzer.Name, err))
+	}
+}
+
+// ImportObjectFact copies into fact the fact previously exported for
+// obj (by this analyzer, in this or a dependency package) and reports
+// whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.importObjectFact == nil {
+		return false
+	}
+	return p.importObjectFact(obj, fact)
+}
+
+// ExportPackageFact associates fact with the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.exportPackageFact == nil {
+		panic("analysis: ExportPackageFact called outside a driver session")
+	}
+	if err := p.exportPackageFact(fact); err != nil {
+		panic(fmt.Sprintf("analysis: %s: ExportPackageFact: %v", p.Analyzer.Name, err))
+	}
+}
+
+// ImportPackageFact copies into fact the fact previously exported for
+// pkg and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.importPackageFact == nil {
+		return false
+	}
+	return p.importPackageFact(pkg, fact)
+}
+
+// AllObjectFacts enumerates every object fact visible to this pass
+// (its own exports plus those of analyzed dependencies), in a
+// deterministic order.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.allObjectFacts == nil {
+		return nil
+	}
+	return p.allObjectFacts()
+}
+
+// AllPackageFacts enumerates every package fact visible to this pass in
+// a deterministic order.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.allPackageFacts == nil {
+		return nil
+	}
+	return p.allPackageFacts()
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

@@ -30,13 +30,16 @@ func TestData() string {
 
 // Run analyzes the named packages under dir/src and checks diagnostics
 // against want comments. It returns the findings for further assertions.
+//
+// All named packages share one loader program and one driver session:
+// a fixture package may import an earlier-listed sibling by its bare
+// path, and facts the analyzer exports while running on that sibling
+// are importable when the dependent is analyzed — list dependency
+// packages first, exactly as a real driver feeds packages in
+// dependency order.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []analysis.Finding {
 	t.Helper()
-	var all []analysis.Finding
-	for _, pkg := range pkgs {
-		all = append(all, runOne(t, dir, a, pkg, false)...)
-	}
-	return all
+	return runAll(t, dir, a, pkgs, false)
 }
 
 // RunWithSuggestedFixes is Run plus golden-file verification: after
@@ -44,16 +47,41 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []analy
 // memory and compared byte-for-byte with <file>.golden.
 func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []analysis.Finding {
 	t.Helper()
+	return runAll(t, dir, a, pkgs, true)
+}
+
+// RunExpectingNoWants analyzes the named packages in a fresh session
+// but skips want-comment matching and golden files, returning the raw
+// findings. It exists for negative fact tests: run only the dependent
+// package of a cross-package fixture and assert zero findings, proving
+// the fixture's want comments hinge on facts from the dependency rather
+// than matching vacuously.
+func RunExpectingNoWants(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []analysis.Finding {
+	t.Helper()
+	return run(t, dir, a, pkgs, false, false)
+}
+
+func runAll(t *testing.T, dir string, a *analysis.Analyzer, pkgs []string, fixes bool) []analysis.Finding {
+	t.Helper()
+	return run(t, dir, a, pkgs, fixes, true)
+}
+
+func run(t *testing.T, dir string, a *analysis.Analyzer, pkgs []string, fixes, matchWants bool) []analysis.Finding {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "src")
+	prog := load.NewProgram(srcRoot)
+	prog.SrcRoot = srcRoot
+	session := analysis.NewSession()
 	var all []analysis.Finding
 	for _, pkg := range pkgs {
-		all = append(all, runOne(t, dir, a, pkg, true)...)
+		all = append(all, runOne(t, prog, session, srcRoot, a, pkg, fixes, matchWants)...)
 	}
 	return all
 }
 
-func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkg string, fixes bool) []analysis.Finding {
+func runOne(t *testing.T, prog *load.Program, session *analysis.Session, srcRoot string, a *analysis.Analyzer, pkg string, fixes, matchWants bool) []analysis.Finding {
 	t.Helper()
-	pkgDir := filepath.Join(dir, "src", pkg)
+	pkgDir := filepath.Join(srcRoot, pkg)
 	entries, err := os.ReadDir(pkgDir)
 	if err != nil {
 		t.Fatalf("%s: %v", pkg, err)
@@ -67,14 +95,16 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkg string, fixes bo
 	if len(files) == 0 {
 		t.Fatalf("%s: no Go files in %s", pkg, pkgDir)
 	}
-	prog := load.NewProgram(pkgDir)
 	loaded, err := prog.CheckAdHoc(pkg, pkgDir, files)
 	if err != nil {
 		t.Fatalf("%s: %v", pkg, err)
 	}
-	findings, err := analysis.RunPackage(prog.Fset, loaded, []*analysis.Analyzer{a})
+	findings, err := session.RunPackage(prog.Fset, loaded, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("%s: analyzer: %v", pkg, err)
+	}
+	if !matchWants {
+		return findings
 	}
 
 	wants := make(map[string][]*wantSpec) // file:line → specs

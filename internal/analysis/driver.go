@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/format"
 	"go/token"
+	"go/types"
 	"os"
 	"sort"
 
@@ -31,11 +32,96 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 }
 
-// RunPackage applies analyzers to one loaded package and returns the
-// findings sorted by position.
-func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*Analyzer) ([]Finding, error) {
-	var out []Finding
+// Session is a multi-package, multi-analyzer driver run: it owns the
+// fact store and the per-package analyzer results, so facts exported
+// while analyzing a dependency are importable when its dependents are
+// analyzed, and a `Requires` result is computed once per (analyzer,
+// package) no matter how many dependents ask for it. Feed packages in
+// dependency order (the go list loader already yields them that way)
+// for cross-package facts to flow forward.
+type Session struct {
+	store   *factStore
+	results map[resultKey]interface{}
+}
+
+type resultKey struct {
+	analyzer *Analyzer
+	pkgPath  string
+}
+
+// NewSession returns an empty driver session.
+func NewSession() *Session {
+	return &Session{
+		store:   newFactStore(),
+		results: make(map[resultKey]interface{}),
+	}
+}
+
+// expand returns the transitive Requires closure of analyzers in a
+// topological order (dependencies first), rejecting cycles.
+func expand(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var order []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(a *Analyzer, path []string) error
+	visit = func(a *Analyzer, path []string) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle: %s -> %s",
+				joinPath(path), a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req, append(path, a.Name)); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
 	for _, a := range analyzers {
+		if err := visit(a, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func joinPath(path []string) string {
+	out := ""
+	for i, p := range path {
+		if i > 0 {
+			out += " -> "
+		}
+		out += p
+	}
+	return out
+}
+
+// RunPackage applies analyzers (plus their Requires closure) to one
+// loaded package and returns the findings sorted by position. Only
+// diagnostics from the requested analyzers are returned; analyzers run
+// purely as dependencies stay silent.
+func (s *Session) RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	order, err := expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	requested := make(map[*Analyzer]bool, len(analyzers))
+	for _, a := range analyzers {
+		requested[a] = true
+	}
+	s.store.hashes[pkg.ImportPath] = pkg.Hash
+
+	var out []Finding
+	for _, a := range order {
+		key := resultKey{a, pkg.ImportPath}
+		if _, done := s.results[key]; done && !requested[a] {
+			continue // dependency already computed for this package
+		}
+		a := a
 		pass := &Pass{
 			Analyzer:   a,
 			Fset:       fset,
@@ -43,12 +129,20 @@ func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*Analyzer) (
 			Pkg:        pkg.Types,
 			TypesInfo:  pkg.Info,
 			TypesSizes: nil,
+			ResultOf:   make(map[*Analyzer]interface{}, len(a.Requires)),
 		}
-		name := a.Name
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = s.results[resultKey{req, pkg.ImportPath}]
+		}
+		s.installFactHooks(pass)
+		report := requested[a]
 		pass.Report = func(d Diagnostic) {
+			if !report {
+				return
+			}
 			p := fset.Position(d.Pos)
 			out = append(out, Finding{
-				Analyzer: name,
+				Analyzer: a.Name,
 				Category: d.Category,
 				Position: p,
 				File:     p.Filename,
@@ -60,24 +154,96 @@ func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*Analyzer) (
 				fset:     fset,
 			})
 		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %v", name, pkg.ImportPath, err)
+		// A requested analyzer that already ran silently as a dependency
+		// runs again here to surface its diagnostics; fact export is
+		// idempotent for identical values, so the store stays coherent.
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 		}
+		s.results[key] = res
 	}
 	sortFindings(out)
 	return out, nil
 }
 
+// installFactHooks binds the pass's fact methods to the session store.
+func (s *Session) installFactHooks(pass *Pass) {
+	a, own := pass.Analyzer, pass.Pkg
+	pass.exportObjectFact = func(obj types.Object, fact Fact) error {
+		if obj == nil || obj.Pkg() != own {
+			return fmt.Errorf("cannot export fact on object outside the package under analysis")
+		}
+		key, ok := objKey(obj)
+		if !ok {
+			// Only package-scope declarations, methods, and fields of
+			// named structs have stable keys. Anything else (locals,
+			// anonymous-struct fields) cannot be referenced from another
+			// package, so dropping the fact is harmless: analyzers track
+			// intra-package state locally.
+			return nil
+		}
+		return s.store.export(a, own, key, fact)
+	}
+	pass.importObjectFact = func(obj types.Object, fact Fact) bool {
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		key, ok := objKey(obj)
+		if !ok {
+			return false
+		}
+		return s.store.lookup(a, obj.Pkg().Path(), key, fact)
+	}
+	pass.exportPackageFact = func(fact Fact) error {
+		return s.store.export(a, own, "", fact)
+	}
+	pass.importPackageFact = func(pkg *types.Package, fact Fact) bool {
+		if pkg == nil {
+			return false
+		}
+		return s.store.lookup(a, pkg.Path(), "", fact)
+	}
+	pass.allObjectFacts = func() []ObjectFact { return s.store.allObjectFacts(a) }
+	pass.allPackageFacts = func() []PackageFact { return s.store.allPackageFacts(a) }
+}
+
+// SealPackage serializes every analyzer's facts for one analyzed
+// package into a single blob, keyed to the loader's source hash. The
+// blob round-trips through RestorePackage in a later session, so fact
+// computation for stable dependencies can be skipped.
+func (s *Session) SealPackage(pkgPath string) ([]byte, error) {
+	return s.store.seal(pkgPath, s.store.hashes[pkgPath])
+}
+
+// RestorePackage installs a previously sealed fact blob for pkg. It
+// fails with ErrStaleFacts when pkg's current source hash differs from
+// the one the blob was sealed against: stale facts are never reused.
+func (s *Session) RestorePackage(pkg *load.Package, blob []byte) error {
+	return s.store.restore(pkg.Types, pkg.Hash, blob)
+}
+
+// RunPackage applies analyzers to one loaded package in a fresh
+// single-package session; cross-package facts do not flow. Kept for
+// callers that analyze packages in isolation.
+func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	return NewSession().RunPackage(fset, pkg, analyzers)
+}
+
 // Run loads patterns from dir and applies analyzers to every matched
-// package.
+// package in one session. go list yields dependencies before
+// dependents, so each package's facts are sealed before any dependent
+// imports them — the load is performed once and shared by the whole
+// analyzer suite (the `make lint` runtime budget rests on that).
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
 	prog, err := load.Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	session := NewSession()
 	var all []Finding
 	for _, pkg := range prog.Packages {
-		fs, err := RunPackage(prog.Fset, pkg, analyzers)
+		fs, err := session.RunPackage(prog.Fset, pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}

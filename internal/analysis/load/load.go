@@ -13,6 +13,7 @@ package load
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -41,6 +42,10 @@ type Package struct {
 	// requested patterns; they are type-checked without function bodies
 	// and carry no syntax or info maps.
 	DepOnly bool
+	// Hash fingerprints the package's source (file names and contents).
+	// The analysis fact cache keys sealed fact blobs on it: a blob
+	// sealed against one hash is stale for any other.
+	Hash string
 
 	Syntax []*ast.File
 	Types  *types.Package
@@ -51,8 +56,13 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package // target packages, in go list order
-	byPath   map[string]*types.Package
-	dir      string
+	// SrcRoot, when set, names a GOPATH-style source root (an
+	// analysistest testdata/src directory): imports that go list cannot
+	// resolve are looked up as SrcRoot/<importpath> ad-hoc packages, so
+	// multi-package fixtures can import their siblings by bare path.
+	SrcRoot string
+	byPath  map[string]*types.Package
+	dir     string
 }
 
 // listedPackage mirrors the `go list -json` fields we consume.
@@ -141,6 +151,25 @@ func (p *Program) ensure(path string) error {
 	if _, ok := p.byPath[path]; ok {
 		return nil
 	}
+	// A sibling fixture package under the GOPATH-style source root wins
+	// over go list: testdata packages are not addressable by module
+	// path, and dependency-fixture bodies must be fully checked so the
+	// analyzers can compute facts over them.
+	if p.SrcRoot != "" {
+		dir := filepath.Join(p.SrcRoot, filepath.FromSlash(path))
+		if entries, err := os.ReadDir(dir); err == nil {
+			var files []string
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					files = append(files, e.Name())
+				}
+			}
+			if len(files) > 0 {
+				_, err := p.CheckAdHoc(path, dir, files)
+				return err
+			}
+		}
+	}
 	listed, err := goList(p.dir, []string{path})
 	if err != nil {
 		return err
@@ -193,9 +222,31 @@ func (p *Program) check(lp *listedPackage) error {
 	if !lp.DepOnly {
 		pkg.Syntax = files
 		pkg.Info = info
+		pkg.Hash = sourceHash(lp.Dir, lp.GoFiles)
 		p.Packages = append(p.Packages, pkg)
 	}
 	return nil
+}
+
+// sourceHash fingerprints a package's source files: names and contents
+// in sorted order. An unreadable file contributes its error string, so
+// the hash still changes when a file vanishes mid-run.
+func sourceHash(dir string, goFiles []string) string {
+	names := append([]string(nil), goFiles...)
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			io.WriteString(h, err.Error())
+		} else {
+			h.Write(data)
+		}
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 func (p *Program) typeCheck(path string, files []*ast.File, depOnly bool) (*types.Package, *types.Info, error) {
@@ -272,6 +323,9 @@ func (p *Program) CheckAdHoc(importPath, dir string, filenames []string) (*Packa
 	if len(files) > 0 {
 		name = files[0].Name.Name
 	}
+	// Register so sibling ad-hoc packages (and the fact store) can
+	// resolve this package by its import path.
+	p.byPath[importPath] = tpkg
 	return &Package{
 		ImportPath: importPath,
 		Name:       name,
@@ -280,6 +334,7 @@ func (p *Program) CheckAdHoc(importPath, dir string, filenames []string) (*Packa
 		Syntax:     files,
 		Types:      tpkg,
 		Info:       info,
+		Hash:       sourceHash(dir, filenames),
 	}, nil
 }
 

@@ -8,21 +8,33 @@ package analyzers
 
 import (
 	"smores/internal/analysis"
+	"smores/internal/analyzers/atomicmix"
 	"smores/internal/analyzers/codebookconst"
+	"smores/internal/analyzers/detorder"
 	"smores/internal/analyzers/floateq"
 	"smores/internal/analyzers/hotpathalloc"
 	"smores/internal/analyzers/nilsafeobs"
+	"smores/internal/analyzers/seedderive"
 	"smores/internal/analyzers/statsmirror"
+	"smores/internal/analyzers/wallclock"
+	"smores/internal/analyzers/zeroonerr"
 )
 
 // All returns the full SMOREs analyzer suite in stable name order.
+// The internal callgraph pass is not listed: it reports nothing and
+// runs implicitly wherever an analyzer Requires it.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		codebookconst.Analyzer,
+		detorder.Analyzer,
 		floateq.Analyzer,
 		hotpathalloc.Analyzer,
 		nilsafeobs.Analyzer,
+		seedderive.Analyzer,
 		statsmirror.Analyzer,
+		wallclock.Analyzer,
+		zeroonerr.Analyzer,
 	}
 }
 

@@ -9,6 +9,11 @@
 //	//smores:allowalloc reason  — line-level opt-out for hotpathalloc
 //	//smores:prealloc reason    — line-level append opt-out for hotpathalloc
 //	//smores:codebook k=v ...   — const-level marker for codebookconst
+//	//smores:anyorder reason    — range/func-level opt-out for detorder
+//	//smores:partialok reason   — return/func-level opt-out for zeroonerr
+//	//smores:seedok reason      — line-level opt-out for seedderive
+//	//smores:realtime reason    — line-level opt-out for wallclock
+//	//smores:plainaccess reason — line-level opt-out for atomicmix
 //
 // Declaration markers live in doc comments; line markers may trail the
 // offending line or sit alone on the line directly above it.
@@ -92,6 +97,25 @@ func (l *Lines) Allows(fset *token.FileSet, pos token.Pos, names ...string) bool
 		}
 	}
 	return false
+}
+
+// Find returns the payload of the directive named name annotating the
+// given position (same line or the line above), and whether one exists.
+// Analyzers that demand a documented reason use this instead of Allows:
+// a bare directive is present but has an empty payload.
+func (l *Lines) Find(fset *token.FileSet, pos token.Pos, name string) (string, bool) {
+	line := fset.Position(pos).Line
+	for _, cand := range [2]int{line, line - 1} {
+		for _, text := range l.byLine[cand] {
+			if text == name {
+				return "", true
+			}
+			if strings.HasPrefix(text, name+" ") || strings.HasPrefix(text, name+"\t") {
+				return strings.TrimSpace(text[len(name):]), true
+			}
+		}
+	}
+	return "", false
 }
 
 // Fields parses "k=v k2=v2 flag" directive payloads into a map; bare

@@ -1,0 +1,28 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicmix.Analyzer, "a")
+}
+
+// TestCrossPackageFacts proves the registry pattern: dep owns atomically
+// updated state, and package b's plain reads are flagged only because
+// dep's AtomicFacts crossed the package boundary.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicmix.Analyzer, "dep", "b")
+}
+
+// TestCrossPackageFactsRequired asserts the inverse: analyzing b in a
+// fresh session, without dep's facts, must produce no findings.
+func TestCrossPackageFactsRequired(t *testing.T) {
+	findings := analysistest.RunExpectingNoWants(t, analysistest.TestData(), atomicmix.Analyzer, "b")
+	if len(findings) != 0 {
+		t.Errorf("package b reported %d findings without dep's facts; cross-package wants are vacuous: %v", len(findings), findings)
+	}
+}

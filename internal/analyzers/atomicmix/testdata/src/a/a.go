@@ -1,0 +1,41 @@
+// Package a exercises the atomicmix analyzer within one package.
+package a
+
+import "sync/atomic"
+
+// Counter mixes an atomically updated field with plain accesses.
+type Counter struct {
+	hits  int64
+	name  string
+	ticks atomic.Int64 // typed atomics have no plain accessors: never tracked
+}
+
+var total int64
+
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&total, 1)
+	c.ticks.Add(1)
+}
+
+func (c *Counter) Bad() int64 {
+	c.hits = 0       // want `field hits is accessed with sync/atomic: this plain write races`
+	c.hits++         // want `field hits is accessed with sync/atomic: this plain write races`
+	total = 5        // want `variable total is accessed with sync/atomic: this plain write races`
+	v := c.hits      // want `field hits is accessed with sync/atomic: this plain read races`
+	return v + total // want `variable total is accessed with sync/atomic: this plain read races`
+}
+
+func (c *Counter) Good() int64 {
+	c.name = "ok" // untracked field: plain access is fine
+	p := &c.hits  // address-taking is assumed to feed an atomic op
+	_ = p
+	//smores:plainaccess constructor runs before the counter is shared
+	c.hits = 0
+	return atomic.LoadInt64(&c.hits) + atomic.LoadInt64(&total) + c.ticks.Load()
+}
+
+// fresh initializes via composite literal before publication: exempt.
+func fresh() *Counter {
+	return &Counter{hits: 0, name: "new"}
+}

@@ -1,0 +1,12 @@
+// Package b is the dependent side of the cross-package fixture: it
+// never touches sync/atomic itself, so every diagnostic below exists
+// only because dep's AtomicFacts crossed the package boundary.
+package b
+
+import "dep"
+
+func Read(g *dep.Gauge) int64 {
+	v := g.Value       // want `field Value is accessed with sync/atomic: this plain read races`
+	v += dep.Published // want `variable Published is accessed with sync/atomic: this plain read races`
+	return v
+}

@@ -1,0 +1,19 @@
+// Package dep is the dependency side of the cross-package fixture: the
+// registry pattern, where this package owns atomically updated state
+// and dependents must not read it plainly.
+package dep
+
+import "sync/atomic"
+
+// Gauge is updated atomically by this package.
+type Gauge struct {
+	Value int64
+}
+
+// Published is a package-level counter updated atomically.
+var Published int64
+
+func Bump(g *Gauge) {
+	atomic.AddInt64(&g.Value, 1)
+	atomic.AddInt64(&Published, 1)
+}

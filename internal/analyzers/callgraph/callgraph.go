@@ -1,0 +1,117 @@
+// Package callgraph computes a package's static call graph once per
+// package, as a result-only analyzer: it reports no diagnostics, and
+// dependent analyzers (hotpathalloc, zeroonerr) receive the *Graph via
+// Pass.ResultOf instead of each re-walking every function body. Only
+// statically resolvable callees appear — direct calls to package-level
+// functions and concrete method values; calls through interfaces,
+// function-typed variables, and builtins are not edges.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smores/internal/analysis"
+)
+
+// Analyzer is the callgraph pass. It is not part of the user-facing
+// suite; it exists to be Required.
+var Analyzer = &analysis.Analyzer{
+	Name: "callgraph",
+	Doc:  "compute the package's static call graph for dependent analyzers",
+	Run:  run,
+}
+
+// Site is one resolved call expression inside a function body.
+type Site struct {
+	Call   *ast.CallExpr
+	Callee *types.Func // never nil
+}
+
+// FuncNode is one declared function or method with its resolved calls.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	File *ast.File
+	// Sites lists every statically resolved call in body order,
+	// including repeats of the same callee.
+	Sites []Site
+}
+
+// Callees returns the node's distinct callees in first-call order.
+func (n *FuncNode) Callees() []*types.Func {
+	seen := make(map[*types.Func]bool, len(n.Sites))
+	out := make([]*types.Func, 0, len(n.Sites))
+	for _, s := range n.Sites {
+		if !seen[s.Callee] {
+			seen[s.Callee] = true
+			out = append(out, s.Callee)
+		}
+	}
+	return out
+}
+
+// Graph is the package's static call graph.
+type Graph struct {
+	byFn  map[*types.Func]*FuncNode
+	order []*FuncNode // declaration order, for deterministic iteration
+}
+
+// All returns every declared function in declaration order.
+func (g *Graph) All() []*FuncNode { return g.order }
+
+// Node returns the node for fn, or nil when fn is not declared in this
+// package (or has no body).
+func (g *Graph) Node(fn *types.Func) *FuncNode { return g.byFn[fn] }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := &Graph{byFn: make(map[*types.Func]*FuncNode)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Decl: fd, File: file}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(pass.TypesInfo, call); callee != nil {
+					node.Sites = append(node.Sites, Site{Call: call, Callee: callee})
+				}
+				return true
+			})
+			g.byFn[fn] = node
+			g.order = append(g.order, node)
+		}
+	}
+	return g, nil
+}
+
+// StaticCallee resolves a call expression to the function or concrete
+// method it statically invokes, or nil (interface dispatch, function
+// values, builtins, conversions).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

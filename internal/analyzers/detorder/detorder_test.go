@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detorder.Analyzer, "a")
+}

@@ -1,7 +1,7 @@
 // Package hotpathalloc defines an Analyzer that pins the simulator's
 // zero-alloc hot path at the AST level. Functions annotated
-// //smores:hotpath — and every function in the same package they
-// statically call — may not:
+// //smores:hotpath — and every function they statically reach — may
+// not:
 //
 //   - call into package fmt (formatting allocates and boxes);
 //   - call append (every hot-path buffer must be pre-sized; appends into
@@ -14,9 +14,22 @@
 //     assignments, and returns whose target is an interface type);
 //   - defer inside a loop (per-iteration defer allocations).
 //
+// Arguments of panic(...) are exempt: a panicking path terminates the
+// run, so its formatting cost never lands on a surviving hot path.
+//
+// Reach is cross-package: while analyzing each package the analyzer
+// exports an AllocFact summarizing every function that allocates on
+// some path (directly or via its own callees), and when a hot function
+// calls into an imported function carrying such a fact, the call site
+// is reported. Same-package callees are still checked body-by-body, so
+// the diagnostic lands on the offending statement when the source is in
+// hand and on the call site when only the dependency's fact is.
+//
 // Individual statements opt out with //smores:allowalloc <reason> on the
 // offending line (or the line above); cold error-validation branches at
-// the top of hot functions are the intended use.
+// the top of hot functions are the intended use. A whole function opts
+// out (and keeps its callers' summaries clean) with a doc-comment
+// //smores:allowalloc <reason>.
 //
 // The PR-3 speedup (-66% allocs, docs/PERFORMANCE.md) is runtime-gated
 // by TestExactSteadyStateAllocFree; this analyzer catches the same
@@ -24,127 +37,208 @@
 package hotpathalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 
 	"smores/internal/analysis"
 	"smores/internal/analyzers/annot"
+	"smores/internal/analyzers/callgraph"
 )
 
 // Analyzer is the hotpathalloc pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotpathalloc",
-	Doc:  "forbid allocation and nondeterminism patterns in //smores:hotpath functions and their intra-package callees",
-	Run:  run,
+	Name:      "hotpathalloc",
+	Doc:       "forbid allocation and nondeterminism patterns in //smores:hotpath functions and everything they statically reach, across package boundaries via facts",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*AllocFact)(nil)},
 }
 
-type funcInfo struct {
-	decl *ast.FuncDecl
-	file *ast.File
-	root *types.Func // nearest hotpath root that reaches this function
+// AllocFact summarizes a function that allocates on some path: each
+// reason is a compact human-readable cause, transitive causes prefixed
+// with the callee chain. Exported for every allocating function of an
+// analyzed package so dependent packages' hot paths can refuse to call
+// it.
+type AllocFact struct {
+	Reasons []string
+}
+
+// AFact marks AllocFact as a fact type.
+func (*AllocFact) AFact() {}
+
+func (f *AllocFact) String() string { return fmt.Sprintf("allocates: %v", f.Reasons) }
+
+// maxSummaryReasons caps an exported fact's size; the first reason is
+// what call-site diagnostics quote.
+const maxSummaryReasons = 4
+
+// violation is one rule breach inside a function body: msg is the full
+// hot-path diagnostic (without the via-root suffix), short the compact
+// form used in exported fact summaries.
+type violation struct {
+	rng   analysis.Range
+	msg   string
+	short string
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	funcs := make(map[*types.Func]*funcInfo)
-	lines := make(map[*ast.File]*annot.Lines)
-	var roots []*types.Func
+	graph, ok := pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph)
+	if !ok || graph == nil {
+		return nil, fmt.Errorf("hotpathalloc: missing callgraph result")
+	}
 
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	lines := make(map[*ast.File]*annot.Lines)
+	fileLines := func(f *ast.File) *annot.Lines {
+		l := lines[f]
+		if l == nil {
+			l = annot.FileLines(pass.Fset, f)
+			lines[f] = l
+		}
+		return l
+	}
+
+	// Collect local violations for every function (annotation-filtered
+	// at the site level, so opted-out statements never poison
+	// summaries). Functions with a doc-level allowalloc contribute
+	// nothing.
+	viols := make(map[*types.Func][]violation)
+	docAllowed := make(map[*types.Func]bool)
+	for _, node := range graph.All() {
+		if annot.Has(node.Decl.Doc, "allowalloc") {
+			docAllowed[node.Fn] = true
+			continue
+		}
+		viols[node.Fn] = collect(pass, node, fileLines(node.File))
+	}
+
+	// Summarize transitively (memoized DFS over the static call graph;
+	// cycles contribute nothing beyond their members' local sites) and
+	// export an AllocFact per allocating function, hot or not — the
+	// facts are what dependent packages' hot paths consume.
+	memo := make(map[*types.Func][]string)
+	state := make(map[*types.Func]int) // 0 new, 1 visiting, 2 done
+	var summarize func(fn *types.Func) []string
+	summarize = func(fn *types.Func) []string {
+		if state[fn] != 0 {
+			return memo[fn] // visiting → nil, done → summary
+		}
+		state[fn] = 1
+		node := graph.Node(fn)
+		var reasons []string
+		if node != nil && !docAllowed[fn] {
+			for _, v := range viols[fn] {
+				reasons = append(reasons, v.short)
 			}
-			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			funcs[fn] = &funcInfo{decl: fd, file: file}
-			if annot.Has(fd.Doc, "hotpath") {
-				roots = append(roots, fn)
+			for _, callee := range node.Callees() {
+				if len(reasons) >= maxSummaryReasons {
+					break
+				}
+				switch {
+				case callee.Pkg() == pass.Pkg:
+					if sub := summarize(callee); len(sub) > 0 {
+						reasons = append(reasons, "calls "+callee.Name()+", which "+sub[0])
+					}
+				case callee.Pkg() != nil:
+					var fact AllocFact
+					if pass.ImportObjectFact(callee, &fact) && len(fact.Reasons) > 0 {
+						reasons = append(reasons, "calls "+callee.Pkg().Name()+"."+callee.Name()+", which "+fact.Reasons[0])
+					}
+				}
 			}
 		}
+		if len(reasons) > maxSummaryReasons {
+			reasons = reasons[:maxSummaryReasons]
+		}
+		memo[fn] = reasons
+		state[fn] = 2
+		return reasons
 	}
-	if len(roots) == 0 {
-		return nil, nil
+	for _, node := range graph.All() {
+		if reasons := summarize(node.Fn); len(reasons) > 0 {
+			pass.ExportObjectFact(node.Fn, &AllocFact{Reasons: reasons})
+		}
 	}
 
-	// Propagate hotness through the intra-package static call graph.
-	queue := make([]*types.Func, 0, len(roots))
-	for _, r := range roots {
-		funcs[r].root = r
-		queue = append(queue, r)
+	// Hot set: annotated roots plus everything they reach inside this
+	// package (cross-package reach is covered by the facts above).
+	root := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, node := range graph.All() {
+		if annot.Has(node.Decl.Doc, "hotpath") {
+			root[node.Fn] = node.Fn
+			queue = append(queue, node.Fn)
+		}
+	}
+	if len(queue) == 0 {
+		return nil, nil
 	}
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		info := funcs[fn]
-		for _, callee := range staticCallees(pass, info.decl) {
-			ci, ok := funcs[callee]
-			if !ok || ci.root != nil {
+		node := graph.Node(fn)
+		if node == nil {
+			continue
+		}
+		for _, callee := range node.Callees() {
+			if callee.Pkg() != pass.Pkg {
 				continue
 			}
-			ci.root = info.root
+			if _, seen := root[callee]; seen || graph.Node(callee) == nil {
+				continue
+			}
+			root[callee] = root[fn]
 			queue = append(queue, callee)
 		}
 	}
 
-	for fn, info := range funcs {
-		if info.root == nil {
+	for _, node := range graph.All() {
+		r, hot := root[node.Fn]
+		if !hot || docAllowed[node.Fn] {
 			continue
 		}
-		l := lines[info.file]
-		if l == nil {
-			l = annot.FileLines(pass.Fset, info.file)
-			lines[info.file] = l
+		via := ""
+		if r != node.Fn {
+			via = " (reached from //smores:hotpath root " + r.Name() + ")"
 		}
-		checkFunc(pass, fn, info, l)
+		for _, v := range viols[node.Fn] {
+			pass.ReportRangef(v.rng, "%s%s", v.msg, via)
+		}
+		// Cross-package calls: the callee's body is out of reach, its
+		// fact is not.
+		l := fileLines(node.File)
+		reported := make(map[*types.Func]bool)
+		for _, site := range node.Sites {
+			callee := site.Callee
+			if callee.Pkg() == pass.Pkg || callee.Pkg() == nil || reported[callee] {
+				continue
+			}
+			var fact AllocFact
+			if !pass.ImportObjectFact(callee, &fact) || len(fact.Reasons) == 0 {
+				continue
+			}
+			if l.Allows(pass.Fset, site.Call.Pos(), "allowalloc", "prealloc") {
+				continue
+			}
+			reported[callee] = true
+			pass.ReportRangef(site.Call, "hot path %s calls %s.%s, which allocates: %s%s",
+				node.Fn.Name(), callee.Pkg().Name(), callee.Name(), fact.Reasons[0], via)
+		}
 	}
 	return nil, nil
 }
 
-// staticCallees resolves the package-local functions fd calls directly.
-func staticCallees(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Func {
-	var out []*types.Func
-	seen := make(map[*types.Func]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		var obj types.Object
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			obj = pass.TypesInfo.Uses[fun]
-		case *ast.SelectorExpr:
-			if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
-				obj = sel.Obj()
-			} else {
-				obj = pass.TypesInfo.Uses[fun.Sel]
-			}
-		}
-		if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg && !seen[fn] {
-			seen[fn] = true
-			out = append(out, fn)
-		}
-		return true
-	})
-	return out
-}
-
-// checkFunc applies every hot-path rule to one function body.
-func checkFunc(pass *analysis.Pass, fn *types.Func, info *funcInfo, lines *annot.Lines) {
-	via := ""
-	if info.root != fn {
-		via = " (reached from //smores:hotpath root " + info.root.Name() + ")"
-	}
+// collect applies every hot-path rule to one function body and returns
+// the violations (annotation-filtered).
+func collect(pass *analysis.Pass, node *callgraph.FuncNode, lines *annot.Lines) []violation {
+	fn := node.Fn
+	var out []violation
 	allowed := func(pos token.Pos, names ...string) bool {
 		return lines.Allows(pass.Fset, pos, names...)
 	}
-	report := func(rng analysis.Range, format string, args ...interface{}) {
-		args = append(args, via)
-		pass.ReportRangef(rng, format+"%s", args...)
+	add := func(rng analysis.Range, short, format string, args ...interface{}) {
+		out = append(out, violation{rng: rng, short: short, msg: fmt.Sprintf(format, args...)})
 	}
 
 	var loopDepth int
@@ -156,7 +250,8 @@ func checkFunc(pass *analysis.Pass, fn *types.Func, info *funcInfo, lines *annot
 				if tv, ok := pass.TypesInfo.Types[r.X]; ok {
 					if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
 						!allowed(r.Pos(), "allowalloc") {
-						report(r, "hot path %s ranges over a map (iteration-order nondeterminism breaks bit-identical gates)", fn.Name())
+						add(r, "ranges over a map",
+							"hot path %s ranges over a map (iteration-order nondeterminism breaks bit-identical gates)", fn.Name())
 					}
 				}
 			}
@@ -181,25 +276,34 @@ func checkFunc(pass *analysis.Pass, fn *types.Func, info *funcInfo, lines *annot
 
 		case *ast.DeferStmt:
 			if loopDepth > 0 && !allowed(e.Pos(), "allowalloc") {
-				report(e, "hot path %s defers inside a loop (per-iteration allocation)", fn.Name())
+				add(e, "defers in a loop",
+					"hot path %s defers inside a loop (per-iteration allocation)", fn.Name())
 			}
 
 		case *ast.CompositeLit:
 			if tv, ok := pass.TypesInfo.Types[e]; ok {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
 					!allowed(e.Pos(), "allowalloc") {
-					report(e, "hot path %s builds a map literal", fn.Name())
+					add(e, "builds a map literal", "hot path %s builds a map literal", fn.Name())
 				}
 			}
 
 		case *ast.CallExpr:
-			checkCall(pass, fn, e, allowed, report)
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					// A panic terminates the run; the formatting and boxing
+					// inside its argument never execute on a surviving hot
+					// path, so the whole subtree is exempt.
+					return false
+				}
+			}
+			checkCall(pass, fn, e, allowed, add)
 
 		case *ast.AssignStmt:
 			if len(e.Lhs) == len(e.Rhs) {
 				for i := range e.Lhs {
 					lt := pass.TypesInfo.Types[e.Lhs[i]].Type
-					checkBoxing(pass, fn, e.Rhs[i], lt, allowed, report)
+					checkBoxing(pass, fn, e.Rhs[i], lt, allowed, add)
 				}
 			}
 
@@ -207,20 +311,21 @@ func checkFunc(pass *analysis.Pass, fn *types.Func, info *funcInfo, lines *annot
 			sig := fn.Type().(*types.Signature)
 			if sig.Results().Len() == len(e.Results) {
 				for i, res := range e.Results {
-					checkBoxing(pass, fn, res, sig.Results().At(i).Type(), allowed, report)
+					checkBoxing(pass, fn, res, sig.Results().At(i).Type(), allowed, add)
 				}
 			}
 		}
 		return true
 	}
-	ast.Inspect(info.decl.Body, walk)
+	ast.Inspect(node.Decl.Body, walk)
+	return out
 }
 
 // checkCall flags fmt usage, capacity-less appends, make(map), and
 // boxing at interface-typed parameters.
 func checkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr,
 	allowed func(token.Pos, ...string) bool,
-	report func(analysis.Range, string, ...interface{})) {
+	add func(analysis.Range, string, string, ...interface{})) {
 
 	fun := ast.Unparen(call.Fun)
 
@@ -230,14 +335,15 @@ func checkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr,
 			switch b.Name() {
 			case "append":
 				if !allowed(call.Pos(), "prealloc", "allowalloc") {
-					report(call, "hot path %s calls append without a documented capacity reserve (annotate //smores:prealloc after pre-sizing)", fn.Name())
+					add(call, "calls append without a capacity reserve",
+						"hot path %s calls append without a documented capacity reserve (annotate //smores:prealloc after pre-sizing)", fn.Name())
 				}
 			case "make":
 				if len(call.Args) > 0 {
 					if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
 						if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
 							!allowed(call.Pos(), "allowalloc") {
-							report(call, "hot path %s allocates a map", fn.Name())
+							add(call, "allocates a map", "hot path %s allocates a map", fn.Name())
 						}
 					}
 				}
@@ -247,20 +353,11 @@ func checkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr,
 	}
 
 	// Calls into package fmt.
-	var callee *types.Func
-	switch f := fun.(type) {
-	case *ast.Ident:
-		callee, _ = pass.TypesInfo.Uses[f].(*types.Func)
-	case *ast.SelectorExpr:
-		if sel, ok := pass.TypesInfo.Selections[f]; ok && sel.Kind() == types.MethodVal {
-			callee, _ = sel.Obj().(*types.Func)
-		} else {
-			callee, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
-		}
-	}
+	callee := callgraph.StaticCallee(pass.TypesInfo, call)
 	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
 		if !allowed(call.Pos(), "allowalloc") {
-			report(call, "hot path %s calls fmt.%s (formatting allocates; move it off the hot path)", fn.Name(), callee.Name())
+			add(call, "calls fmt."+callee.Name(),
+				"hot path %s calls fmt.%s (formatting allocates; move it off the hot path)", fn.Name(), callee.Name())
 		}
 		return // don't double-report the args' boxing into ...any
 	}
@@ -285,7 +382,7 @@ func checkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr,
 		case i < sig.Params().Len():
 			pt = sig.Params().At(i).Type()
 		}
-		checkBoxing(pass, fn, arg, pt, allowed, report)
+		checkBoxing(pass, fn, arg, pt, allowed, add)
 	}
 }
 
@@ -293,7 +390,7 @@ func checkCall(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr,
 // converted to the interface type dst.
 func checkBoxing(pass *analysis.Pass, fn *types.Func, src ast.Expr, dst types.Type,
 	allowed func(token.Pos, ...string) bool,
-	report func(analysis.Range, string, ...interface{})) {
+	add func(analysis.Range, string, string, ...interface{})) {
 
 	if dst == nil {
 		return
@@ -318,7 +415,9 @@ func checkBoxing(pass *analysis.Pass, fn *types.Func, src ast.Expr, dst types.Ty
 		return
 	}
 	if !allowed(src.Pos(), "allowalloc") {
-		report(src, "hot path %s boxes concrete %s into %s (allocates an interface payload)",
-			fn.Name(), types.TypeString(st, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+		srcStr := types.TypeString(st, types.RelativeTo(pass.Pkg))
+		dstStr := types.TypeString(dst, types.RelativeTo(pass.Pkg))
+		add(src, "boxes "+srcStr+" into "+dstStr,
+			"hot path %s boxes concrete %s into %s (allocates an interface payload)", fn.Name(), srcStr, dstStr)
 	}
 }

@@ -10,3 +10,22 @@ import (
 func TestHotPathAlloc(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), hotpathalloc.Analyzer, "a")
 }
+
+// TestCrossPackageFacts is the fact-plumbing proof for the acceptance
+// gate: package hot's diagnostics fire only when dep's AllocFacts cross
+// the package boundary. dep is listed first, exactly as the real driver
+// feeds dependencies before dependents.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpathalloc.Analyzer, "dep", "hot")
+}
+
+// TestCrossPackageFactsRequired asserts the inverse: analyzing hot in a
+// fresh session, without dep's facts, must produce no cross-package
+// findings — so TestCrossPackageFacts cannot pass vacuously and fails
+// the moment the fact plumbing is removed.
+func TestCrossPackageFactsRequired(t *testing.T) {
+	findings := analysistest.RunExpectingNoWants(t, analysistest.TestData(), hotpathalloc.Analyzer, "hot")
+	if len(findings) != 0 {
+		t.Errorf("package hot reported %d findings without dep's facts; cross-package wants are vacuous: %v", len(findings), findings)
+	}
+}

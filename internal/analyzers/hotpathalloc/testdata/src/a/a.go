@@ -71,3 +71,14 @@ func AssignBox(x float64) {
 	v = x // want `hot path AssignBox boxes concrete float64 into interface\{\}`
 	_ = v
 }
+
+// Guarded panics on bad input: the panic argument's formatting and
+// boxing never run on a surviving hot path and are exempt.
+//
+//smores:hotpath
+func Guarded(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %d", x))
+	}
+	return x * 2
+}

@@ -1,0 +1,29 @@
+// Package dep is the dependency side of the cross-package fixture: it
+// has no hot paths of its own, but its allocating functions must export
+// AllocFacts for package hot's call sites to consume.
+package dep
+
+import "fmt"
+
+// Format allocates directly (fmt call).
+func Format(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+// Indirect allocates only through its callee; the fact must carry the
+// transitive reason.
+func Indirect(v int) string {
+	return Format(v + 1)
+}
+
+// Clean allocates nothing and must export no fact.
+func Clean(v int) int {
+	return v * 2
+}
+
+// Exempt allocates, but the doc-level opt-out keeps its summary empty.
+//
+//smores:allowalloc cold-path formatting, callers accept the cost
+func Exempt(v int) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,25 @@
+// Package hot is the dependent side of the cross-package fixture: its
+// hot path calls into package dep, and every diagnostic below exists
+// only because dep's AllocFacts crossed the package boundary — remove
+// the fact plumbing and this fixture fails.
+package hot
+
+import "dep"
+
+// Run is a hot-path root calling imported functions.
+//
+//smores:hotpath
+func Run(v int) int {
+	s := dep.Format(v)   // want `hot path Run calls dep\.Format, which allocates: calls fmt\.Sprintf`
+	t := dep.Indirect(v) // want `hot path Run calls dep\.Indirect, which allocates: calls Format, which calls fmt\.Sprintf`
+	u := dep.Clean(v)
+	w := dep.Exempt(v)
+	//smores:allowalloc cold reporting branch
+	x := dep.Format(v + 1)
+	return len(s) + len(t) + u + len(w) + len(x)
+}
+
+// cold never runs hot; calls into dep stay unreported.
+func cold(v int) string {
+	return dep.Format(v)
+}

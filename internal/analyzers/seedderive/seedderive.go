@@ -1,0 +1,164 @@
+// Package seedderive defines an Analyzer that keeps seed-family
+// derivation in its single owner, internal/report/seed.go. Every
+// derived seed in the harness — per-app fleet seeds, per-channel fault
+// seeds, per-(point, app) campaign seeds — must come from
+// report.DecorrelateSeed so the families stay mutually pinned and a
+// run's JSON is reproducible from its base seed alone. PR 5 shipped the
+// stride inlined in two places and they drifted; this analyzer makes
+// the single-owner rule mechanical.
+//
+// Two patterns are flagged everywhere outside seed.go:
+//
+//   - the magic constants themselves (the 1000003 stride and the 69061
+//     campaign point spacing), however they are spelled;
+//   - `seed + i*K` style arithmetic: an addition whose one operand
+//     multiplies by a constant while the other mentions a seed-named
+//     identifier.
+//
+// Opt-out: //smores:seedok <reason> on the offending line — e.g. a
+// test asserting the pinned constant from outside the package.
+package seedderive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+)
+
+// Analyzer is the seedderive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedderive",
+	Doc:  "forbid inline seed derivation outside report/seed.go (call report.DecorrelateSeed)",
+	Run:  run,
+}
+
+// ownedConstants are the seed-scheme magic numbers owned by seed.go.
+var ownedConstants = []int64{1000003, 69061} //smores:seedok the analyzer's own catalog of the owned constants
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		if pass.Pkg.Name() == "report" && strings.HasSuffix(filename, "/seed.go") {
+			continue // the single owner
+		}
+		lines := annot.FileLines(pass.Fset, file)
+		allowed := func(pos token.Pos) bool {
+			return lines.Allows(pass.Fset, pos, "seedok")
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.INT {
+					return true
+				}
+				v, ok := ownedConstant(pass, n)
+				if !ok || allowed(n.Pos()) {
+					return true
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(), End: n.End(),
+					Message: fmt.Sprintf(
+						"seed-scheme constant %d is owned by internal/report/seed.go: call report.DecorrelateSeed instead of inlining the derivation (//smores:seedok to opt out)", v),
+				})
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD {
+					return true
+				}
+				mul, other := strideOperands(n)
+				if mul == nil {
+					return true
+				}
+				// The stride term needs a constant factor; and when that
+				// factor is an owned constant, the literal case already
+				// reported — this arm catches ad-hoc strides.
+				hasConst, owned := mulOwnedConstant(pass, mul)
+				if !hasConst || owned {
+					return true
+				}
+				if !mentionsSeed(other) || allowed(n.Pos()) {
+					return true
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(), End: n.End(),
+					Message: "inline seed derivation arithmetic: call report.DecorrelateSeed so sibling seeds stay mutually pinned (//smores:seedok to opt out)",
+				})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// ownedConstant reports whether the literal's value is one of the
+// seed-scheme magic numbers.
+func ownedConstant(pass *analysis.Pass, lit *ast.BasicLit) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	for _, c := range ownedConstants {
+		if v == c {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// strideOperands splits `a + b` into the side that is a
+// constant-factored multiplication (the stride term) and the other
+// side, or (nil, nil) when neither side is one.
+func strideOperands(add *ast.BinaryExpr) (mul *ast.BinaryExpr, other ast.Expr) {
+	if m, ok := ast.Unparen(add.X).(*ast.BinaryExpr); ok && m.Op == token.MUL {
+		return m, add.Y
+	}
+	if m, ok := ast.Unparen(add.Y).(*ast.BinaryExpr); ok && m.Op == token.MUL {
+		return m, add.X
+	}
+	return nil, nil
+}
+
+// mulOwnedConstant reports whether either factor of the multiplication
+// is constant, and whether that constant is seed-scheme-owned.
+func mulOwnedConstant(pass *analysis.Pass, mul *ast.BinaryExpr) (hasConst, owned bool) {
+	for _, side := range [2]ast.Expr{mul.X, mul.Y} {
+		tv, ok := pass.TypesInfo.Types[side]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		hasConst = true
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			for _, c := range ownedConstants {
+				if v == c {
+					return true, true
+				}
+			}
+		}
+	}
+	return hasConst, false
+}
+
+// mentionsSeed reports whether any identifier in the expression is
+// seed-named.
+func mentionsSeed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok &&
+			strings.Contains(strings.ToLower(id.Name), "seed") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package seedderive_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/seedderive"
+)
+
+func TestSeedDerive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seedderive.Analyzer, "a")
+}

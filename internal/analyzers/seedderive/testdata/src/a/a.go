@@ -1,0 +1,27 @@
+// Package a exercises the seedderive analyzer.
+package a
+
+const localStride = 1000003 // want `seed-scheme constant 1000003 is owned by internal/report/seed\.go`
+
+func derive(baseSeed uint64, i int) uint64 {
+	s := baseSeed + uint64(i)*1000003 // want `seed-scheme constant 1000003 is owned by internal/report/seed\.go`
+	s += uint64(i) * 69061            // want `seed-scheme constant 69061 is owned by internal/report/seed\.go`
+	return s
+}
+
+// adHocStride inlines a derivation with a made-up spacing: still a
+// violation — sibling seeds drift from every other family.
+func adHocStride(seed uint64, i int) uint64 {
+	return seed + uint64(i)*7919 // want `inline seed derivation arithmetic`
+}
+
+// fine shows the shapes that stay legal: additions without a
+// constant-factored stride term, strides over non-seed values, and the
+// documented opt-out.
+func fine(seed uint64, i, rows int) uint64 {
+	next := seed + 1             // plain offset, no stride term
+	offset := uint64(rows*8 + i) // stride arithmetic, but nothing seed-named
+	//smores:seedok pinning the published constant in a cross-check
+	pinned := seed + uint64(i)*1000003
+	return next + offset + pinned
+}

@@ -1,0 +1,37 @@
+// Package a exercises the wallclock analyzer. Fixture packages are
+// always in scope (non-module path), so every banned call is flagged
+// unless annotated.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()             // want `reads the wall clock via time\.Now`
+	time.Sleep(time.Millisecond)    // want `reads the wall clock via time\.Sleep`
+	<-time.After(time.Second)       // want `reads the wall clock via time\.After`
+	t := time.NewTimer(time.Second) // want `reads the wall clock via time\.NewTimer`
+	defer t.Stop()
+	return time.Since(start) // want `reads the wall clock via time\.Since`
+}
+
+func globalRand() int {
+	n := rand.Intn(10) // want `calls math/rand\.Intn, which draws from the process-global generator`
+	n += rand.Int()    // want `calls math/rand\.Int, which draws from the process-global generator`
+	return n
+}
+
+// injected is the approved pattern: methods on a plumbed generator and
+// pure duration arithmetic are not flagged.
+func injected(rng *rand.Rand, d time.Duration) float64 {
+	_ = d * 2
+	_ = time.Millisecond
+	return rng.Float64() * d.Seconds()
+}
+
+func exempt() time.Time {
+	//smores:realtime progress logging only, never feeds results
+	return time.Now()
+}

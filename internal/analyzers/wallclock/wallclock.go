@@ -1,0 +1,136 @@
+// Package wallclock defines an Analyzer that keeps wall-clock time and
+// ambient randomness out of the deterministic simulation core. The
+// simulator's contract is byte-identical results for a given seed at any
+// worker count; a single time.Now() in a model package silently couples
+// results to the host, and package-level math/rand helpers draw from a
+// process-global generator whose sequence depends on goroutine
+// interleaving. Simulation code takes cycle counts from the simulated
+// clock and randomness from an explicitly plumbed, seed-derived
+// *rand.Rand.
+//
+// Scope: the simulation packages (internal/bus, internal/memctrl,
+// internal/gpu, internal/shard, internal/core, internal/fault,
+// internal/codec and their subpackages). Driver, report, and telemetry
+// packages legitimately read the host clock and are not checked.
+//
+// Opt-out: //smores:realtime <reason> on the offending line (or the
+// line above) — e.g. coarse progress logging that never feeds results.
+package wallclock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time and global rand in deterministic simulation packages",
+	Run:  run,
+}
+
+// simPrefixes are the module-relative package prefixes under the
+// determinism contract.
+var simPrefixes = []string{
+	"smores/internal/bus",
+	"smores/internal/memctrl",
+	"smores/internal/gpu",
+	"smores/internal/shard",
+	"smores/internal/core",
+	"smores/internal/fault",
+	"smores/internal/codec",
+}
+
+// bannedTime lists the time package's wall-clock entry points. Duration
+// arithmetic and constants (time.Millisecond, d.Seconds()) stay legal —
+// only functions that observe or wait on the host clock are banned.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// inScope reports whether a package path is under the determinism
+// contract. Non-module paths (analysistest fixtures) are always in
+// scope so the fixture exercises the checks directly.
+func inScope(path string) bool {
+	if path != "smores" && !strings.HasPrefix(path, "smores/") {
+		return true // fixture packages outside the module
+	}
+	for _, p := range simPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		lines := annot.FileLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass, sel)
+			if fn == nil {
+				return true
+			}
+			var msg string
+			switch path := fn.Pkg().Path(); {
+			case path == "time" && bannedTime[fn.Name()]:
+				msg = fmt.Sprintf(
+					"deterministic simulation package reads the wall clock via time.%s: take cycles from the simulated clock (//smores:realtime to opt out)",
+					fn.Name())
+			case path == "math/rand" || path == "math/rand/v2":
+				msg = fmt.Sprintf(
+					"deterministic simulation package calls %s.%s, which draws from the process-global generator: plumb a seed-derived *rand.Rand (//smores:realtime to opt out)",
+					path, fn.Name())
+			default:
+				return true
+			}
+			if lines.Allows(pass.Fset, sel.Pos(), "realtime") {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{Pos: sel.Pos(), End: sel.End(), Message: msg})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// pkgFunc resolves a selector to a package-level function (receiver-less
+// *types.Func). Methods — including rand.Rand methods on an injected
+// generator, which are exactly the approved pattern — resolve to nil.
+func pkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Func {
+	if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}

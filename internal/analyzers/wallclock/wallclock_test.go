@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer, "a")
+}

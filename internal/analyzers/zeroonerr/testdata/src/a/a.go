@@ -1,0 +1,81 @@
+// Package a exercises the zeroonerr analyzer within one package.
+// Fixture paths are outside the module, so the package is in scope.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Stats struct{ N int }
+
+// good upholds the contract on every path and earns a ZeroRetFact.
+func good(v int) (Stats, error) {
+	if v > 100 {
+		return Stats{}, errors.New("too big")
+	}
+	return Stats{N: v}, nil
+}
+
+// zeroVar returns a zero-declared, never-written variable: proven.
+func zeroVar(v int) (Stats, error) {
+	var zero Stats
+	if v < 0 {
+		return zero, errors.New("negative")
+	}
+	return Stats{N: v}, nil
+}
+
+// wrap passes through a proven callee: proven.
+func wrap(v int) (Stats, error) {
+	return good(v)
+}
+
+// pair returns a pedigreed pair co-assigned from a proven callee:
+// proven.
+func pair(v int) (Stats, error) {
+	s, err := good(v)
+	return s, err
+}
+
+// bad1 is the PR 8 bug class: a populated value rides out with the
+// error.
+func bad1(v int) (Stats, error) {
+	if v < 0 {
+		return Stats{N: v}, errors.New("negative") // want `error path returns a Stats that is not provably zero`
+	}
+	return Stats{N: v}, nil
+}
+
+// bad2 re-returns the callee's value alongside a wrapped error instead
+// of an explicit zero.
+func bad2(v int) (Stats, error) {
+	s, err := good(v)
+	if err != nil {
+		return s, fmt.Errorf("wrap: %w", err) // want `error path returns a Stats that is not provably zero`
+	}
+	return s, nil
+}
+
+// unknown cannot be proven: the callee is a function value, so the
+// returned pair has no pedigree.
+func unknown(f func() (Stats, error)) (Stats, error) {
+	s, err := f()
+	return s, err // want `cannot prove the zero-on-error contract for this return`
+}
+
+// partial opts out wholesale: no diagnostics, but no fact either.
+//
+//smores:partialok best-effort stats accompany the error by design
+func partial(v int) (Stats, error) {
+	return Stats{N: v}, errors.New("partial")
+}
+
+// lineOptOut opts out a single return.
+func lineOptOut(v int) (Stats, error) {
+	if v < 0 {
+		//smores:partialok caller inspects the partial value for diagnostics
+		return Stats{N: v}, errors.New("negative")
+	}
+	return Stats{N: v}, nil
+}

@@ -1,0 +1,20 @@
+// Package b is the dependent side of the cross-package fixture. Fed
+// and Pair are clean only because dep.Get's ZeroRetFact crossed the
+// package boundary; without it they would be unprovable (the negative
+// test in zeroonerr_test.go pins exactly that).
+package b
+
+import "dep"
+
+func Fed(v int) (dep.Result, error) {
+	return dep.Get(v)
+}
+
+func Pair(v int) (dep.Result, error) {
+	r, err := dep.Get(v)
+	return r, err
+}
+
+func Unfed(v int) (dep.Result, error) {
+	return dep.Partial(v) // want `cannot prove the zero-on-error contract for this return \(pass-through of an unproven call\)`
+}

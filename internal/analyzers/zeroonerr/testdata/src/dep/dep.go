@@ -1,0 +1,22 @@
+// Package dep is the dependency side of the cross-package fixture: Get
+// proves the contract and exports a ZeroRetFact; Partial opts out and
+// exports none.
+package dep
+
+import "errors"
+
+type Result struct{ V int }
+
+func Get(v int) (Result, error) {
+	if v < 0 {
+		return Result{}, errors.New("negative")
+	}
+	return Result{V: v}, nil
+}
+
+// Partial is exempt by design and therefore carries no fact.
+//
+//smores:partialok best-effort result accompanies the error by design
+func Partial(v int) (Result, error) {
+	return Result{V: v}, errors.New("partial")
+}

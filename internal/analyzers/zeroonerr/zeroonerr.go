@@ -1,0 +1,496 @@
+// Package zeroonerr defines an Analyzer enforcing the zero-on-error
+// return contract: a (T, error) function in the reporting and engine
+// packages must return the zero T whenever the error is non-nil. PR 8
+// shipped a bug in exactly this class — a partially populated roll-up
+// escaped alongside a non-nil error and a caller consumed it — and the
+// repo's error-handling convention since is that a non-nil error means
+// the first result carries nothing.
+//
+// The analyzer proves the contract per function and exports a
+// ZeroRetFact for every function it proves, anywhere in the tree. The
+// facts make the check interprocedural: `return v, err` where (v, err)
+// was assigned from a proven callee upholds the contract, as does a
+// `return g(...)` pass-through of a proven g — across package
+// boundaries, via facts the loader serialized for each dependency.
+//
+// Diagnostics are limited to the packages under the contract
+// (internal/report, internal/shard, internal/obs and subpackages;
+// fixture paths outside the module are always in scope). Two kinds:
+//
+//   - a return that pairs a definitely non-nil error with a non-zero
+//     first result — the PR 8 bug, stated;
+//   - a return the analyzer cannot prove either way (unknown error
+//     paired with a non-zero, non-pedigreed result) — the contract is
+//     load-bearing here, so unprovable returns must be restructured or
+//     annotated.
+//
+// Opt-out: //smores:partialok <reason> — on the function's doc comment
+// to exempt the whole function (it then exports no fact), or on a
+// return line to exempt that return.
+package zeroonerr
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smores/internal/analysis"
+	"smores/internal/analyzers/annot"
+	"smores/internal/analyzers/callgraph"
+)
+
+// ZeroRetFact marks a (T, error) function proven to return the zero T
+// whenever its error result is non-nil.
+type ZeroRetFact struct {
+	Proven bool
+}
+
+// AFact marks ZeroRetFact as a fact type.
+func (*ZeroRetFact) AFact() {}
+
+func (f *ZeroRetFact) String() string { return "zero-on-error" }
+
+// Analyzer is the zeroonerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "zeroonerr",
+	Doc:       "enforce zero-T-on-non-nil-error returns in report/shard/obs, interprocedurally via facts",
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*ZeroRetFact)(nil)},
+	Run:       run,
+}
+
+// contractPrefixes are the module-relative package prefixes the
+// diagnostics apply to. Facts are exported tree-wide regardless.
+var contractPrefixes = []string{
+	"smores/internal/report",
+	"smores/internal/shard",
+	"smores/internal/obs",
+}
+
+func inScope(path string) bool {
+	if path != "smores" && !strings.HasPrefix(path, "smores/") {
+		return true // fixture packages outside the module
+	}
+	for _, p := range contractPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+	// state: 0 unseen, 1 visiting (recursion → unproven), 2 proven,
+	// 3 unproven.
+	state map[*types.Func]int
+	diags map[*types.Func][]analysis.Diagnostic
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:  pass,
+		graph: pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph),
+		state: make(map[*types.Func]int),
+		diags: make(map[*types.Func][]analysis.Diagnostic),
+	}
+	report := inScope(pass.Pkg.Path())
+	for _, node := range c.graph.All() {
+		if c.analyze(node.Fn) {
+			pass.ExportObjectFact(node.Fn, &ZeroRetFact{Proven: true})
+		}
+		if !report {
+			continue
+		}
+		filename := pass.Fset.Position(node.Decl.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, d := range c.diags[node.Fn] {
+			pass.Report(d)
+		}
+	}
+	return nil, nil
+}
+
+// proven reports whether callee upholds the contract: local functions
+// are analyzed on demand (memoized), imported ones answer from facts.
+func (c *checker) proven(callee *types.Func) bool {
+	if callee == nil {
+		return false
+	}
+	if callee.Pkg() == c.pass.Pkg {
+		return c.analyze(callee)
+	}
+	fact := new(ZeroRetFact)
+	return c.pass.ImportObjectFact(callee, fact) && fact.Proven
+}
+
+// analyze proves or refutes fn, memoized, filling c.diags as a side
+// effect for in-scope reporting.
+func (c *checker) analyze(fn *types.Func) bool {
+	switch c.state[fn] {
+	case 1: // recursion: conservatively unproven
+		return false
+	case 2:
+		return true
+	case 3:
+		return false
+	}
+	c.state[fn] = 1
+	proven, diags := c.check(fn)
+	c.diags[fn] = diags
+	if proven {
+		c.state[fn] = 2
+	} else {
+		c.state[fn] = 3
+	}
+	return proven
+}
+
+func (c *checker) check(fn *types.Func) (bool, []analysis.Diagnostic) {
+	node := c.graph.Node(fn)
+	if node == nil {
+		return false, nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 2 || !isErrorType(sig.Results().At(1).Type()) {
+		return false, nil
+	}
+	if annot.Has(node.Decl.Doc, "partialok") {
+		return false, nil
+	}
+	lines := annot.FileLines(c.pass.Fset, node.File)
+	resultType := sig.Results().At(0).Type()
+	tname := types.TypeString(resultType, types.RelativeTo(c.pass.Pkg))
+
+	flow := collectFlow(c.pass, node.Decl.Body)
+	proven := true
+	var diags []analysis.Diagnostic
+
+	unproven := func(ret *ast.ReturnStmt, why string) {
+		proven = false
+		if lines.Allows(c.pass.Fset, ret.Pos(), "partialok") {
+			return
+		}
+		diags = append(diags, analysis.Diagnostic{
+			Pos: ret.Pos(), End: ret.End(),
+			Message: fmt.Sprintf(
+				"cannot prove the zero-on-error contract for this return (%s): on error paths return the zero %s (//smores:partialok to opt out)",
+				why, tname),
+		})
+	}
+
+	walkReturns(c.pass.TypesInfo, node.Decl.Body, make(map[types.Object]bool), func(ret *ast.ReturnStmt, guards map[types.Object]bool) {
+		switch len(ret.Results) {
+		case 2:
+			errExpr := ast.Unparen(ret.Results[1])
+			valExpr := ast.Unparen(ret.Results[0])
+			if c.definitelyNil(errExpr) || c.isZeroValue(valExpr, flow) {
+				return
+			}
+			if c.definitelyNonNil(errExpr, guards) {
+				proven = false
+				if lines.Allows(c.pass.Fset, ret.Pos(), "partialok") {
+					return
+				}
+				diags = append(diags, analysis.Diagnostic{
+					Pos: ret.Pos(), End: ret.End(),
+					Message: fmt.Sprintf(
+						"error path returns a %s that is not provably zero: return the zero %s explicitly alongside the error (//smores:partialok to opt out)",
+						tname, tname),
+				})
+				return
+			}
+			// Error nilness unknown: the pair is fine only when it is the
+			// verbatim result of a proven callee.
+			if c.pairProven(valExpr, errExpr, flow) {
+				return
+			}
+			unproven(ret, "error nilness unknown and the result is not pedigreed")
+		case 1:
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				if c.proven(callgraph.StaticCallee(c.pass.TypesInfo, call)) {
+					return
+				}
+			}
+			unproven(ret, "pass-through of an unproven call")
+		default:
+			unproven(ret, "naked return")
+		}
+	})
+	return proven, diags
+}
+
+// ---- return-path facts about the function body ----
+
+// flowInfo is one body's assignment summary: which objects are written
+// how often, which (value, err) pairs are co-assigned from which
+// callees, and which vars are declared zero and never touched.
+type flowInfo struct {
+	writes    map[types.Object]int
+	coAssigns map[[2]types.Object][]*types.Func
+	zeroDecl  map[types.Object]bool
+}
+
+func collectFlow(pass *analysis.Pass, body *ast.BlockStmt) *flowInfo {
+	f := &flowInfo{
+		writes:    make(map[types.Object]int),
+		coAssigns: make(map[[2]types.Object][]*types.Func),
+		zeroDecl:  make(map[types.Object]bool),
+	}
+	write := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				f.writes[obj]++
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				write(lhs)
+			}
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				v, okV := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+				e, okE := ast.Unparen(n.Lhs[1]).(*ast.Ident)
+				call, okC := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if okV && okE && okC {
+					vo, eo := pass.TypesInfo.ObjectOf(v), pass.TypesInfo.ObjectOf(e)
+					if vo != nil && eo != nil {
+						callee := callgraph.StaticCallee(pass.TypesInfo, call)
+						f.coAssigns[[2]types.Object{vo, eo}] = append(
+							f.coAssigns[[2]types.Object{vo, eo}], callee)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			write(n.X)
+		case *ast.RangeStmt:
+			write(n.Key)
+			write(n.Value)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				write(n.X) // address escapes: anything may write through it
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+						f.zeroDecl[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// pairProven reports whether (valExpr, errExpr) is a pair of idents
+// whose every write is a co-assignment from a contract-proven callee.
+func (c *checker) pairProven(valExpr, errExpr ast.Expr, flow *flowInfo) bool {
+	v, okV := valExpr.(*ast.Ident)
+	e, okE := errExpr.(*ast.Ident)
+	if !okV || !okE {
+		return false
+	}
+	vo, eo := c.pass.TypesInfo.ObjectOf(v), c.pass.TypesInfo.ObjectOf(e)
+	if vo == nil || eo == nil {
+		return false
+	}
+	callees := flow.coAssigns[[2]types.Object{vo, eo}]
+	if len(callees) == 0 {
+		return false
+	}
+	// No writes besides the co-assignments themselves.
+	if flow.writes[vo] != len(callees) || flow.writes[eo] != len(callees) {
+		return false
+	}
+	for _, callee := range callees {
+		if !c.proven(callee) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- expression classification ----
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func (c *checker) definitelyNil(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// definitelyNonNil recognizes freshly constructed errors and idents the
+// enclosing control flow has compared against nil.
+func (c *checker) definitelyNonNil(e ast.Expr, guards map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.ObjectOf(e)
+		return obj != nil && guards[obj]
+	case *ast.CallExpr:
+		callee := callgraph.StaticCallee(c.pass.TypesInfo, e)
+		if callee == nil || callee.Pkg() == nil {
+			return false
+		}
+		switch callee.Pkg().Path() {
+		case "errors":
+			return callee.Name() == "New" || callee.Name() == "Join"
+		case "fmt":
+			return callee.Name() == "Errorf"
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+			return lit // &myError{...}
+		}
+	}
+	return false
+}
+
+// isZeroValue recognizes expressions that are certainly the zero value
+// of their type: nil, zero constants, empty composite literals, and
+// zero-declared never-written variables.
+func (c *checker) isZeroValue(e ast.Expr, flow *flowInfo) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return true
+	}
+	if tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Int, constant.Float, constant.Complex:
+			return constant.Sign(tv.Value) == 0
+		case constant.String:
+			return constant.StringVal(tv.Value) == ""
+		case constant.Bool:
+			return !constant.BoolVal(tv.Value)
+		}
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.ObjectOf(e)
+		return obj != nil && flow.zeroDecl[obj] && flow.writes[obj] == 0
+	}
+	return false
+}
+
+// ---- control-flow walk ----
+
+// walkReturns visits every return statement of the function body itself
+// (function literals are skipped: their returns belong to the literal),
+// tracking which error-typed idents are known non-nil from enclosing
+// `if x != nil` conditions.
+func walkReturns(info *types.Info, body *ast.BlockStmt, guards map[types.Object]bool, visit func(*ast.ReturnStmt, map[types.Object]bool)) {
+	walkReturnStmts(body, guards, visit, info)
+}
+
+func walkReturnStmts(s ast.Stmt, guards map[types.Object]bool, visit func(*ast.ReturnStmt, map[types.Object]bool), info *types.Info) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ReturnStmt:
+		visit(s, guards)
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			walkReturnStmts(st, guards, visit, info)
+		}
+	case *ast.LabeledStmt:
+		walkReturnStmts(s.Stmt, guards, visit, info)
+	case *ast.IfStmt:
+		walkReturnStmts(s.Init, guards, visit, info)
+		if obj := guardedObj(info, s.Cond); obj != nil && !guards[obj] {
+			guards[obj] = true
+			walkReturnStmts(s.Body, guards, visit, info)
+			delete(guards, obj)
+		} else {
+			walkReturnStmts(s.Body, guards, visit, info)
+		}
+		walkReturnStmts(s.Else, guards, visit, info)
+	case *ast.ForStmt:
+		walkReturnStmts(s.Init, guards, visit, info)
+		walkReturnStmts(s.Post, guards, visit, info)
+		walkReturnStmts(s.Body, guards, visit, info)
+	case *ast.RangeStmt:
+		walkReturnStmts(s.Body, guards, visit, info)
+	case *ast.SwitchStmt:
+		walkReturnStmts(s.Init, guards, visit, info)
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			// `switch { case err != nil: ... }` guards within the clause.
+			obj := types.Object(nil)
+			if s.Tag == nil && len(clause.List) == 1 {
+				obj = guardedObj(info, clause.List[0])
+			}
+			if obj != nil && !guards[obj] {
+				guards[obj] = true
+			} else {
+				obj = nil
+			}
+			for _, st := range clause.Body {
+				walkReturnStmts(st, guards, visit, info)
+			}
+			if obj != nil {
+				delete(guards, obj)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		walkReturnStmts(s.Init, guards, visit, info)
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				walkReturnStmts(st, guards, visit, info)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CommClause).Body {
+				walkReturnStmts(st, guards, visit, info)
+			}
+		}
+	}
+}
+
+// guardedObj extracts x from an `x != nil` condition.
+func guardedObj(info *types.Info, cond ast.Expr) types.Object {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return nil
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,30 @@
+package zeroonerr_test
+
+import (
+	"testing"
+
+	"smores/internal/analysis/analysistest"
+	"smores/internal/analyzers/zeroonerr"
+)
+
+func TestZeroOnErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), zeroonerr.Analyzer, "a")
+}
+
+// TestCrossPackageFacts: with dep analyzed first, dep.Get's ZeroRetFact
+// proves b.Fed and b.Pair, and only the pass-through of the fact-less
+// dep.Partial is flagged.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), zeroonerr.Analyzer, "dep", "b")
+}
+
+// TestCrossPackageFactsRequired asserts the inverse: without dep's
+// facts, every function in b is unprovable — three findings instead of
+// one — so TestCrossPackageFacts demonstrably reports through the fact.
+func TestCrossPackageFactsRequired(t *testing.T) {
+	findings := analysistest.RunExpectingNoWants(t, analysistest.TestData(), zeroonerr.Analyzer, "b")
+	if len(findings) != 3 {
+		t.Errorf("package b without dep's facts: got %d findings, want 3 (Fed, Pair, Unfed all unprovable): %v",
+			len(findings), findings)
+	}
+}

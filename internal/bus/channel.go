@@ -548,6 +548,7 @@ func (ch *Channel) NeedsPostamble() bool { return ch.lastMTA }
 // it to the profiler, and validates transitions. prev tracks the
 // previous column (seeded with the pre-burst trailing state); ph and
 // codec give the profiler the attribution context of the burst.
+//
 //smores:hotpath
 func (ch *Channel) accountColumn(g int, prev *mta.GroupState, col mta.Column, ph obs.Phase, codec int) {
 	if ch.prof.On() {

@@ -135,10 +135,10 @@ type Injector struct {
 	stats    Stats
 
 	// Model state.
-	slip    eyesim.SlipMatrix // ModelEyeBiased
-	geBad   [bus.Groups]bool  // ModelBursty: per-group Gilbert-Elliott state
-	gePGB   float64           // good→bad per column
-	gePBG   float64           // bad→good per column
+	slip  eyesim.SlipMatrix // ModelEyeBiased
+	geBad [bus.Groups]bool  // ModelBursty: per-group Gilbert-Elliott state
+	gePGB float64           // good→bad per column
+	gePBG float64           // bad→good per column
 
 	// Scratch (reused across bursts; the injector owns its buffers).
 	txCols  [bus.Groups][]mta.Column

@@ -36,7 +36,7 @@ func MTADecoderCost(c *mta.Codec) (Cost, error) {
 		var onSet []uint32
 		for s, v := range inTable {
 			if v>>uint(bit)&1 == 1 {
-				onSet = append(onSet, s)
+				onSet = append(onSet, s) //smores:anyorder Minimize canonicalizes its inputs into sets and sorts minterms before covering
 			}
 		}
 		cover, err := Minimize(8, onSet, dontCare)
@@ -48,7 +48,7 @@ func MTADecoderCost(c *mta.Codec) (Cost, error) {
 	// valid bit: exact (no don't-cares).
 	var validOn []uint32
 	for s := range inTable {
-		validOn = append(validOn, s)
+		validOn = append(validOn, s) //smores:anyorder Minimize canonicalizes its inputs into sets and sorts minterms before covering
 	}
 	validCover, err := Minimize(8, validOn, nil)
 	if err != nil {
@@ -88,7 +88,7 @@ func SparseDecoderCost(book *codec.Codebook, withDBI bool) (Cost, error) {
 			var onSet []uint32
 			for s, v := range inCode {
 				if v>>uint(bit)&1 == 1 {
-					onSet = append(onSet, s)
+					onSet = append(onSet, s) //smores:anyorder Minimize canonicalizes its inputs into sets and sorts minterms before covering
 				}
 			}
 			cover, err := Minimize(inBits, onSet, dontCare)
@@ -99,7 +99,7 @@ func SparseDecoderCost(book *codec.Codebook, withDBI bool) (Cost, error) {
 		}
 		var validOn []uint32
 		for s := range inCode {
-			validOn = append(validOn, s)
+			validOn = append(validOn, s) //smores:anyorder Minimize canonicalizes its inputs into sets and sorts minterms before covering
 		}
 		validCover, err := Minimize(inBits, validOn, nil)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -70,13 +71,22 @@ func ParseRegistryJSON(r io.Reader) (*Registry, error) {
 	return reg, nil
 }
 
+// labelsFromMap rebuilds a label set in sorted key order. The JSON
+// decoder hands us a Go map, so ranging it directly would order the
+// rebuilt labels randomly per process — and everything downstream
+// (family keys, re-export byte identity) assumes the canonical order.
 func labelsFromMap(m map[string]string) []Label {
 	if len(m) == 0 {
 		return nil
 	}
-	out := make([]Label, 0, len(m))
-	for k, v := range m {
-		out = append(out, L(k, v))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Label, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, L(k, m[k]))
 	}
 	return out
 }

@@ -122,3 +122,68 @@ func TestParseProfileJSONRejectsUnknownNames(t *testing.T) {
 		}
 	}
 }
+
+// TestLabelsFromMapSortedOrder: the JSON decoder hands labelsFromMap a
+// Go map, whose iteration order is randomized per range. The rebuilt
+// label slice must come out in sorted key order every time — the
+// canonical order every downstream family key and re-export assumes.
+// Many repetitions so an unsorted implementation is caught with
+// overwhelming probability.
+func TestLabelsFromMapSortedOrder(t *testing.T) {
+	m := map[string]string{
+		"app": "bfs", "ch": "0", "node": "7", "phase": "mta", "zone": "hot",
+	}
+	for i := 0; i < 200; i++ {
+		got := labelsFromMap(m)
+		if len(got) != len(m) {
+			t.Fatalf("iteration %d: %d labels, want %d", i, len(got), len(m))
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j-1].Key >= got[j].Key {
+				t.Fatalf("iteration %d: labels out of order: %+v", i, got)
+			}
+		}
+		for _, l := range got {
+			if m[l.Key] != l.Value {
+				t.Fatalf("iteration %d: label %q = %q, want %q", i, l.Key, l.Value, m[l.Key])
+			}
+		}
+	}
+}
+
+// TestParseRegistryJSONByteIdentity: parsing the same export repeatedly
+// and re-exporting must produce byte-identical documents — the
+// federation roll-up scrapes peers in a loop and any per-parse order
+// jitter would break the cross-process byte-identity contract.
+func TestParseRegistryJSONByteIdentity(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fed_reads_total", "reads",
+		L("app", "bfs"), L("ch", "2"), L("node", "9"), L("zone", "a")).Add(41)
+	reg.FloatCounter("fed_energy_fj", "energy",
+		L("phase", "mta"), L("ch", "0"), L("app", "sssp")).Add(12.75)
+	reg.Histogram("fed_gaps", "gaps", []float64{1, 2, 4},
+		L("ch", "1"), L("app", "bfs"), L("kind", "rd")).Observe(1.5)
+
+	var src bytes.Buffer
+	if err := WriteJSON(&src, reg); err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for i := 0; i < 20; i++ {
+		parsed, err := ParseRegistryJSON(bytes.NewReader(src.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := WriteJSON(&out, parsed); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = append([]byte(nil), out.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(out.Bytes(), first) {
+			t.Fatalf("re-export %d diverged from first:\n%s\nvs\n%s", i, out.Bytes(), first)
+		}
+	}
+}

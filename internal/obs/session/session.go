@@ -166,6 +166,8 @@ func (s *Session) Done() <-chan struct{} {
 
 // State returns the lifecycle position and, for failed sessions, the
 // run error.
+//
+//smores:partialok status getter: the State is meaningful alongside a non-nil lastErr
 func (s *Session) State() (State, error) {
 	if s == nil {
 		return StateFailed, nil

@@ -184,7 +184,7 @@ func RunBench(cfg BenchConfig) (BenchReport, error) {
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
-			return rep, fmt.Errorf("bench scheme %d: %w", i, err)
+			return BenchReport{}, fmt.Errorf("bench scheme %d: %w", i, err)
 		}
 		rep.Apps = len(fr.Results)
 		perBit := fr.MeanPerBit()
@@ -251,13 +251,13 @@ func ReadBench(path string) (BenchReport, error) {
 	var rep BenchReport
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return rep, err
+		return BenchReport{}, err
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return rep, fmt.Errorf("bench: %s: %w", path, err)
+		return BenchReport{}, fmt.Errorf("bench: %s: %w", path, err)
 	}
 	if rep.Version != BenchVersion {
-		return rep, fmt.Errorf("bench: %s is schema v%d, this binary expects v%d",
+		return BenchReport{}, fmt.Errorf("bench: %s is schema v%d, this binary expects v%d",
 			path, rep.Version, BenchVersion)
 	}
 	return rep, nil
@@ -299,7 +299,7 @@ type BenchComparison struct {
 func CompareBench(baseline, current BenchReport, energyTol, perfTol float64) (BenchComparison, error) {
 	var cmp BenchComparison
 	if len(baseline.Schemes) != len(current.Schemes) {
-		return cmp, fmt.Errorf("bench: scheme counts differ (%d vs %d)",
+		return BenchComparison{}, fmt.Errorf("bench: scheme counts differ (%d vs %d)",
 			len(baseline.Schemes), len(current.Schemes))
 	}
 	sameTraffic := baseline.Accesses == current.Accesses &&

@@ -223,7 +223,7 @@ func RunCampaign(spec CampaignSpec) (CampaignResult, error) {
 	}
 	for j, err := range errs {
 		if err != nil {
-			return cr, fmt.Errorf("report: campaign point %d app %s: %w",
+			return CampaignResult{}, fmt.Errorf("report: campaign point %d app %s: %w",
 				jobs[j].point, spec.Apps[jobs[j].app].Name, err)
 		}
 	}
@@ -260,12 +260,12 @@ func RunCampaign(spec CampaignSpec) (CampaignResult, error) {
 		// The per-app conservation check already ran inside RunApp; the
 		// sums must conserve too (Add preserves the partition).
 		if !p.Fault.Conserves() {
-			return cr, fmt.Errorf("report: campaign point %d (%s %s rate=%g edc=%v): aggregate detection accounting does not conserve: %v",
+			return CampaignResult{}, fmt.Errorf("report: campaign point %d (%s %s rate=%g edc=%v): aggregate detection accounting does not conserve: %v",
 				pi, p.Label, p.ModelName, p.Rate, p.EDC, p.Fault)
 		}
 		// Replays the controller booked must all have crossed the wire.
 		if p.Fault.ReplayBursts != p.Replays {
-			return cr, fmt.Errorf("report: campaign point %d: injector saw %d replay bursts, controllers booked %d",
+			return CampaignResult{}, fmt.Errorf("report: campaign point %d: injector saw %d replay bursts, controllers booked %d",
 				pi, p.Fault.ReplayBursts, p.Replays)
 		}
 	}

@@ -241,6 +241,8 @@ type FleetResult struct {
 
 // RunFleet simulates all 42 applications under one spec, sequentially.
 // Use RunFleetOpts for the worker-pool variant.
+//
+//smores:partialok documented partial-failure contract: completed app results are preserved alongside the lowest-indexed error
 func RunFleet(spec RunSpec) (FleetResult, error) {
 	return RunFleetOpts(spec, FleetOptions{Workers: 1})
 }
@@ -285,6 +287,8 @@ func fleetAppSpec(spec RunSpec, opts FleetOptions, i int, p workload.Profile) Ru
 // from the last successful result — identical contracts for the
 // sequential and parallel paths. An empty fleet yields an empty result,
 // not a panic.
+//
+//smores:partialok documented partial-failure contract: completed app results are preserved alongside the lowest-indexed error
 func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
 	return runFleet(workload.Fleet(), spec, opts)
 }
@@ -294,12 +298,16 @@ func RunFleetOpts(spec RunSpec, opts FleetOptions) (FleetResult, error) {
 // (parsed from a RunSpecJSON) without paying for the full 42-app fleet.
 // All RunFleetOpts contracts hold: fleet-position seeds, deterministic
 // ordering, lowest-indexed-failure reporting.
+//
+//smores:partialok documented partial-failure contract: completed app results are preserved alongside the lowest-indexed error
 func RunFleetApps(fleet []workload.Profile, spec RunSpec, opts FleetOptions) (FleetResult, error) {
 	return runFleet(fleet, spec, opts)
 }
 
 // runFleet is RunFleetOpts over an explicit application list (the tests
 // exercise the empty-fleet and partial-failure contracts directly).
+//
+//smores:partialok documented partial-failure contract: completed app results are preserved alongside the lowest-indexed error
 func runFleet(fleet []workload.Profile, spec RunSpec, opts FleetOptions) (FleetResult, error) {
 	fr := FleetResult{Spec: spec}
 	workers := opts.Workers

@@ -62,13 +62,13 @@ func ParseRunSpecJSON(r io.Reader) (RunSpecJSON, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&j); err != nil {
-		return j, fmt.Errorf("report: bad run spec: %w", err)
+		return RunSpecJSON{}, fmt.Errorf("report: bad run spec: %w", err)
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-		return j, fmt.Errorf("report: trailing data after run spec")
+		return RunSpecJSON{}, fmt.Errorf("report: trailing data after run spec")
 	}
 	if err := j.Validate(); err != nil {
-		return j, err
+		return RunSpecJSON{}, err
 	}
 	return j, nil
 }
