@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress fault-smoke serve-smoke federate-smoke
+.PHONY: build test race lint fuzz-smoke bench-smoke bench-regress fault-smoke serve-smoke federate-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/obs/session/ ./internal/obs/fedclient/ ./internal/report/ ./internal/memctrl/ ./internal/gpu/ ./internal/shard/
+	$(GO) test -race ./internal/obs/ ./internal/obs/session/ ./internal/obs/fedclient/ ./internal/report/ ./internal/memctrl/ ./internal/gpu/ ./internal/shard/ ./internal/tracestore/
 
 # lint runs the in-repo gates that need no network. CI layers
 # staticcheck and govulncheck on top (installed there with go install,
@@ -26,6 +26,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeGroupBurst -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzMTARoundTrip -fuzztime 10s ./internal/mta/
 	$(GO) test -run '^$$' -fuzz FuzzEDCDetect -fuzztime 10s ./internal/edc/
+	$(GO) test -run '^$$' -fuzz FuzzStoreRoundTrip -fuzztime 10s ./internal/tracestore/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -57,3 +58,20 @@ serve-smoke:
 # in peer order.
 federate-smoke:
 	$(GO) run ./cmd/smores-serve -smoke -federate self -smoke-sessions 3 -out federation-rollup.json
+
+# trace-smoke drives the columnar trace-store pipeline end to end:
+# record a workload, pack it into a sharded store, column-scan it
+# (sector only — the other columns must stay on disk), verify every
+# checksum, and replay both the flat trace and the store, demanding
+# identical simulation output. Writes store-stats.json for inspection /
+# CI artifact upload.
+trace-smoke:
+	$(GO) run ./cmd/smores-trace -record bfs -n 2000 -out trace-smoke.smtr
+	$(GO) run ./cmd/smores-trace -pack trace-smoke.smtr -store trace-smoke.store -shards 4 -name bfs-smoke
+	$(GO) run ./cmd/smores-trace -info trace-smoke.store -stats-json store-stats.json
+	$(GO) run ./cmd/smores-trace -scan trace-smoke.store -fields sector
+	$(GO) run ./cmd/smores-trace -verify trace-smoke.store
+	$(GO) run ./cmd/smores-trace -replay trace-smoke.smtr > trace-smoke-flat.txt
+	$(GO) run ./cmd/smores-trace -replay trace-smoke.store > trace-smoke-store.txt
+	cmp trace-smoke-flat.txt trace-smoke-store.txt
+	cat trace-smoke-store.txt

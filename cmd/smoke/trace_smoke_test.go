@@ -1,0 +1,161 @@
+package smoke
+
+// Black-box pipeline tests for smores-trace's columnar-store verbs and
+// their hand-off to smores-eval: record → pack → scan → verify → replay
+// → unpack must round-trip byte-identically, and a CSV-imported store
+// must run end-to-end through the evaluation as a named fleet member.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin(dir, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestTraceStorePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildMains(t)
+	work := t.TempDir()
+	smtr := filepath.Join(work, "t.smtr")
+	store := filepath.Join(work, "t.store")
+
+	// A zero-access recording is a valid empty trace, not a header error.
+	empty := filepath.Join(work, "empty.smtr")
+	runTool(t, dir, "smores-trace", "-record", "bfs", "-n", "0", "-out", empty)
+	if out := runTool(t, dir, "smores-trace", "-info", empty); !strings.Contains(out, "empty trace") {
+		t.Errorf("-info on a zero-access recording: %q, want \"empty trace\"", out)
+	}
+
+	runTool(t, dir, "smores-trace", "-record", "bfs", "-n", "400", "-out", smtr)
+	out := runTool(t, dir, "smores-trace", "-pack", smtr, "-store", store, "-shards", "2", "-name", "bfs-rec")
+	if !strings.Contains(out, "packed 400 records") {
+		t.Fatalf("pack: %q", out)
+	}
+
+	// -info with the JSON artifact CI uploads.
+	statsPath := filepath.Join(work, "store-stats.json")
+	out = runTool(t, dir, "smores-trace", "-info", store, "-stats-json", statsPath)
+	if !strings.Contains(out, `store of "bfs-rec"`) || !strings.Contains(out, "400 records in 2 shards") {
+		t.Errorf("store info: %q", out)
+	}
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Records         int64 `json:"records"`
+		Shards          int   `json:"shards"`
+		CompressedBytes int64 `json:"compressed_bytes"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats artifact is not JSON: %v\n%s", err, raw)
+	}
+	if stats.Records != 400 || stats.Shards != 2 || stats.CompressedBytes <= 0 {
+		t.Errorf("stats artifact wrong: %+v", stats)
+	}
+
+	// A sector-only scan decodes just the sector column: the think, flags
+	// and payload rows must report zero bytes read.
+	out = runTool(t, dir, "smores-trace", "-scan", store, "-fields", "sector")
+	if !strings.Contains(out, "scanned 400 of 400 records") {
+		t.Errorf("scan: %q", out)
+	}
+	for _, col := range []string{"think", "flags", "payload"} {
+		re := regexp.MustCompile(col + `\s+0 bytes read`)
+		if !re.MatchString(out) {
+			t.Errorf("sector-only scan read %s bytes:\n%s", col, out)
+		}
+	}
+
+	if out = runTool(t, dir, "smores-trace", "-verify", store); !strings.Contains(out, "all checksums good") {
+		t.Errorf("verify: %q", out)
+	}
+
+	// Replaying the store must reproduce the flat trace's replay exactly
+	// (same accesses, clocks, energy, gap histogram).
+	flat := runTool(t, dir, "smores-trace", "-replay", smtr)
+	packed := runTool(t, dir, "smores-trace", "-replay", store)
+	if flat != packed {
+		t.Errorf("store replay diverged from flat replay:\nflat   %q\npacked %q", flat, packed)
+	}
+
+	// Unpacking restores the original SMTR byte-for-byte (the encoding is
+	// canonical).
+	unpacked := filepath.Join(work, "u.smtr")
+	runTool(t, dir, "smores-trace", "-unpack", store, "-out", unpacked)
+	a, err := os.ReadFile(smtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(unpacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("unpack is not byte-identical: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestTraceImportEval imports a CSV memory trace and runs it through the
+// full evaluation as an extra fleet member.
+func TestTraceImportEval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildMains(t)
+	work := t.TempDir()
+
+	csv := filepath.Join(work, "cam.csv")
+	lines := []string{"addr,think,op"}
+	for i := 0; i < 200; i++ {
+		op := "R"
+		if i%3 == 0 {
+			op = "W"
+		}
+		lines = append(lines, fmt.Sprintf("0x%x,1,%s", i*32, op))
+	}
+	if err := os.WriteFile(csv, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store := filepath.Join(work, "cam.store")
+	out := runTool(t, dir, "smores-trace", "-import", csv, "-store", store)
+	if !strings.Contains(out, `as workload "cam"`) {
+		t.Fatalf("import: %q", out)
+	}
+
+	jsonPath := filepath.Join(work, "eval.json")
+	cmd := exec.Command(bin(dir, "smores-eval"),
+		"-table5", "-accesses", "200", "-trace", store, "-json", jsonPath)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("smores-eval -trace: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), `as fleet member "cam"`) {
+		t.Errorf("eval did not announce the trace member:\n%s", stderr.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"cam"`)) {
+		t.Error("evaluation JSON has no row for the imported workload")
+	}
+}

@@ -12,6 +12,7 @@
 //	smores-bench -out BENCH_baseline.json          # seed a baseline
 //	smores-bench -compare BENCH_baseline.json      # gate (exit 1 on regression)
 //	smores-bench -multichannel 8 -compare ...      # also gate the sharded fleet row
+//	smores-bench -tracestore -compare ...          # also gate the store-replay row
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 		service  = flag.Bool("service", false, "add the telemetry-service throughput row (sessions/sec at a fixed spec)")
 		multi    = flag.Int("multichannel", 0, "add the sharded multi-channel fleet row at this channel count (0 = off)")
 		multiJ   = flag.Int("multichannel-j", 0, "worker pool for the multichannel row (0 = GOMAXPROCS)")
+		tstore   = flag.Bool("tracestore", false, "add the columnar-store replay row (record, pack, byte-identical replay)")
+		tshards  = flag.Int("tracestore-shards", 0, "shards for the tracestore row's pack (0 = GOMAXPROCS, capped at 8)")
 		quiet    = flag.Bool("q", false, "suppress the report table")
 	)
 	flag.Parse()
@@ -56,6 +59,9 @@ func main() {
 	}
 	if *multi > 0 {
 		fail(report.RunMultiChannelBench(&rep, *multi, *multiJ))
+	}
+	if *tstore {
+		fail(report.RunTraceStoreBench(&rep, *tshards))
 	}
 	if !*quiet {
 		fmt.Print(report.RenderBench(rep))

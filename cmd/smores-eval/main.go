@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"smores/internal/obs"
 	"smores/internal/pam4"
 	"smores/internal/report"
 	"smores/internal/sweep"
+	"smores/internal/tracestore"
 	"smores/internal/workload"
 )
 
@@ -35,8 +37,18 @@ func main() {
 		workers  = flag.Int("j", 0, "concurrent app simulations per fleet (0 = GOMAXPROCS, 1 = sequential)")
 		channels = flag.Int("channels", 1, "interleaved GDDR6X channels per app; >1 switches to the sharded multi-channel evaluation")
 		listen   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /progress with ETA, pprof) on this address for the duration of the run")
+		traces   = flag.String("trace", "", "comma-separated trace-store directories (smores-trace -pack/-import) evaluated as additional fleet members")
 	)
 	flag.Parse()
+	fleet := workload.Fleet()
+	if *traces != "" {
+		for _, dir := range strings.Split(*traces, ",") {
+			p, err := tracestore.RegisterFleetMember(strings.TrimSpace(dir))
+			fail(err)
+			fleet = append(fleet, p)
+			fmt.Fprintf(os.Stderr, "smores-eval: registered trace store %s as fleet member %q\n", dir, p.Name)
+		}
+	}
 	if *sweeps {
 		cfg := sweep.Config{Accesses: *accesses / 4, Seed: *seed}
 		if cfg.Accesses < 500 {
@@ -51,7 +63,7 @@ func main() {
 		return
 	}
 	if *channels > 1 {
-		runMultiChannel(*channels, *accesses, *seed, *workers, *listen, *jsonOut)
+		runMultiChannel(fleet, *channels, *accesses, *seed, *workers, *listen, *jsonOut)
 		return
 	}
 	if !(*fig5 || *fig8a || *fig8b || *table5 || *perf || *power || *wfall) {
@@ -74,7 +86,7 @@ func main() {
 	var srv *obs.Server
 	if *listen != "" {
 		opts.Obs = obs.NewRegistry()
-		opts.Progress = obs.NewProgress(int64(len(specs) * len(workload.Fleet())))
+		opts.Progress = obs.NewProgress(int64(len(specs) * len(fleet)))
 		srv = obs.NewServer(opts.Obs, opts.Progress)
 		srv.AttachProfile(prof)
 		addr, err := srv.Start(*listen)
@@ -89,7 +101,7 @@ func main() {
 	for i, s := range specs {
 		fmt.Fprintf(os.Stderr, "running fleet under %s...\n", labels[i])
 		opts.Progress.SetPhase("fleet: " + labels[i])
-		fr, err := report.RunFleetOpts(s, opts)
+		fr, err := report.RunFleetApps(fleet, s, opts)
 		fail(err)
 		frs[i] = fr
 	}
@@ -162,7 +174,7 @@ func main() {
 // worker pool packing all apps × channels shard simulations. For a
 // fixed seed the summary and the -json export are byte-identical at
 // every -j (the report package's differential tests enforce it).
-func runMultiChannel(channels int, accesses int64, seed uint64, workers int, listen, jsonOut string) {
+func runMultiChannel(fleet []workload.Profile, channels int, accesses int64, seed uint64, workers int, listen, jsonOut string) {
 	specs := report.PolicySpecs(accesses, seed, false)
 	labels := []string{"baseline", "optimized", "variable", "static", "conservative"}
 
@@ -176,7 +188,7 @@ func runMultiChannel(channels int, accesses int64, seed uint64, workers int, lis
 	var srv *obs.Server
 	if listen != "" {
 		opts.Obs = obs.NewRegistry()
-		opts.Progress = obs.NewProgress(int64(len(specs) * len(workload.Fleet()) * channels))
+		opts.Progress = obs.NewProgress(int64(len(specs) * len(fleet) * channels))
 		srv = obs.NewServer(opts.Obs, opts.Progress)
 		srv.AttachProfile(prof)
 		addr, err := srv.Start(listen)
@@ -189,7 +201,7 @@ func runMultiChannel(channels int, accesses int64, seed uint64, workers int, lis
 	for i, s := range specs {
 		fmt.Fprintf(os.Stderr, "running %d-channel fleet under %s...\n", channels, labels[i])
 		opts.Progress.SetPhase("fleet: " + labels[i])
-		fr, err := report.RunFleetMultiChannel(s, channels, opts)
+		fr, err := report.RunFleetAppsMultiChannel(fleet, s, channels, opts)
 		fail(err)
 		mfrs[i] = fr
 	}

@@ -1,6 +1,11 @@
-// Command smores-trace records workload access traces to the compact
-// binary format, inspects them, and replays them through the simulator so
-// different encoding policies can be compared on bit-identical traffic.
+// Command smores-trace records workload access traces, inspects them,
+// and replays them through the simulator so different encoding policies
+// can be compared on bit-identical traffic. It handles both the flat
+// SMTR v1 stream and the sharded columnar store format
+// (internal/tracestore): -pack/-unpack convert between the two, -import
+// ingests external CSV/binary memory traces, -scan column-scans a store
+// decoding only the requested fields, and -info/-replay accept either a
+// trace file or a store directory.
 package main
 
 import (
@@ -9,33 +14,76 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"smores/internal/gpu"
 	"smores/internal/memctrl"
 	"smores/internal/obs"
 	"smores/internal/trace"
+	"smores/internal/tracestore"
 	"smores/internal/workload"
 )
 
 func main() {
 	var (
 		record   = flag.String("record", "", "record the named workload to -out")
-		out      = flag.String("out", "trace.smtr", "output trace path")
-		info     = flag.String("info", "", "summarize a trace file")
-		replay   = flag.String("replay", "", "replay a trace through the simulator")
+		out      = flag.String("out", "trace.smtr", "output trace path for -record/-unpack")
+		info     = flag.String("info", "", "summarize a trace file or store directory")
+		replay   = flag.String("replay", "", "replay a trace file or store directory through the simulator")
 		chrome   = flag.String("chrome", "", "during -replay, also write a cycle-level Chrome trace-event JSON (Perfetto) to this file")
 		folded   = flag.String("folded", "", "during -replay, write the energy-attribution profile as folded stacks (flamegraph.pl input) to this file")
 		profJSON = flag.String("profile", "", "during -replay, write the energy-attribution profile snapshot as JSON to this file")
 		accesses = flag.Int64("n", 50000, "accesses to record")
 		seed     = flag.Uint64("seed", 1, "generator seed")
+
+		pack     = flag.String("pack", "", "convert an SMTR trace into a columnar store at -store")
+		unpack   = flag.String("unpack", "", "convert a columnar store back into an SMTR trace at -out")
+		doImport = flag.String("import", "", "import an external memory trace (CSV or binary) into a store at -store")
+		scan     = flag.String("scan", "", "column-scan a store directory, decoding only -fields")
+		verify   = flag.String("verify", "", "read every record of a store, validating every block checksum")
+
+		storeDir  = flag.String("store", "trace.store", "store directory written by -pack/-import")
+		name      = flag.String("name", "", "workload name for -pack/-import (default: source file base name)")
+		shards    = flag.Int("shards", 1, "shard count for -pack (shards compress in parallel)")
+		statsJSON = flag.String("stats-json", "", "with -info on a store, also write per-column stats JSON to this file")
+
+		fields    = flag.String("fields", "sector", "comma-separated columns for -scan (think,sector,flags,payload)")
+		minSector = flag.Uint64("min-sector", 0, "with -scan, keep records at or above this sector")
+		maxSector = flag.Uint64("max-sector", ^uint64(0), "with -scan, keep records at or below this sector")
+
+		format      = flag.String("format", "", "import format: csv or binary (default: by file extension)")
+		addrCol     = flag.String("addr-col", "", "CSV import: explicit address column header")
+		thinkCol    = flag.String("think-col", "", "CSV import: explicit think column header")
+		opCol       = flag.String("op-col", "", "CSV import: explicit read/write column header")
+		payloadCol  = flag.String("payload-col", "", "CSV import: explicit payload column header")
+		sectorBytes = flag.Int("sector-bytes", 0, "import: bytes per sector when dividing byte addresses (default 32)")
+		payload     = flag.Bool("payload", false, "CSV import: capture the payload column (exact-data replay)")
 	)
 	flag.Parse()
 
+	importOpts := tracestore.ImportOptions{
+		SectorBytes: *sectorBytes,
+		AddrCol:     *addrCol,
+		ThinkCol:    *thinkCol,
+		OpCol:       *opCol,
+		PayloadCol:  *payloadCol,
+	}
 	switch {
 	case *record != "":
 		fail(doRecord(*record, *out, *accesses, *seed))
+	case *pack != "":
+		fail(doPack(*pack, *storeDir, *name, *seed, *shards))
+	case *unpack != "":
+		fail(doUnpack(*unpack, *out))
+	case *doImport != "":
+		fail(runImport(*doImport, *storeDir, *name, *format, *payload, importOpts))
+	case *scan != "":
+		fail(doScan(*scan, *fields, *minSector, *maxSector))
+	case *verify != "":
+		fail(doVerify(*verify))
 	case *info != "":
-		fail(doInfo(*info))
+		fail(doInfo(*info, *statsJSON))
 	case *replay != "":
 		fail(doReplay(*replay, *chrome, *folded, *profJSON))
 	default:
@@ -49,7 +97,7 @@ func doRecord(app, path string, n int64, seed uint64) error {
 	if !ok {
 		return fmt.Errorf("unknown workload %q", app)
 	}
-	gen, err := workload.NewGenerator(p, seed)
+	gen, err := workload.OpenGenerator(p, seed)
 	if err != nil {
 		return err
 	}
@@ -57,25 +105,205 @@ func doRecord(app, path string, n int64, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := trace.NewWriter(f)
-	for i := int64(0); i < n; i++ {
-		a, ok := gen.Next()
-		if !ok {
+	rec := trace.NewRecorder(gen, w)
+	var count int64
+	for count < n {
+		if _, ok := rec.Next(); !ok {
 			break
 		}
-		if err := w.Append(a); err != nil {
-			return err
-		}
+		count++
+	}
+	// Recorder errors, the flush, and the file close all matter: a short
+	// write anywhere leaves a trace that silently replays less traffic.
+	if err := rec.Err(); err != nil {
+		f.Close()
+		return err
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("recorded %d accesses of %s to %s\n", w.Count(), app, path)
 	return nil
 }
 
-func doInfo(path string) error {
+// isStore reports whether path is a store directory.
+func isStore(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, tracestore.ManifestName))
+	return err == nil
+}
+
+// defaultName derives a workload name from a source path.
+func defaultName(name, source string) string {
+	if name != "" {
+		return name
+	}
+	base := filepath.Base(source)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func doPack(src, dir, name string, seed uint64, shards int) error {
+	meta := tracestore.Meta{Name: defaultName(name, src), Seed: seed}
+	f, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var m tracestore.Manifest
+	if shards <= 1 {
+		m, err = tracestore.FromSMTR(f, dir, meta)
+	} else {
+		var accesses []gpu.Access
+		accesses, err = trace.ReadAll(f)
+		if err != nil {
+			return err
+		}
+		recs := make([]tracestore.Record, len(accesses))
+		for i, a := range accesses {
+			recs[i] = tracestore.Record{Access: a}
+		}
+		meta.Source = "smtr"
+		m, err = tracestore.WriteRecords(dir, meta, recs, shards)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %d records of %s into %s (%d shards)\n",
+		m.Records, src, dir, len(m.Shards))
+	return nil
+}
+
+func doUnpack(dir, out string) error {
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := tracestore.ToSMTR(s, f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("unpacked %d records of %s to %s\n", n, dir, out)
+	return nil
+}
+
+func runImport(src, dir, name, format string, payload bool, opts tracestore.ImportOptions) error {
+	if format == "" {
+		switch strings.ToLower(filepath.Ext(src)) {
+		case ".csv":
+			format = "csv"
+		case ".bin", ".mtr":
+			format = "binary"
+		default:
+			return fmt.Errorf("cannot infer import format of %q; pass -format csv|binary", src)
+		}
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta := tracestore.Meta{Name: defaultName(name, src), Payload: payload}
+	var m tracestore.Manifest
+	switch format {
+	case "csv":
+		m, err = tracestore.ImportCSV(f, dir, meta, opts)
+	case "binary":
+		m, err = tracestore.ImportBinary(f, dir, meta, opts)
+	default:
+		return fmt.Errorf("unknown import format %q (want csv or binary)", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d records (%d writes) from %s into %s as workload %q\n",
+		m.Records, m.Writes, src, dir, m.Name)
+	return nil
+}
+
+func doScan(dir, fieldList string, minSector, maxSector uint64) error {
+	set, err := tracestore.ParseFields(fieldList)
+	if err != nil {
+		return err
+	}
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	opts := tracestore.ReadOptions{Fields: set}
+	if minSector != 0 || maxSector != ^uint64(0) {
+		opts.FilterSector = true
+		opts.MinSector = minSector
+		opts.MaxSector = maxSector
+	}
+	r, err := s.NewReader(opts)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var n int64
+	for {
+		_, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Printf("scanned %d of %d records (fields %s, %d blocks read, %d skipped)\n",
+		n, s.Records(), set, r.BlocksRead(), r.BlocksSkipped())
+	for _, f := range []tracestore.Field{tracestore.FieldThink, tracestore.FieldSector,
+		tracestore.FieldFlags, tracestore.FieldPayload} {
+		fmt.Printf("  %-8s %8d bytes read\n", f, r.BytesRead(f))
+	}
+	return nil
+}
+
+func doVerify(dir string) error {
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	set := tracestore.AccessFields
+	if s.Manifest.Payload {
+		set |= tracestore.SetPayload
+	}
+	recs, err := tracestore.ReadAll(s, set)
+	if err != nil {
+		return err
+	}
+	if int64(len(recs)) != s.Records() {
+		return fmt.Errorf("store %s: read %d records, manifest claims %d", dir, len(recs), s.Records())
+	}
+	fmt.Printf("verified %d records across %d shards: all checksums good\n",
+		s.Records(), len(s.Manifest.Shards))
+	return nil
+}
+
+func doInfo(path, statsJSON string) error {
+	if isStore(path) {
+		return storeInfo(path, statsJSON)
+	}
+	if statsJSON != "" {
+		return fmt.Errorf("-stats-json needs a store directory, and %s is a flat trace", path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -110,13 +338,80 @@ func doInfo(path string) error {
 	return nil
 }
 
-func doReplay(path, chrome, folded, profJSON string) error {
-	f, err := os.Open(path)
+func storeInfo(dir, statsJSON string) error {
+	s, err := tracestore.Open(dir)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	m := s.Manifest
+	fmt.Printf("%s: store of %q (suite %s, source %s), %d records in %d shards\n",
+		dir, m.Name, m.Suite, m.Source, m.Records, len(m.Shards))
+	if m.Records > 0 {
+		fmt.Printf("  %.1f%% writes, mean think %.2f clocks, footprint ≤ %d MB\n",
+			float64(m.Writes)/float64(m.Records)*100,
+			float64(m.SumThink)/float64(m.Records),
+			(m.MaxSector+1)*32>>20)
+	}
+	st := s.Stats()
+	for _, c := range st.Columns {
+		fmt.Printf("  %-8s %9d → %9d bytes (%.2fx)\n",
+			c.Field, c.RawBytes, c.CompressedBytes, c.Ratio)
+	}
+	if st.CompressedBytes > 0 {
+		fmt.Printf("  total    %9d → %9d bytes (%.2fx, %.2f B/record)\n",
+			st.RawBytes, st.CompressedBytes, st.Ratio, st.BytesPerRecord)
+	}
+	if statsJSON != "" {
+		f, err := os.Create(statsJSON)
+		if err != nil {
+			return err
+		}
+		if err := tracestore.WriteStatsJSON(f, st); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote store stats to %s\n", statsJSON)
+	}
+	return nil
+}
+
+// replayGenerator opens path as a replay source: a store directory or a
+// flat SMTR trace. The returned done func surfaces replay errors and
+// releases the source.
+func replayGenerator(path string) (gpu.Generator, func() error, error) {
+	if isStore(path) {
+		s, err := tracestore.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := s.Replayer()
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, rep.Err, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep := trace.NewReplayer(f)
+	return rep, func() error {
+		if err := rep.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+func doReplay(path, chrome, folded, profJSON string) error {
+	rep, done, err := replayGenerator(path)
+	if err != nil {
+		return err
+	}
 	cfg := memctrl.Config{Policy: memctrl.BaselineMTA}
 	var tracer *obs.Tracer
 	if chrome != "" {
@@ -140,8 +435,8 @@ func doReplay(path, chrome, folded, profJSON string) error {
 	if err != nil {
 		return err
 	}
-	if rep.Err() != nil {
-		return rep.Err()
+	if err := done(); err != nil {
+		return err
 	}
 	fmt.Printf("replayed %d accesses in %d clocks: %.1f fJ/bit, gaps %v\n",
 		res.Accesses, res.Clocks, ctrl.BusStats().PerBit(), ctrl.ReadGapHistogram())

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"smores/internal/floats"
+	"smores/internal/tracestore"
+	"smores/internal/workload"
 )
 
 // The bench harness behind cmd/smores-bench: it runs the standard
@@ -124,6 +126,33 @@ type MultiChannelBench struct {
 	ShardsPerSec float64 `json:"shards_per_sec"`
 }
 
+// TraceStoreBench is the columnar-store replay row: one app's stream is
+// recorded into a store (shard-parallel pack) and replayed through the
+// variable-SMOREs controller. Energy and the compressed footprint are
+// deterministic (gated like the scheme rows); pack/replay wall times are
+// machine-dependent (same-host only). Replay energy is additionally
+// checked against the live generator at run time — a mismatch fails the
+// bench itself, not just the comparison.
+type TraceStoreBench struct {
+	// App, Accesses, Shards pin the spec so rows are only compared
+	// like-for-like.
+	App      string `json:"app"`
+	Accesses int64  `json:"accesses"`
+	Shards   int    `json:"shards"`
+	// EnergyPJPerBit is the replayed run's transfer energy. Deterministic.
+	EnergyPJPerBit float64 `json:"energy_pj_per_bit"`
+	// CompressedBytes and BytesPerRecord are the store's on-disk cost.
+	// Deterministic for a fixed traffic/shard split.
+	CompressedBytes int64   `json:"compressed_bytes"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	// PackWallSeconds covers generation plus shard-parallel compression;
+	// ReplayWallSeconds covers the simulated replay; RecordsPerSec is the
+	// derived replay throughput. Machine-dependent.
+	PackWallSeconds   float64 `json:"pack_wall_seconds"`
+	ReplayWallSeconds float64 `json:"replay_wall_seconds"`
+	RecordsPerSec     float64 `json:"replay_records_per_sec"`
+}
+
 // BenchReport is the full smores-bench output.
 type BenchReport struct {
 	Version  int           `json:"version"`
@@ -141,6 +170,9 @@ type BenchReport struct {
 	// -multichannel N); absent from older baselines, which skips its
 	// gate.
 	MultiChannel *MultiChannelBench `json:"multichannel,omitempty"`
+	// TraceStore is the optional store-replay row (smores-bench
+	// -tracestore); absent from older baselines, which skips its gate.
+	TraceStore *TraceStoreBench `json:"tracestore,omitempty"`
 }
 
 // BenchConfig parameterizes RunBench.
@@ -236,6 +268,82 @@ func RunMultiChannelBench(rep *BenchReport, channels, workers int) error {
 		row.ShardsPerSec = float64(len(fr.Results)*channels) / s
 	}
 	rep.MultiChannel = &row
+	return nil
+}
+
+// RunTraceStoreBench records one fleet application's stream into a
+// columnar store under a temporary directory (shard-parallel pack),
+// replays the store through the variable-SMOREs controller as a
+// registered trace-backed member, and fills rep.TraceStore. The
+// replayed statistics must match the live generator's exactly — any
+// divergence fails the bench, so the row doubles as an end-to-end
+// replay gate. It reuses the report's accesses/seed so the row is
+// pinned to the same traffic as the scheme rows.
+func RunTraceStoreBench(rep *BenchReport, shards int) error {
+	fleet := workload.Fleet()
+	if len(fleet) == 0 {
+		return fmt.Errorf("bench: tracestore row needs a non-empty fleet")
+	}
+	p := fleet[0]
+	spec := PolicySpecs(rep.Accesses, rep.Seed, false)[2]
+	live, err := RunApp(p, spec)
+	if err != nil {
+		return fmt.Errorf("bench: tracestore live run: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "smores-bench-store-")
+	if err != nil {
+		return fmt.Errorf("bench: tracestore: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Record under a distinct name so the replay member can register
+	// beside the live fleet app; the stream itself depends only on the
+	// seed and the shape parameters, never the name.
+	rec := p
+	rec.Name = p.Name + "-store"
+	start := time.Now()
+	if _, err := RecordAppStore(rec, dir, RecordOptions{
+		Accesses: rep.Accesses, Seed: spec.Seed, Shards: shards,
+	}); err != nil {
+		return fmt.Errorf("bench: tracestore pack: %w", err)
+	}
+	packWall := time.Since(start)
+
+	sp, err := tracestore.RegisterFleetMember(dir)
+	if err != nil {
+		return fmt.Errorf("bench: tracestore register: %w", err)
+	}
+	defer workload.UnregisterExternal(sp.Name)
+	start = time.Now()
+	replay, err := RunApp(sp, spec)
+	replayWall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("bench: tracestore replay: %w", err)
+	}
+	if !replay.Bus.Equal(live.Bus) || !floats.Eq(replay.PerBit, live.PerBit) {
+		return fmt.Errorf("bench: store replay diverged from the live run (%.6f vs %.6f fJ/bit)",
+			replay.PerBit, live.PerBit)
+	}
+
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		return fmt.Errorf("bench: tracestore reopen: %w", err)
+	}
+	st := s.Stats()
+	row := TraceStoreBench{
+		App:               p.Name,
+		Accesses:          rep.Accesses,
+		Shards:            st.Shards,
+		EnergyPJPerBit:    replay.PerBit / 1000, // fJ → pJ
+		CompressedBytes:   st.CompressedBytes,
+		BytesPerRecord:    st.BytesPerRecord,
+		PackWallSeconds:   packWall.Seconds(),
+		ReplayWallSeconds: replayWall.Seconds(),
+	}
+	if sec := replayWall.Seconds(); sec > 0 {
+		row.RecordsPerSec = float64(rep.Accesses) / sec
+	}
+	rep.TraceStore = &row
 	return nil
 }
 
@@ -358,6 +466,7 @@ func CompareBench(baseline, current BenchReport, energyTol, perfTol float64) (Be
 	}
 	compareService(&cmp, baseline.Service, current.Service, samePerf, perfTol)
 	compareMultiChannel(&cmp, baseline.MultiChannel, current.MultiChannel, samePerf, energyTol, perfTol)
+	compareTraceStore(&cmp, baseline.TraceStore, current.TraceStore, samePerf, energyTol, perfTol)
 	return cmp, nil
 }
 
@@ -406,6 +515,74 @@ func compareMultiChannel(cmp *BenchComparison, b, c *MultiChannelBench, samePerf
 				rel*100, (c.WallSeconds-b.WallSeconds)*1e3, int(wallNoiseFloorSeconds*1e3)))
 		}
 	}
+}
+
+// compareTraceStore gates the store-replay row. Energy is deterministic
+// and enforced whenever both rows recorded the same app/accesses; the
+// compressed footprint is deterministic for a fixed shard split and is
+// gated at the energy tolerance when the splits match (a store that
+// grows past tolerance is a compression regression). Wall times follow
+// the same-host rule with the absolute noise floor. A row missing from
+// either side downgrades to a note so older baselines keep gating the
+// rest.
+func compareTraceStore(cmp *BenchComparison, b, c *TraceStoreBench, samePerf bool, energyTol, perfTol float64) {
+	switch {
+	case b == nil && c == nil:
+		return
+	case b == nil:
+		cmp.Notes = append(cmp.Notes,
+			"baseline has no tracestore row: store-replay gate skipped (refresh the baseline with -tracestore to enable)")
+		return
+	case c == nil:
+		cmp.Notes = append(cmp.Notes,
+			"current report has no tracestore row: store-replay gate skipped")
+		return
+	case b.App != c.App || b.Accesses != c.Accesses:
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"tracestore rows recorded different traffic (%s×%d vs %s×%d): gate skipped",
+			b.App, b.Accesses, c.App, c.Accesses))
+		return
+	}
+	if rel := relDelta(c.EnergyPJPerBit, b.EnergyPJPerBit); rel > energyTol {
+		cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+			"tracestore: replay energy %.4f pJ/bit vs baseline %.4f (+%.2f%% > %.2f%% tolerance)",
+			c.EnergyPJPerBit, b.EnergyPJPerBit, rel*100, energyTol*100))
+	} else if rel < -energyTol {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"tracestore: replay energy improved %.2f%% — consider refreshing the baseline", -rel*100))
+	}
+	if b.Shards == c.Shards {
+		if rel := relDelta(float64(c.CompressedBytes), float64(b.CompressedBytes)); rel > energyTol {
+			cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+				"tracestore: store %d B vs baseline %d B (+%.2f%% > %.2f%% tolerance)",
+				c.CompressedBytes, b.CompressedBytes, rel*100, energyTol*100))
+		} else if rel < -energyTol {
+			cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+				"tracestore: store shrank %.2f%% — consider refreshing the baseline", -rel*100))
+		}
+	} else {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"tracestore rows packed different shard splits (%d vs %d): footprint gate skipped",
+			b.Shards, c.Shards))
+	}
+	if !samePerf {
+		return // covered by the host-fingerprint note
+	}
+	wall := func(label string, cw, bw float64) {
+		if rel := relDelta(cw, bw); rel > perfTol {
+			if cw-bw > wallNoiseFloorSeconds {
+				cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+					"tracestore: %s %.2fs vs baseline %.2fs (+%.1f%% > %.1f%% tolerance)",
+					label, cw, bw, rel*100, perfTol*100))
+			} else {
+				cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+					"tracestore: %s +%.1f%% but only %+.0f ms absolute (noise floor %d ms): ignored",
+					label, rel*100, (cw-bw)*1e3, int(wallNoiseFloorSeconds*1e3)))
+			}
+		}
+	}
+	wall("pack wall", c.PackWallSeconds, b.PackWallSeconds)
+	wall("replay wall", c.ReplayWallSeconds, b.ReplayWallSeconds)
 }
 
 // compareService gates the service-throughput row. Like wall time it is
@@ -471,6 +648,11 @@ func RenderBench(rep BenchReport) string {
 	if m := rep.MultiChannel; m != nil {
 		fmt.Fprintf(&b, "  multichannel: %d channels × %d apps × %d accesses, %d worker(s) — %.4f pJ/bit, %.2f s wall, %.1f shards/s\n",
 			m.Channels, m.Apps, m.Accesses, m.Workers, m.EnergyPJPerBit, m.WallSeconds, m.ShardsPerSec)
+	}
+	if t := rep.TraceStore; t != nil {
+		fmt.Fprintf(&b, "  tracestore: %s × %d accesses in %d shard(s) — %.4f pJ/bit, %d B (%.1f B/rec), pack %.2f s, replay %.2f s (%.0f rec/s)\n",
+			t.App, t.Accesses, t.Shards, t.EnergyPJPerBit, t.CompressedBytes, t.BytesPerRecord,
+			t.PackWallSeconds, t.ReplayWallSeconds, t.RecordsPerSec)
 	}
 	return b.String()
 }

@@ -213,6 +213,91 @@ func TestRunMultiChannelBench(t *testing.T) {
 	}
 }
 
+func TestCompareTraceStoreGates(t *testing.T) {
+	host := BenchHost{Hostname: "a", OS: "linux", Arch: "amd64", CPUs: 4}
+	mk := func(ts *TraceStoreBench) BenchReport {
+		return BenchReport{
+			Version: BenchVersion, Accesses: 100, Seed: 1, Apps: 2, Workers: 1, Host: host,
+			Schemes:    []BenchScheme{{Label: "x", EnergyPJPerBit: 1.0}},
+			TraceStore: ts,
+		}
+	}
+	row := TraceStoreBench{App: "bfs", Accesses: 100, Shards: 2,
+		EnergyPJPerBit: 0.5, CompressedBytes: 1000, BytesPerRecord: 10,
+		PackWallSeconds: 1.0, ReplayWallSeconds: 2.0, RecordsPerSec: 50}
+
+	// Missing row on either side: note, never a regression.
+	for _, tc := range []struct{ b, c *TraceStoreBench }{{nil, &row}, {&row, nil}} {
+		cmp, err := CompareBench(mk(tc.b), mk(tc.c), 0.05, 0.30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmp.Regressions) != 0 {
+			t.Errorf("missing tracestore row must not regress: %v", cmp.Regressions)
+		}
+		if len(cmp.Notes) == 0 {
+			t.Error("missing tracestore row must be noted")
+		}
+	}
+
+	// Replay energy is gated unconditionally.
+	hot := row
+	hot.EnergyPJPerBit = 0.6
+	cmp, _ := CompareBench(mk(&row), mk(&hot), 0.05, 0.30)
+	if len(cmp.Regressions) != 1 || !strings.Contains(cmp.Regressions[0], "tracestore: replay energy") {
+		t.Errorf("20%% replay-energy rise must regress: %v", cmp.Regressions)
+	}
+
+	// Compression regressions fire when the shard splits match and are
+	// skipped (with a note) when they differ.
+	fat := row
+	fat.CompressedBytes = 1200
+	if cmp, _ = CompareBench(mk(&row), mk(&fat), 0.05, 0.30); len(cmp.Regressions) != 1 {
+		t.Errorf("20%% store growth must regress: %v", cmp.Regressions)
+	}
+	fat.Shards = 4
+	if cmp, _ = CompareBench(mk(&row), mk(&fat), 0.05, 0.30); len(cmp.Regressions) != 0 {
+		t.Errorf("different shard split must skip the footprint gate: %v", cmp.Regressions)
+	}
+
+	// Wall blowups: same host regresses, different traffic skips all.
+	slow := row
+	slow.ReplayWallSeconds = 4.0
+	if cmp, _ = CompareBench(mk(&row), mk(&slow), 0.05, 0.30); len(cmp.Regressions) != 1 {
+		t.Errorf("2x replay wall on same host must regress: %v", cmp.Regressions)
+	}
+	slow.App = "lulesh"
+	if cmp, _ = CompareBench(mk(&row), mk(&slow), 0.05, 0.30); len(cmp.Regressions) != 0 {
+		t.Errorf("different app must skip the tracestore gate: %v", cmp.Regressions)
+	}
+}
+
+func TestRunTraceStoreBench(t *testing.T) {
+	rep := BenchReport{Accesses: 300, Seed: 3}
+	if err := RunTraceStoreBench(&rep, 2); err != nil {
+		t.Fatal(err)
+	}
+	ts := rep.TraceStore
+	if ts == nil || ts.App == "" || ts.EnergyPJPerBit <= 0 || ts.CompressedBytes <= 0 {
+		t.Fatalf("bad tracestore row: %+v", ts)
+	}
+	if ts.Accesses != 300 || ts.Shards != 2 {
+		t.Errorf("row not pinned to the requested spec: %+v", ts)
+	}
+	if !strings.Contains(RenderBench(rep), "tracestore:") {
+		t.Error("render must include the tracestore row")
+	}
+	// Deterministic energy and footprint across repeat runs.
+	again := BenchReport{Accesses: 300, Seed: 3}
+	if err := RunTraceStoreBench(&again, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !floats.Eq(again.TraceStore.EnergyPJPerBit, ts.EnergyPJPerBit) ||
+		again.TraceStore.CompressedBytes != ts.CompressedBytes {
+		t.Errorf("tracestore row not deterministic: %+v vs %+v", again.TraceStore, ts)
+	}
+}
+
 func TestParseTolerance(t *testing.T) {
 	for _, tc := range []struct {
 		in   string

@@ -137,7 +137,7 @@ func RunAppMultiChannel(p workload.Profile, spec RunSpec, channels int) (MultiRe
 	if channels < 1 {
 		return MultiResult{}, fmt.Errorf("report: channel count must be positive, got %d", channels)
 	}
-	gen, err := workload.NewGenerator(p, spec.Seed)
+	gen, err := workload.OpenGenerator(p, spec.Seed)
 	if err != nil {
 		return MultiResult{}, err
 	}

@@ -142,9 +142,11 @@ type AppResult struct {
 	ReplayedReads int64
 }
 
-// RunApp simulates one application under one spec.
+// RunApp simulates one application under one spec. The generator comes
+// from workload.OpenGenerator, so trace-backed fleet members replay
+// their recorded stream while synthetic apps synthesize from the seed.
 func RunApp(p workload.Profile, spec RunSpec) (AppResult, error) {
-	gen, err := workload.NewGenerator(p, spec.Seed)
+	gen, err := workload.OpenGenerator(p, spec.Seed)
 	if err != nil {
 		return AppResult{}, err
 	}

@@ -58,7 +58,7 @@ func buildAppShards(p workload.Profile, spec RunSpec, channels int, opts ShardOp
 	if channels < 1 {
 		return nil, fmt.Errorf("report: channel count must be positive, got %d", channels)
 	}
-	gen, err := workload.NewGenerator(p, spec.Seed)
+	gen, err := workload.OpenGenerator(p, spec.Seed)
 	if err != nil {
 		return nil, err
 	}

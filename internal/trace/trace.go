@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"smores/internal/gpu"
 )
@@ -98,7 +99,12 @@ func NewReader(r io.Reader) *Reader {
 func (tr *Reader) readHeader() error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			// A zero-byte stream is a valid empty trace: the lazy writer
+			// emits nothing when no access is ever appended.
+			return io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return fmt.Errorf("%w: truncated", ErrBadHeader)
 		}
 		return err
@@ -126,6 +132,11 @@ func (tr *Reader) Next() (gpu.Access, error) {
 			return gpu.Access{}, io.EOF
 		}
 		return gpu.Access{}, fmt.Errorf("trace: corrupt record: %w", err)
+	}
+	if think > math.MaxInt64 {
+		// Mirrors the writer's Think < 0 guard: such a value cannot have
+		// been written and would wrap negative on the int64 conversion.
+		return gpu.Access{}, fmt.Errorf("trace: corrupt record: think %d overflows int64", think)
 	}
 	packed, err := binary.ReadUvarint(tr.r)
 	if err != nil {

@@ -72,8 +72,8 @@ func TestNegativeThinkRejected(t *testing.T) {
 
 func TestBadHeader(t *testing.T) {
 	cases := [][]byte{
-		{},
 		[]byte("SMT"),
+		[]byte("SMTR\x01\x00\x00"), // one byte short of a full header
 		[]byte("XXXX\x01\x00\x00\x00"),
 		[]byte("SMTR\x63\x00\x00\x00"), // version 99
 	}
@@ -81,6 +81,48 @@ func TestBadHeader(t *testing.T) {
 		if _, err := ReadAll(bytes.NewReader(c)); !errors.Is(err, ErrBadHeader) {
 			t.Errorf("case %d: err = %v, want ErrBadHeader", i, err)
 		}
+	}
+}
+
+// TestEmptyFileIsEmptyTrace pins the empty-recording contract: the lazy
+// writer emits nothing for a zero-access workload, and the reader must
+// accept that zero-byte file as an empty trace, not a truncated header.
+func TestEmptyFileIsEmptyTrace(t *testing.T) {
+	got, err := ReadAll(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatalf("empty file: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file yielded %d records", len(got))
+	}
+	rep := NewReplayer(bytes.NewReader(nil))
+	if _, ok := rep.Next(); ok {
+		t.Fatal("empty file replayed an access")
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+}
+
+// TestThinkOverflowRejected pins the corrupt-record guard: a think
+// uvarint above MaxInt64 (hand-built — the writer cannot produce it)
+// must be rejected rather than silently wrapping negative.
+func TestThinkOverflowRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.Write([]byte{0x01, 0x00, 0x00, 0x00}) // version 1
+	// 0xFFFFFFFFFFFFFFFF as a 10-byte uvarint: MaxInt64 + everything.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	buf.Write([]byte{0x02}) // sector 1, read
+	_, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("overflowing think accepted")
+	}
+	if errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want a corrupt-record error", err)
+	}
+	if got := err.Error(); !bytes.Contains([]byte(got), []byte("overflows int64")) {
+		t.Fatalf("err = %v, want overflow diagnostic", err)
 	}
 }
 

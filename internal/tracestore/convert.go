@@ -1,0 +1,155 @@
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"smores/internal/trace"
+)
+
+// FromSMTR streams a row-oriented SMTR v1 trace into a new store at
+// dir. The conversion is lossless: replaying the store reproduces the
+// exact access sequence of the flat trace.
+func FromSMTR(r io.Reader, dir string, meta Meta) (Manifest, error) {
+	if meta.Source == "" {
+		meta.Source = "smtr"
+	}
+	w, err := Create(dir, meta)
+	if err != nil {
+		return Manifest{}, err
+	}
+	sw, err := w.NewShard()
+	if err != nil {
+		return Manifest{}, err
+	}
+	tr := trace.NewReader(r)
+	for {
+		a, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			sw.Close()
+			return Manifest{}, fmt.Errorf("tracestore: smtr: %w", err)
+		}
+		if err := sw.AppendAccess(a); err != nil {
+			sw.Close()
+			return Manifest{}, err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return Manifest{}, err
+	}
+	return w.Finalize()
+}
+
+// ToSMTR streams a store back out as a flat SMTR v1 trace, returning
+// the record count. Payload bytes (if any) are dropped — SMTR has no
+// payload column.
+func ToSMTR(s *Store, w io.Writer) (int64, error) {
+	r, err := s.NewReader(ReadOptions{Fields: AccessFields})
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	tw := trace.NewWriter(w)
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return tw.Count(), err
+		}
+		if err := tw.Append(rec.Access); err != nil {
+			return tw.Count(), fmt.Errorf("tracestore: smtr: %w", err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return tw.Count(), fmt.Errorf("tracestore: smtr: %w", err)
+	}
+	return tw.Count(), nil
+}
+
+// WriteRecords builds a store from an in-memory record slice, splitting
+// the stream into shards contiguous segments written in parallel (one
+// goroutine per shard). Segment order is preserved, so replay is
+// byte-identical to iterating recs.
+func WriteRecords(dir string, meta Meta, recs []Record, shards int) (Manifest, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(recs) && len(recs) > 0 {
+		shards = len(recs)
+	}
+	if len(recs) == 0 {
+		shards = 1
+	}
+	w, err := Create(dir, meta)
+	if err != nil {
+		return Manifest{}, err
+	}
+	// Open every shard up front (NewShard names them in stream order),
+	// then let each goroutine own one writer.
+	writers := make([]*ShardWriter, shards)
+	for i := range writers {
+		if writers[i], err = w.NewShard(); err != nil {
+			for _, sw := range writers[:i] {
+				sw.Close()
+			}
+			return Manifest{}, err
+		}
+	}
+	per := len(recs) / shards
+	rem := len(recs) % shards
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	start := 0
+	for i := 0; i < shards; i++ {
+		n := per
+		if i < rem {
+			n++
+		}
+		seg := recs[start : start+n]
+		start += n
+		wg.Add(1)
+		go func(i int, sw *ShardWriter, seg []Record) {
+			defer wg.Done()
+			for _, rec := range seg {
+				if err := sw.Append(rec); err != nil {
+					break // Close reports the shard's first error
+				}
+			}
+			errs[i] = sw.Close()
+		}(i, writers[i], seg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Manifest{}, err
+		}
+	}
+	return w.Finalize()
+}
+
+// ReadAll drains a store's records (intended for tools and tests).
+func ReadAll(s *Store, fields FieldSet) ([]Record, error) {
+	r, err := s.NewReader(ReadOptions{Fields: fields})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

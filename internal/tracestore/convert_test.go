@@ -1,0 +1,90 @@
+package tracestore
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"smores/internal/trace"
+)
+
+func TestSMTRRoundTrip(t *testing.T) {
+	recs := genRecords(13, 1500, false)
+	var smtr bytes.Buffer
+	tw := trace.NewWriter(&smtr)
+	for _, rec := range recs {
+		if err := tw.Append(rec.Access); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	m, err := FromSMTR(bytes.NewReader(smtr.Bytes()), dir, Meta{Name: "smtr-rt", BlockRecords: 200})
+	if err != nil {
+		t.Fatalf("FromSMTR: %v", err)
+	}
+	if m.Records != int64(len(recs)) || m.Source != "smtr" {
+		t.Fatalf("manifest %+v", m)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(s, AccessFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i].Access != recs[i].Access {
+			t.Fatalf("record %d: %+v vs %+v", i, back[i].Access, recs[i].Access)
+		}
+	}
+
+	// Store → SMTR must reproduce the original byte stream exactly (the
+	// SMTR encoding is canonical: same accesses, same bytes).
+	var out bytes.Buffer
+	n, err := ToSMTR(s, &out)
+	if err != nil {
+		t.Fatalf("ToSMTR: %v", err)
+	}
+	if n != int64(len(recs)) {
+		t.Fatalf("ToSMTR wrote %d records, want %d", n, len(recs))
+	}
+	if !bytes.Equal(out.Bytes(), smtr.Bytes()) {
+		t.Fatal("SMTR round trip is not byte-identical")
+	}
+}
+
+func TestFromSMTREmpty(t *testing.T) {
+	// A zero-byte stream is a valid empty trace (the lazy writer emits
+	// nothing) and must convert to a valid empty store.
+	dir := filepath.Join(t.TempDir(), "store")
+	m, err := FromSMTR(bytes.NewReader(nil), dir, Meta{Name: "empty-smtr"})
+	if err != nil {
+		t.Fatalf("FromSMTR(empty): %v", err)
+	}
+	if m.Records != 0 {
+		t.Fatalf("records = %d", m.Records)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if n, err := ToSMTR(s, &out); err != nil || n != 0 {
+		t.Fatalf("ToSMTR: n=%d err=%v", n, err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty store wrote %d SMTR bytes", out.Len())
+	}
+}
+
+func TestFromSMTRCorrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, err := FromSMTR(bytes.NewReader([]byte("NOPE1234")), dir, Meta{Name: "bad"}); err == nil {
+		t.Fatal("FromSMTR accepted a non-trace stream")
+	}
+}

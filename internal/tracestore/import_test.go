@@ -1,0 +1,175 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func importDir(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "store")
+}
+
+func TestImportCSVAutoMapping(t *testing.T) {
+	csv := strings.Join([]string{
+		"addr,think,op",
+		"0x0,0,R",
+		"0x40,3,W",
+		"96,0,read",
+		"0x1000,12,st",
+	}, "\n")
+	dir := importDir(t)
+	m, err := ImportCSV(strings.NewReader(csv), dir, Meta{Name: "csvapp"}, ImportOptions{})
+	if err != nil {
+		t.Fatalf("ImportCSV: %v", err)
+	}
+	if m.Records != 4 || m.Writes != 2 || m.Source != "csv" {
+		t.Fatalf("manifest %+v", m)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(s, AccessFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte addresses divide by 32 to sectors.
+	wantSectors := []uint64{0, 2, 3, 128}
+	wantWrites := []bool{false, true, false, true}
+	wantThinks := []int64{0, 3, 0, 12}
+	for i := range back {
+		if back[i].Sector != wantSectors[i] || back[i].Write != wantWrites[i] || back[i].Think != wantThinks[i] {
+			t.Fatalf("record %d: %+v", i, back[i])
+		}
+	}
+}
+
+func TestImportCSVSectorColumn(t *testing.T) {
+	// A "sector" header holds sector indexes directly — no division.
+	csv := "sector\n7\n8\n9\n"
+	dir := importDir(t)
+	if _, err := ImportCSV(strings.NewReader(csv), dir, Meta{Name: "sec"}, ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(s, AccessFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{7, 8, 9} {
+		if back[i].Sector != want {
+			t.Fatalf("record %d: sector %d, want %d", i, back[i].Sector, want)
+		}
+	}
+}
+
+func TestImportCSVExplicitColumns(t *testing.T) {
+	csv := "foo,bar,baz\n0x80,w,5\n"
+	dir := importDir(t)
+	m, err := ImportCSV(strings.NewReader(csv), dir, Meta{Name: "explicit"},
+		ImportOptions{AddrCol: "foo", OpCol: "bar", ThinkCol: "baz", SectorBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Records != 1 || m.Writes != 1 {
+		t.Fatalf("manifest %+v", m)
+	}
+	if m.MaxSector != 2 { // 0x80 / 64
+		t.Fatalf("max sector %d, want 2", m.MaxSector)
+	}
+}
+
+func TestImportCSVPayload(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, PayloadBytes)
+	csv := "addr,data\n0x40," + hex.EncodeToString(payload) + "\n"
+	dir := importDir(t)
+	if _, err := ImportCSV(strings.NewReader(csv), dir, Meta{Name: "pay", Payload: true}, ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(s, AccessFields|SetPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back[0].Payload, payload) {
+		t.Fatalf("payload %x", back[0].Payload)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		csv  string
+		meta Meta
+		opts ImportOptions
+	}{
+		"empty":            {"", Meta{Name: "x"}, ImportOptions{}},
+		"no-addr-column":   {"think,op\n1,R\n", Meta{Name: "x"}, ImportOptions{}},
+		"bad-addr":         {"addr\nnotanumber\n", Meta{Name: "x"}, ImportOptions{}},
+		"bad-think":        {"addr,think\n0,-4\n", Meta{Name: "x"}, ImportOptions{}},
+		"bad-op":           {"addr,op\n0,maybe\n", Meta{Name: "x"}, ImportOptions{}},
+		"missing-explicit": {"addr\n0\n", Meta{Name: "x"}, ImportOptions{ThinkCol: "nope"}},
+		"payload-missing":  {"addr\n0\n", Meta{Name: "x", Payload: true}, ImportOptions{}},
+		"payload-short":    {"addr,data\n0,abcd\n", Meta{Name: "x", Payload: true}, ImportOptions{}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ImportCSV(strings.NewReader(tc.csv), importDir(t), tc.meta, tc.opts); err == nil {
+				t.Fatal("import succeeded")
+			}
+		})
+	}
+}
+
+func TestImportBinary(t *testing.T) {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	write := func(addr uint64, think uint32, flags byte) {
+		var rec [binaryRecordSize]byte
+		le.PutUint64(rec[0:8], addr)
+		le.PutUint32(rec[8:12], think)
+		rec[12] = flags
+		buf.Write(rec[:])
+	}
+	write(0, 0, 0)
+	write(64, 7, 1)
+	write(0x2000, 2, 0)
+	dir := importDir(t)
+	m, err := ImportBinary(bytes.NewReader(buf.Bytes()), dir, Meta{Name: "bin"}, ImportOptions{})
+	if err != nil {
+		t.Fatalf("ImportBinary: %v", err)
+	}
+	if m.Records != 3 || m.Writes != 1 || m.Source != "binary" {
+		t.Fatalf("manifest %+v", m)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(s, AccessFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1].Sector != 2 || !back[1].Write || back[1].Think != 7 {
+		t.Fatalf("record 1: %+v", back[1])
+	}
+	if back[2].Sector != 0x100 {
+		t.Fatalf("record 2: %+v", back[2])
+	}
+}
+
+func TestImportBinaryTruncated(t *testing.T) {
+	if _, err := ImportBinary(bytes.NewReader(make([]byte, binaryRecordSize+3)),
+		importDir(t), Meta{Name: "trunc"}, ImportOptions{}); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}

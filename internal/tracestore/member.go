@@ -1,0 +1,46 @@
+package tracestore
+
+import (
+	"smores/internal/gpu"
+	"smores/internal/workload"
+)
+
+// FleetMember derives the workload profile a store replays under: the
+// manifest's aggregate counters stand in for the synthetic knobs so the
+// store schedules, shards, and reports exactly like a fleet app.
+func FleetMember(s *Store) workload.Profile {
+	m := s.Manifest
+	p := workload.Profile{
+		Name:              m.Name,
+		Suite:             m.Suite,
+		BurstLen:          1,
+		WorkingSetSectors: m.MaxSector + 1,
+		MSHRs:             m.MSHRs,
+	}
+	if m.Records > 0 {
+		p.ThinkMean = float64(m.SumThink) / float64(m.Records)
+		p.WriteFrac = float64(m.Writes) / float64(m.Records)
+	}
+	return p
+}
+
+// RegisterFleetMember opens the store at dir and registers it as a
+// trace-backed fleet member: workload.OpenGenerator on the returned
+// profile then replays the recorded stream instead of synthesizing one.
+func RegisterFleetMember(dir string) (workload.Profile, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	p := FleetMember(s)
+	err = workload.RegisterExternal(workload.External{
+		Profile: p,
+		Open: func() (gpu.Generator, error) {
+			return s.Replayer()
+		},
+	})
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,97 @@
+package tracestore
+
+import (
+	"testing"
+
+	"smores/internal/workload"
+)
+
+func TestFleetMember(t *testing.T) {
+	recs := genRecords(31, 1000, false)
+	s, dir := mustWrite(t, recs, Meta{Name: "member-app", Suite: "captured", MSHRs: 64}, 2)
+
+	p, err := RegisterFleetMember(dir)
+	if err != nil {
+		t.Fatalf("RegisterFleetMember: %v", err)
+	}
+	defer workload.UnregisterExternal(p.Name)
+
+	if p.Name != "member-app" || p.Suite != "captured" || p.MSHRs != 64 {
+		t.Fatalf("profile %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("derived profile invalid: %v", err)
+	}
+	if p.WorkingSetSectors != s.Manifest.MaxSector+1 {
+		t.Fatalf("working set %d, want %d", p.WorkingSetSectors, s.Manifest.MaxSector+1)
+	}
+
+	// OpenGenerator must dispatch to replay, not synthesis, and each call
+	// must restart the identical stream.
+	for run := 0; run < 2; run++ {
+		g, err := workload.OpenGenerator(p, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range recs {
+			a, ok := g.Next()
+			if !ok {
+				t.Fatalf("run %d ended at %d", run, i)
+			}
+			if a != rec.Access {
+				t.Fatalf("run %d access %d: %+v vs %+v", run, i, a, rec.Access)
+			}
+		}
+		if _, ok := g.Next(); ok {
+			t.Fatalf("run %d overran the store", run)
+		}
+	}
+
+	// Registered members appear in the external listing and cannot be
+	// double-registered.
+	exts := workload.ExternalProfiles()
+	if len(exts) == 0 || exts[len(exts)-1].Name != "member-app" {
+		t.Fatalf("externals %+v", exts)
+	}
+	if _, err := RegisterFleetMember(dir); err == nil {
+		t.Fatal("double registration succeeded")
+	}
+}
+
+func TestRegisterExternalValidation(t *testing.T) {
+	if err := workload.RegisterExternal(workload.External{}); err == nil {
+		t.Fatal("empty registration accepted")
+	}
+	// A fleet-app name collision is refused.
+	p, ok := workload.ByName("bfs")
+	if !ok {
+		t.Fatal("fleet app bfs missing")
+	}
+	err := workload.RegisterExternal(workload.External{Profile: p, Open: nil})
+	if err == nil {
+		t.Fatal("fleet name collision accepted")
+	}
+}
+
+func TestOpenGeneratorSynthetic(t *testing.T) {
+	// Unregistered profiles still get the synthetic generator.
+	p, ok := workload.ByName("bfs")
+	if !ok {
+		t.Fatal("fleet app bfs missing")
+	}
+	g, err := workload.OpenGenerator(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.NewGenerator(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a, ok := g.Next()
+		b, ok2 := want.Next()
+		if !ok || !ok2 || a != b {
+			t.Fatalf("access %d: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package tracestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ColumnStats reports one column's on-disk footprint, computed from the
+// shard indexes alone (no column bytes are read).
+type ColumnStats struct {
+	Field           string `json:"field"`
+	RawBytes        int64  `json:"raw_bytes"`
+	CompressedBytes int64  `json:"compressed_bytes"`
+	// Ratio is raw/compressed (0 for an empty column).
+	Ratio float64 `json:"ratio"`
+}
+
+// StoreStats summarizes a store's layout and compression.
+type StoreStats struct {
+	Name            string        `json:"name"`
+	Records         int64         `json:"records"`
+	Shards          int           `json:"shards"`
+	Blocks          int64         `json:"blocks"`
+	Columns         []ColumnStats `json:"columns"`
+	RawBytes        int64         `json:"raw_bytes"`
+	CompressedBytes int64         `json:"compressed_bytes"`
+	Ratio           float64       `json:"ratio"`
+	// BytesPerRecord is the compressed cost per record across all columns.
+	BytesPerRecord float64 `json:"bytes_per_record"`
+}
+
+// Stats computes per-column and total compression figures from the
+// already-loaded shard indexes.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Name:    s.Manifest.Name,
+		Records: s.Manifest.Records,
+		Shards:  len(s.shards),
+	}
+	var raw, comp [numFields]int64
+	for _, si := range s.shards {
+		st.Blocks += int64(len(si.Blocks))
+		for _, blk := range si.Blocks {
+			for f := FieldThink; f < numFields; f++ {
+				if f == FieldPayload && !si.Payload {
+					continue
+				}
+				raw[f] += int64(blk.Cols[f].RawLen)
+				comp[f] += int64(blk.Cols[f].CompLen)
+			}
+		}
+	}
+	for f := FieldThink; f < numFields; f++ {
+		if f == FieldPayload && !s.Manifest.Payload {
+			continue
+		}
+		cs := ColumnStats{
+			Field:           f.String(),
+			RawBytes:        raw[f],
+			CompressedBytes: comp[f],
+		}
+		if comp[f] > 0 {
+			cs.Ratio = float64(raw[f]) / float64(comp[f])
+		}
+		st.Columns = append(st.Columns, cs)
+		st.RawBytes += raw[f]
+		st.CompressedBytes += comp[f]
+	}
+	if st.CompressedBytes > 0 {
+		st.Ratio = float64(st.RawBytes) / float64(st.CompressedBytes)
+	}
+	if st.Records > 0 {
+		st.BytesPerRecord = float64(st.CompressedBytes) / float64(st.Records)
+	}
+	return st
+}
+
+// WriteStatsJSON writes st as indented JSON (the CI artifact format).
+func WriteStatsJSON(w io.Writer, st StoreStats) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tracestore: stats: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
